@@ -1,0 +1,53 @@
+// Shared helpers for the benchmark harnesses: kernel/environment setup
+// from a histogram, error metrics, and time-capped execution.
+#ifndef EKTELO_BENCH_BENCH_UTIL_H_
+#define EKTELO_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "ektelo/ektelo.h"
+
+namespace ektelo::bench {
+
+/// A protected kernel wrapping a histogram, plus the matching PlanContext.
+struct HistEnv {
+  ProtectedKernel kernel;
+  PlanContext ctx;
+
+  HistEnv(const Vec& hist, std::vector<std::size_t> dims, double eps,
+          uint64_t seed, Rng* client_rng,
+          MatrixMode mode = MatrixMode::kImplicit)
+      : kernel(TableFromHistogram(hist, "v"), eps, seed) {
+    auto x = kernel.TVectorize(kernel.root());
+    ctx.kernel = &kernel;
+    ctx.x = x.value();
+    ctx.dims = std::move(dims);
+    ctx.eps = eps;
+    ctx.mode = mode;
+    ctx.rng = client_rng;
+  }
+};
+
+/// Scaled per-query L2 error (DPBench's metric): RMSE over workload
+/// answers divided by the total record count.
+inline double ScaledWorkloadError(const LinOp& w, const Vec& xhat,
+                                  const Vec& x_true) {
+  const double scale = std::max(Sum(x_true), 1.0);
+  return Rmse(w.Apply(xhat), w.Apply(x_true)) / scale;
+}
+
+/// Run fn, returning wall seconds; nullopt on Status failure.
+inline std::optional<double> TimeIt(
+    const std::function<ektelo::Status()>& fn) {
+  WallTimer t;
+  Status s = fn();
+  if (!s.ok()) return std::nullopt;
+  return t.Elapsed();
+}
+
+}  // namespace ektelo::bench
+
+#endif  // EKTELO_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,166 @@
+// Fig. 4a: end-to-end plan runtime vs domain size for the three matrix
+// representations (dense / sparse / implicit) across the low-dimensional
+// plan catalog.
+//
+// Domains are 2D squares of n = 4^k cells (1D for DAWA and Greedy-H, as
+// in the paper).  A representation is skipped ("-") once it exceeds the
+// per-run time cap or its materialization would exceed the memory guard —
+// the paper likewise stops runs beyond 1000s.  The reproduced observable
+// is the scalability ordering implicit >= sparse >= dense.
+//
+// Usage: fig4a_plan_scaling [max_exp(default 9)] [time_cap_s(default 5)]
+#include "bench_util.h"
+
+using namespace ektelo;
+using namespace ektelo::bench;
+
+namespace {
+
+struct PlanSpec {
+  const char* name;
+  bool two_d;
+  std::function<StatusOr<Vec>(const PlanContext&, Rng*)> run;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t max_exp =
+      argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 9;
+  const double time_cap = argc > 2 ? std::atof(argv[2]) : 5.0;
+  const double eps = 0.1;
+
+  Rng rng(8);
+
+  std::vector<PlanSpec> plans;
+  plans.push_back({"Identity", true,
+                   [](const PlanContext& c, Rng*) {
+                     return RunIdentityPlan(c);
+                   }});
+  plans.push_back({"Uniform", true,
+                   [](const PlanContext& c, Rng*) {
+                     return RunUniformPlan(c);
+                   }});
+  plans.push_back({"Privelet", true,
+                   [](const PlanContext& c, Rng*) {
+                     return RunPriveletPlan(c);
+                   }});
+  plans.push_back({"H2", true,
+                   [](const PlanContext& c, Rng*) { return RunH2Plan(c); }});
+  plans.push_back({"HB", true,
+                   [](const PlanContext& c, Rng*) { return RunHbPlan(c); }});
+  plans.push_back({"QuadTree", true,
+                   [](const PlanContext& c, Rng*) {
+                     return RunQuadtreePlan(c);
+                   }});
+  plans.push_back({"UniformGrid", true,
+                   [](const PlanContext& c, Rng*) {
+                     return RunUniformGridPlan(c);
+                   }});
+  plans.push_back({"AdaptiveGrid", true,
+                   [](const PlanContext& c, Rng*) {
+                     return RunAdaptiveGridPlan(c);
+                   }});
+  plans.push_back({"AHP", true,
+                   [](const PlanContext& c, Rng*) {
+                     return RunAhpPlan(c);
+                   }});
+  plans.push_back({"MWEM", true,
+                   [](const PlanContext& c, Rng* r) {
+                     auto ranges = RandomRanges(100, c.n(), 0, r);
+                     return RunMwemPlan(c, ranges,
+                                        {.rounds = 10,
+                                         .known_total = 1e5,
+                                         .mw_iterations = 20});
+                   }});
+  plans.push_back({"MWEM variant c", true,
+                   [](const PlanContext& c, Rng* r) {
+                     auto ranges = RandomRanges(100, c.n(), 0, r);
+                     return RunMwemPlan(c, ranges,
+                                        {.rounds = 10,
+                                         .nnls_inference = true,
+                                         .known_total = 1e5});
+                   }});
+  plans.push_back({"MWEM variant d", true,
+                   [](const PlanContext& c, Rng* r) {
+                     auto ranges = RandomRanges(100, c.n(), 0, r);
+                     return RunMwemPlan(c, ranges,
+                                        {.rounds = 10,
+                                         .augment_h2 = true,
+                                         .nnls_inference = true,
+                                         .known_total = 1e5});
+                   }});
+  plans.push_back({"HDMM", true,
+                   [](const PlanContext& c, Rng*) {
+                     std::vector<LinOpPtr> factors;
+                     for (std::size_t d : c.dims)
+                       factors.push_back(MakePrefixOp(d));
+                     return RunHdmmPlan(c, factors);
+                   }});
+  plans.push_back({"DAWA", false,
+                   [](const PlanContext& c, Rng* r) {
+                     auto ranges = RandomRanges(1000, c.n(), 0, r);
+                     return RunDawaPlan(c, ranges);
+                   }});
+  plans.push_back({"Greedy-H", false,
+                   [](const PlanContext& c, Rng* r) {
+                     auto ranges = RandomRanges(1000, c.n(), 0, r);
+                     return RunGreedyHPlan(c, ranges);
+                   }});
+
+  const MatrixMode modes[] = {MatrixMode::kDense, MatrixMode::kSparse,
+                              MatrixMode::kImplicit};
+  // Memory guards (cells): dense n x n costs 8 n^2 bytes.
+  const std::size_t dense_cap = 1 << 12;    // 4096 -> <= 134 MB
+  const std::size_t sparse_cap = 1 << 16;   // 65536
+
+  std::printf("Fig 4a: plan runtime (s) vs domain size, by matrix mode\n");
+  std::printf("(eps=%.2g; '-' = skipped by time cap %.1fs or memory "
+              "guard)\n\n", eps, time_cap);
+  std::printf("%-16s %-9s", "plan", "mode");
+  for (std::size_t e = 4; e <= max_exp; ++e)
+    std::printf(" %9s", ("4^" + std::to_string(e)).c_str());
+  std::printf("\n");
+
+  for (const auto& plan : plans) {
+    for (MatrixMode mode : modes) {
+      std::printf("%-16s %-9s", plan.name, MatrixModeName(mode));
+      bool capped = false;
+      for (std::size_t e = 4; e <= max_exp; ++e) {
+        const std::size_t n = std::size_t{1} << (2 * e);
+        const bool skip =
+            capped || (mode == MatrixMode::kDense && n > dense_cap) ||
+            (mode == MatrixMode::kSparse && n > sparse_cap);
+        if (skip) {
+          std::printf(" %9s", "-");
+          continue;
+        }
+        const std::size_t side = std::size_t{1} << e;
+        Vec hist = plan.two_d ? MakeHistogram2D(side, side, 1e5, &rng)
+                              : MakeHistogram1D(Shape1D::kGaussianMix, n,
+                                                1e5, &rng);
+        std::vector<std::size_t> dims =
+            plan.two_d ? std::vector<std::size_t>{side, side}
+                       : std::vector<std::size_t>{n};
+        HistEnv env(hist, dims, eps, 7000 + e, &rng, mode);
+        WallTimer t;
+        auto xhat = plan.run(env.ctx, &rng);
+        const double secs = t.Elapsed();
+        if (!xhat.ok()) {
+          std::printf(" %9s", "err");
+        } else {
+          std::printf(" %9.3f", secs);
+        }
+        std::fflush(stdout);
+        if (secs > time_cap) capped = true;
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf(
+      "\npaper (Fig 4a): implicit scales to domains ~1000x larger than "
+      "dense and is fastest at\nfixed size for most plans; DAWA/Greedy-H "
+      "show smaller gaps (selection materializes);\nAdaptiveGrid is "
+      "dominated by partition iteration.\n");
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Table 6: error and runtime improvements from workload-based domain
+// reduction (Sec. 8), for AHP (128x128), DAWA (4096), Identity (256x256)
+// and HB (4096) with W = RandomRange, small ranges.
+//
+// "Original" runs the plan on the full domain; "Reduced" first computes
+// the workload-based partition (Algorithm 4, client-side and free), runs
+// the plan on the reduced vector, and expands via P+.  Reported factors
+// are original/reduced for both scaled workload error and runtime.
+#include "bench_util.h"
+
+using namespace ektelo;
+using namespace ektelo::bench;
+
+namespace {
+
+struct Case {
+  const char* name;
+  std::vector<std::size_t> dims;  // full-domain shape for the plan
+  bool two_d;
+  std::function<StatusOr<Vec>(const PlanContext&,
+                              const std::vector<RangeQuery>&)> run;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double eps = argc > 1 ? std::atof(argv[1]) : 0.1;
+  const int trials = argc > 2 ? std::atoi(argv[2]) : 3;
+  Rng rng(6);
+
+  // Group volumes of the active workload partition; empty when running on
+  // the original domain.  DAWA's partition selection normalizes by these
+  // so pre-merged groups still expose uniform-region structure.
+  Vec active_volumes;
+
+  std::vector<Case> cases;
+  cases.push_back({"AHP", {128, 128}, true,
+                   [](const PlanContext& c, const std::vector<RangeQuery>&) {
+                     return RunAhpPlan(c);
+                   }});
+  cases.push_back({"DAWA", {4096}, false,
+                   [&active_volumes](const PlanContext& c,
+                                     const std::vector<RangeQuery>& w) {
+                     DawaPlanOptions opts;
+                     opts.dawa.cell_volumes = active_volumes;
+                     return RunDawaPlan(c, w, opts);
+                   }});
+  cases.push_back({"Identity", {256, 256}, true,
+                   [](const PlanContext& c, const std::vector<RangeQuery>&) {
+                     return RunIdentityPlan(c);
+                   }});
+  cases.push_back({"HB", {4096}, false,
+                   [](const PlanContext& c, const std::vector<RangeQuery>&) {
+                     return RunHbPlan(c);
+                   }});
+
+  std::printf(
+      "Table 6: workload-based domain reduction (W=RandomRange, small "
+      "ranges; eps=%.2g; mean of %d trials)\n\n", eps, trials);
+  std::printf("%-10s %11s %11s | %11s %11s | %8s %8s\n", "plan",
+              "orig err", "orig t(s)", "red err", "red t(s)", "err x",
+              "time x");
+
+  for (const auto& c : cases) {
+    std::size_t n = 1;
+    for (std::size_t d : c.dims) n *= d;
+    // Smooth multi-modal data, as in DPBench's common cases: exact step
+    // functions make the original DAWA unrealistically perfect, which
+    // would overstate the reduction's cost for that row.
+    Vec hist = c.two_d
+                   ? MakeHistogram2D(c.dims[0], c.dims[1], 1e6, &rng)
+                   : MakeHistogram1D(Shape1D::kGaussianMix, n, 1e6, &rng);
+    // Small ranges over the flattened domain.
+    auto ranges = RandomRanges(512, n, std::max<std::size_t>(n / 64, 2),
+                               &rng);
+    auto w_op = RangeQueryOp(ranges, n);
+    // Workload-based partition (public, Algorithm 4).
+    Partition p = WorkloadBasedPartition(*w_op, &rng);
+    auto w_reduced = ReduceWorkload(w_op, p);
+    // Reduced workload as ranges over groups (groups of a 1D range
+    // workload are intervals), for plans that need a range workload.
+    auto reduced_ranges = MapRangesToIntervalPartition(ranges, p);
+
+    double err_orig = 0.0, err_red = 0.0, t_orig = 0.0, t_red = 0.0;
+    for (int trial = 0; trial < trials; ++trial) {
+      {
+        active_volumes.clear();
+        HistEnv env(hist, c.dims, eps, 100 + trial, &rng);
+        WallTimer t;
+        auto xhat = c.run(env.ctx, ranges);
+        t_orig += t.Elapsed();
+        if (xhat.ok())
+          err_orig += ScaledWorkloadError(*w_op, *xhat, hist);
+      }
+      {
+        // Reduce first: the plan then runs on the reduced vector.
+        auto sizes = p.GroupSizes();
+        active_volumes.assign(sizes.begin(), sizes.end());
+        ProtectedKernel kernel(TableFromHistogram(hist, "v"), eps,
+                               200 + trial);
+        auto x = kernel.TVectorize(kernel.root());
+        WallTimer t;
+        auto xr = kernel.VReduceByPartition(*x, p);
+        PlanContext ctx{.kernel = &kernel, .x = *xr,
+                        .dims = {p.num_groups()}, .eps = eps, .rng = &rng};
+        auto xhat_red = c.run(ctx, reduced_ranges);
+        t_red += t.Elapsed();
+        if (xhat_red.ok()) {
+          Vec expanded = ExpandEstimate(p, *xhat_red);
+          err_red += ScaledWorkloadError(*w_op, expanded, hist);
+        }
+      }
+    }
+    err_orig /= trials;
+    err_red /= trials;
+    std::printf("%-10s %11.3e %11.3f | %11.3e %11.3f | %8.2f %8.2f\n",
+                c.name, err_orig, t_orig / trials, err_red, t_red / trials,
+                err_orig / err_red, t_orig / t_red);
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\npaper (Table 6): error factors 1.29 (AHP), 0.99 (DAWA), 2.89 "
+      "(Identity), 1.34 (HB);\nruntime factors 5.36 / 0.92 / 0.73 / "
+      "0.62.\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Cross-validated evaluation harness for the Naive-Bayes case study
+// (Fig. 3): k-fold splits, per-fold private training, AUC on held-out
+// rows, and percentile summaries over repetitions.
+#ifndef EKTELO_CLASSIFY_EVALUATION_H_
+#define EKTELO_CLASSIFY_EVALUATION_H_
+
+#include <optional>
+#include <vector>
+
+#include "classify/nb_plans.h"
+
+namespace ektelo {
+
+/// Row-index folds (shuffled, near-equal sizes).
+std::vector<std::vector<std::size_t>> KFoldIndices(std::size_t rows,
+                                                   std::size_t folds,
+                                                   Rng* rng);
+
+/// Build a table from a subset of rows.
+Table Subset(const Table& t, const std::vector<std::size_t>& rows);
+
+struct NbEvalResult {
+  std::vector<double> fold_aucs;  // one per (repetition x fold)
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50.0); }
+};
+
+/// Run `reps` rounds of `folds`-fold cross validation.  `plan` empty means
+/// the non-private Unperturbed classifier; the Majority baseline is the
+/// constant 0.5 AUC and needs no harness.
+NbEvalResult EvaluateNbClassifier(std::optional<NbPlanKind> plan,
+                                  const Table& data, double eps,
+                                  std::size_t folds, std::size_t reps,
+                                  Rng* rng);
+
+}  // namespace ektelo
+
+#endif  // EKTELO_CLASSIFY_EVALUATION_H_

@@ -1,0 +1,83 @@
+#include "classify/naive_bayes.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace ektelo {
+
+NaiveBayesModel NaiveBayesModel::Fit(const NbHistograms& h,
+                                     double smoothing) {
+  EK_CHECK_EQ(h.label_hist.size(), 2u);
+  EK_CHECK_EQ(h.joint_hists.size(), h.predictor_domains.size());
+  NaiveBayesModel model;
+  const double n0 = std::max(h.label_hist[0], 0.0) + smoothing;
+  const double n1 = std::max(h.label_hist[1], 0.0) + smoothing;
+  model.log_prior_odds_ = std::log(n1) - std::log(n0);
+
+  model.log_likelihood_odds_.reserve(h.joint_hists.size());
+  for (std::size_t i = 0; i < h.joint_hists.size(); ++i) {
+    const std::size_t d = h.predictor_domains[i];
+    EK_CHECK_EQ(h.joint_hists[i].size(), 2 * d);
+    // Per-label totals for normalization.
+    double t0 = 0.0, t1 = 0.0;
+    for (std::size_t v = 0; v < d; ++v) {
+      t0 += std::max(h.joint_hists[i][v], 0.0);
+      t1 += std::max(h.joint_hists[i][d + v], 0.0);
+    }
+    Vec odds(d);
+    for (std::size_t v = 0; v < d; ++v) {
+      const double c0 = std::max(h.joint_hists[i][v], 0.0) + smoothing;
+      const double c1 = std::max(h.joint_hists[i][d + v], 0.0) + smoothing;
+      const double p0 = c0 / (t0 + smoothing * double(d));
+      const double p1 = c1 / (t1 + smoothing * double(d));
+      odds[v] = std::log(p1) - std::log(p0);
+    }
+    model.log_likelihood_odds_.push_back(std::move(odds));
+  }
+  return model;
+}
+
+double NaiveBayesModel::Score(const std::vector<uint32_t>& predictors) const {
+  EK_CHECK_EQ(predictors.size(), log_likelihood_odds_.size());
+  double s = log_prior_odds_;
+  for (std::size_t i = 0; i < predictors.size(); ++i) {
+    EK_CHECK_LT(predictors[i], log_likelihood_odds_[i].size());
+    s += log_likelihood_odds_[i][predictors[i]];
+  }
+  return s;
+}
+
+double AreaUnderRoc(const std::vector<double>& scores,
+                    const std::vector<int>& labels) {
+  EK_CHECK_EQ(scores.size(), labels.size());
+  // Rank-sum (Mann-Whitney) formulation with midrank tie handling.
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return scores[a] < scores[b];
+  });
+  std::size_t n_pos = 0, n_neg = 0;
+  for (int l : labels) (l ? n_pos : n_neg)++;
+  if (n_pos == 0 || n_neg == 0) return 0.5;
+
+  double rank_sum_pos = 0.0;
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j + 1 < order.size() &&
+           scores[order[j + 1]] == scores[order[i]])
+      ++j;
+    const double midrank = 0.5 * (double(i + 1) + double(j + 1));
+    for (std::size_t k = i; k <= j; ++k)
+      if (labels[order[k]]) rank_sum_pos += midrank;
+    i = j + 1;
+  }
+  const double u =
+      rank_sum_pos - double(n_pos) * double(n_pos + 1) / 2.0;
+  return u / (double(n_pos) * double(n_neg));
+}
+
+}  // namespace ektelo

@@ -1,0 +1,47 @@
+// Multinomial Naive-Bayes classifier fit from (possibly noisy) histograms
+// (paper Sec. 9.3): predicting a binary label Y from discrete predictors
+// X_1..X_k requires 2k+1 1D histograms — Y's histogram plus each X_i's
+// histogram conditioned on each label value, i.e. the (Y, X_i) joint
+// marginals.  The DP plans estimate these histograms; this class turns
+// them into a classifier and scores rows by log-odds.
+#ifndef EKTELO_CLASSIFY_NAIVE_BAYES_H_
+#define EKTELO_CLASSIFY_NAIVE_BAYES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/vec.h"
+
+namespace ektelo {
+
+/// The sufficient statistics: label_hist has one count per label value;
+/// joint_hists[i] is the (label x X_i) joint marginal, label-major
+/// (index = y * domain_i + x).
+struct NbHistograms {
+  Vec label_hist;
+  std::vector<Vec> joint_hists;
+  std::vector<std::size_t> predictor_domains;
+};
+
+class NaiveBayesModel {
+ public:
+  /// Fit with Laplace smoothing; negative noisy counts are clamped to 0.
+  static NaiveBayesModel Fit(const NbHistograms& h, double smoothing = 1.0);
+
+  /// Log-odds log P(y=1 | x) - log P(y=0 | x); higher = more likely 1.
+  double Score(const std::vector<uint32_t>& predictors) const;
+
+ private:
+  double log_prior_odds_ = 0.0;
+  /// log P(x_i = v | y=1) - log P(x_i = v | y=0), per predictor & value.
+  std::vector<Vec> log_likelihood_odds_;
+};
+
+/// Area under the ROC curve of `scores` against binary `labels`
+/// (probability a random positive outranks a random negative; ties 0.5).
+double AreaUnderRoc(const std::vector<double>& scores,
+                    const std::vector<int>& labels);
+
+}  // namespace ektelo
+
+#endif  // EKTELO_CLASSIFY_NAIVE_BAYES_H_

@@ -1,0 +1,125 @@
+#include "data/csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace ektelo {
+
+namespace {
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  for (char ch : line) {
+    if (ch == ',') {
+      fields.push_back(cur);
+      cur.clear();
+    } else if (ch != '\r') {
+      cur.push_back(ch);
+    }
+  }
+  fields.push_back(cur);
+  return fields;
+}
+
+std::string Trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+}  // namespace
+
+StatusOr<Table> TableFromCsv(const std::string& csv_text,
+                             const Schema& schema) {
+  std::istringstream in(csv_text);
+  std::string line;
+  if (!std::getline(in, line))
+    return Status::InvalidArgument("empty CSV input");
+
+  // Header: map each column position to an attribute index.
+  std::vector<std::string> header = SplitCsvLine(line);
+  std::vector<std::size_t> attr_of_col;
+  std::vector<bool> seen(schema.num_attrs(), false);
+  for (const auto& raw : header) {
+    const std::string name = Trim(raw);
+    if (!schema.HasAttr(name))
+      return Status::InvalidArgument("unknown CSV column: " + name);
+    const std::size_t a = schema.AttrIndex(name);
+    if (seen[a])
+      return Status::InvalidArgument("duplicate CSV column: " + name);
+    seen[a] = true;
+    attr_of_col.push_back(a);
+  }
+  for (std::size_t a = 0; a < schema.num_attrs(); ++a) {
+    if (!seen[a])
+      return Status::InvalidArgument("missing CSV column: " +
+                                     schema.attr(a).name);
+  }
+
+  Table table(schema);
+  std::vector<uint32_t> row(schema.num_attrs());
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (Trim(line).empty()) continue;
+    std::vector<std::string> fields = SplitCsvLine(line);
+    if (fields.size() != attr_of_col.size())
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": wrong field count");
+    for (std::size_t c = 0; c < fields.size(); ++c) {
+      const std::string f = Trim(fields[c]);
+      char* end = nullptr;
+      const unsigned long code = std::strtoul(f.c_str(), &end, 10);
+      if (f.empty() || end == nullptr || *end != '\0')
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": bad code '" + f + "'");
+      const std::size_t a = attr_of_col[c];
+      if (code >= schema.attr(a).domain_size)
+        return Status::OutOfRange("line " + std::to_string(line_no) +
+                                  ": code " + f + " outside domain of " +
+                                  schema.attr(a).name);
+      row[a] = static_cast<uint32_t>(code);
+    }
+    table.AppendRow(row);
+  }
+  return table;
+}
+
+StatusOr<Table> LoadTableCsv(const std::string& path, const Schema& schema) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return TableFromCsv(buf.str(), schema);
+}
+
+std::string TableToCsv(const Table& table) {
+  std::ostringstream out;
+  const Schema& schema = table.schema();
+  for (std::size_t a = 0; a < schema.num_attrs(); ++a) {
+    if (a) out << ',';
+    out << schema.attr(a).name;
+  }
+  out << '\n';
+  for (std::size_t r = 0; r < table.NumRows(); ++r) {
+    for (std::size_t a = 0; a < schema.num_attrs(); ++a) {
+      if (a) out << ',';
+      out << table.At(r, a);
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+Status SaveTableCsv(const Table& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot write " + path);
+  out << TableToCsv(table);
+  if (!out) return Status::Internal("write failed for " + path);
+  return Status::Ok();
+}
+
+}  // namespace ektelo

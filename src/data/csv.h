@@ -1,0 +1,33 @@
+// CSV import/export for coded tables.
+//
+// Format: a header row with attribute names, then one row of non-negative
+// integer codes per record.  Loading requires a Schema (domain sizes are
+// metadata a data owner supplies; they are public, the rows are private).
+#ifndef EKTELO_DATA_CSV_H_
+#define EKTELO_DATA_CSV_H_
+
+#include <string>
+
+#include "data/table.h"
+#include "util/status.h"
+
+namespace ektelo {
+
+/// Parse CSV text into a table under `schema`.  Columns are matched to
+/// attributes by header name (order-insensitive); unknown columns are an
+/// error, as are codes outside an attribute's domain.
+StatusOr<Table> TableFromCsv(const std::string& csv_text,
+                             const Schema& schema);
+
+/// Read a CSV file from disk.
+StatusOr<Table> LoadTableCsv(const std::string& path, const Schema& schema);
+
+/// Serialize a table back to CSV text (header + coded rows).
+std::string TableToCsv(const Table& table);
+
+/// Write a table to disk; returns an error status on I/O failure.
+Status SaveTableCsv(const Table& table, const std::string& path);
+
+}  // namespace ektelo
+
+#endif  // EKTELO_DATA_CSV_H_

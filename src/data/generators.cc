@@ -1,0 +1,233 @@
+#include "data/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace ektelo {
+
+std::vector<Shape1D> AllShapes1D() {
+  return {Shape1D::kUniform,        Shape1D::kZipf,
+          Shape1D::kGaussianMix,    Shape1D::kSparseSpikes,
+          Shape1D::kStep,           Shape1D::kBimodal,
+          Shape1D::kExponentialDecay, Shape1D::kPowerLawTail,
+          Shape1D::kClustered,      Shape1D::kRoughUniform};
+}
+
+std::string ShapeName(Shape1D s) {
+  switch (s) {
+    case Shape1D::kUniform:
+      return "uniform";
+    case Shape1D::kZipf:
+      return "zipf";
+    case Shape1D::kGaussianMix:
+      return "gauss-mix";
+    case Shape1D::kSparseSpikes:
+      return "sparse-spikes";
+    case Shape1D::kStep:
+      return "step";
+    case Shape1D::kBimodal:
+      return "bimodal";
+    case Shape1D::kExponentialDecay:
+      return "exp-decay";
+    case Shape1D::kPowerLawTail:
+      return "power-law";
+    case Shape1D::kClustered:
+      return "clustered";
+    case Shape1D::kRoughUniform:
+      return "rough-uniform";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Turn a non-negative density into an integer histogram of total ~scale by
+/// multinomial-style rounding.
+Vec DensityToCounts(Vec density, double scale, Rng* rng) {
+  double total = Sum(density);
+  EK_CHECK_GT(total, 0.0);
+  Vec out(density.size());
+  for (std::size_t i = 0; i < density.size(); ++i) {
+    double expect = density[i] / total * scale;
+    // Randomized rounding keeps totals near scale without bias.
+    double base = std::floor(expect);
+    out[i] = base + ((rng->Uniform() < expect - base) ? 1.0 : 0.0);
+  }
+  return out;
+}
+
+}  // namespace
+
+Vec MakeHistogram1D(Shape1D shape, std::size_t n, double scale, Rng* rng) {
+  EK_CHECK_GT(n, 0u);
+  Vec d(n, 0.0);
+  switch (shape) {
+    case Shape1D::kUniform:
+      std::fill(d.begin(), d.end(), 1.0);
+      break;
+    case Shape1D::kZipf:
+      for (std::size_t i = 0; i < n; ++i) d[i] = 1.0 / double(i + 1);
+      break;
+    case Shape1D::kGaussianMix: {
+      const int modes = 4;
+      for (int m = 0; m < modes; ++m) {
+        double mu = rng->Uniform(0.1, 0.9) * double(n);
+        double sigma = rng->Uniform(0.01, 0.06) * double(n);
+        double w = rng->Uniform(0.5, 2.0);
+        for (std::size_t i = 0; i < n; ++i) {
+          double z = (double(i) - mu) / sigma;
+          d[i] += w * std::exp(-0.5 * z * z);
+        }
+      }
+      break;
+    }
+    case Shape1D::kSparseSpikes: {
+      const std::size_t spikes = std::max<std::size_t>(4, n / 256);
+      for (std::size_t s = 0; s < spikes; ++s) {
+        std::size_t pos = std::size_t(rng->UniformInt(0, int64_t(n) - 1));
+        d[pos] += rng->Uniform(5.0, 50.0);
+      }
+      for (auto& v : d) v += 1e-4;  // faint background
+      break;
+    }
+    case Shape1D::kStep: {
+      const std::size_t steps = 8;
+      std::size_t start = 0;
+      for (std::size_t s = 0; s < steps; ++s) {
+        std::size_t end = (s + 1 == steps) ? n : (n * (s + 1)) / steps;
+        double level = rng->Uniform(0.0, 4.0);
+        for (std::size_t i = start; i < end; ++i) d[i] = level + 0.01;
+        start = end;
+      }
+      break;
+    }
+    case Shape1D::kBimodal:
+      for (std::size_t i = 0; i < n; ++i) {
+        double z1 = (double(i) - 0.25 * n) / (0.08 * n);
+        double z2 = (double(i) - 0.75 * n) / (0.12 * n);
+        d[i] = std::exp(-0.5 * z1 * z1) + 0.7 * std::exp(-0.5 * z2 * z2);
+      }
+      break;
+    case Shape1D::kExponentialDecay:
+      for (std::size_t i = 0; i < n; ++i)
+        d[i] = std::exp(-5.0 * double(i) / double(n));
+      break;
+    case Shape1D::kPowerLawTail:
+      for (std::size_t i = 0; i < n; ++i)
+        d[i] = std::pow(double(i + 2), -1.5);
+      break;
+    case Shape1D::kClustered: {
+      const int clusters = 6;
+      for (auto& v : d) v = 1e-4;
+      for (int c = 0; c < clusters; ++c) {
+        std::size_t center = std::size_t(rng->UniformInt(0, int64_t(n) - 1));
+        std::size_t width = std::max<std::size_t>(1, n / 64);
+        double level = rng->Uniform(1.0, 10.0);
+        for (std::size_t i = center; i < std::min(n, center + width); ++i)
+          d[i] += level;
+      }
+      break;
+    }
+    case Shape1D::kRoughUniform:
+      for (auto& v : d) v = rng->Uniform(0.5, 1.5);
+      break;
+  }
+  return DensityToCounts(std::move(d), scale, rng);
+}
+
+Vec MakeHistogram2D(std::size_t nx, std::size_t ny, double scale, Rng* rng) {
+  Vec d(nx * ny, 1e-4);
+  const int blobs = 5;
+  for (int b = 0; b < blobs; ++b) {
+    double cx = rng->Uniform(0.1, 0.9) * double(nx);
+    double cy = rng->Uniform(0.1, 0.9) * double(ny);
+    double sx = rng->Uniform(0.02, 0.10) * double(nx);
+    double sy = rng->Uniform(0.02, 0.10) * double(ny);
+    double w = rng->Uniform(0.5, 2.0);
+    for (std::size_t i = 0; i < nx; ++i) {
+      double zx = (double(i) - cx) / sx;
+      if (std::abs(zx) > 4.0) continue;
+      for (std::size_t j = 0; j < ny; ++j) {
+        double zy = (double(j) - cy) / sy;
+        if (std::abs(zy) > 4.0) continue;
+        d[i * ny + j] += w * std::exp(-0.5 * (zx * zx + zy * zy));
+      }
+    }
+  }
+  return DensityToCounts(std::move(d), scale, rng);
+}
+
+Table TableFromHistogram(const Vec& hist, const std::string& attr_name) {
+  Schema schema({{attr_name, hist.size()}});
+  Table t(schema);
+  for (std::size_t i = 0; i < hist.size(); ++i) {
+    const auto count = static_cast<std::size_t>(std::llround(hist[i]));
+    for (std::size_t c = 0; c < count; ++c)
+      t.AppendRow({static_cast<uint32_t>(i)});
+  }
+  return t;
+}
+
+Table MakeCensusLike(Rng* rng, std::size_t rows, std::size_t income_bins) {
+  Schema schema({{"income", income_bins},
+                 {"age", 5},
+                 {"marital", 7},
+                 {"race", 4},
+                 {"gender", 2}});
+  Table t(schema);
+  // Race skew roughly mirroring CPS frequencies.
+  const std::vector<double> race_w = {0.78, 0.11, 0.06, 0.05};
+  for (std::size_t r = 0; r < rows; ++r) {
+    uint32_t age = static_cast<uint32_t>(rng->Categorical(
+        {0.18, 0.28, 0.26, 0.18, 0.10}));
+    // Log-normal income with age-dependent location: older cohorts earn
+    // more on average (peaking mid-career), clipped to the binned range.
+    double mu = 10.2 + 0.25 * std::min<uint32_t>(age, 3);
+    double income = std::exp(rng->Normal(mu, 0.8));
+    double frac = std::min(income / 750000.0, 0.999999);
+    uint32_t inc_bin = static_cast<uint32_t>(frac * double(income_bins));
+    // Marital status correlated with age (young -> never married).
+    std::vector<double> marital_w(7, 0.05);
+    if (age == 0) {
+      marital_w = {0.70, 0.15, 0.03, 0.02, 0.02, 0.05, 0.03};
+    } else if (age <= 2) {
+      marital_w = {0.20, 0.55, 0.10, 0.05, 0.03, 0.04, 0.03};
+    } else {
+      marital_w = {0.08, 0.55, 0.12, 0.10, 0.08, 0.04, 0.03};
+    }
+    uint32_t marital = static_cast<uint32_t>(rng->Categorical(marital_w));
+    uint32_t race = static_cast<uint32_t>(rng->Categorical(race_w));
+    uint32_t gender = rng->Uniform() < 0.52 ? 0u : 1u;
+    t.AppendRow({inc_bin, age, marital, race, gender});
+  }
+  return t;
+}
+
+Table MakeCreditLike(Rng* rng, std::size_t rows) {
+  // Joint predictor domain 28 * 11 * 8 * 7 = 17,248 (paper Sec. 9.3).
+  Schema schema({{"default", 2},
+                 {"x3", 28},
+                 {"x4", 11},
+                 {"x5", 8},
+                 {"x6", 7}});
+  Table t(schema);
+  for (std::size_t r = 0; r < rows; ++r) {
+    uint32_t label = rng->Uniform() < 0.22 ? 1u : 0u;  // ~22% default rate
+    // Each predictor's distribution shifts with the label; shifts are mild
+    // so the Bayes-optimal AUC is realistic (~0.75, not 1.0).
+    auto draw = [&](std::size_t dom, double shift) -> uint32_t {
+      double center = (label ? 0.62 + shift : 0.42 - shift) * double(dom);
+      double v = rng->Normal(center, 0.28 * double(dom));
+      int64_t code = static_cast<int64_t>(std::llround(v));
+      code = std::clamp<int64_t>(code, 0, int64_t(dom) - 1);
+      return static_cast<uint32_t>(code);
+    };
+    t.AppendRow({label, draw(28, 0.05), draw(11, 0.02), draw(8, 0.04),
+                 draw(7, 0.0)});
+  }
+  return t;
+}
+
+}  // namespace ektelo

@@ -1,0 +1,68 @@
+// Synthetic dataset generators.
+//
+// The paper evaluates on DPBench's curated datasets (HEPTH, PATENT, SEARCH,
+// ADULT, ...), a March-2000 CPS Census extract, and the UCI Credit-Default
+// dataset — none of which ship with this repository.  Per DESIGN.md, each
+// is replaced by a generator that reproduces the *shape* properties the
+// data-dependent algorithms react to: scale (total count), sparsity,
+// uniform regions, spikes and heavy tails for the 1D/2D shapes; domain
+// geometry, skew and attribute correlation for the census- and credit-like
+// tables.
+#ifndef EKTELO_DATA_GENERATORS_H_
+#define EKTELO_DATA_GENERATORS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "data/table.h"
+#include "linalg/vec.h"
+#include "util/rng.h"
+
+namespace ektelo {
+
+/// The 1D histogram shape families spanned by the DPBench datasets.
+enum class Shape1D {
+  kUniform,        // flat (best case for Uniform)
+  kZipf,           // heavy power-law head (PATENT-like)
+  kGaussianMix,    // smooth multi-modal bumps (ADULT-like)
+  kSparseSpikes,   // mostly empty with tall spikes (SEARCH-like)
+  kStep,           // piecewise-constant regions (DAWA's sweet spot)
+  kBimodal,        // two broad modes
+  kExponentialDecay,
+  kPowerLawTail,   // HEPTH-like
+  kClustered,      // dense clusters over empty background
+  kRoughUniform,   // uniform with multiplicative noise (hard for partitions)
+};
+
+/// All ten shapes, for dataset sweeps (Table 4 uses 10 datasets).
+std::vector<Shape1D> AllShapes1D();
+std::string ShapeName(Shape1D s);
+
+/// A non-negative integer histogram of length n whose counts sum to ~scale.
+Vec MakeHistogram1D(Shape1D shape, std::size_t n, double scale, Rng* rng);
+
+/// 2D histogram (nx * ny, row-major) from a mixture of Gaussian blobs over
+/// a sparse background — the spatial data regime of UGrid/AGrid/QuadTree.
+Vec MakeHistogram2D(std::size_t nx, std::size_t ny, double scale, Rng* rng);
+
+/// Wrap a histogram as a single-attribute table (so kernel plans that start
+/// from a protected table can run on benchmark histograms).
+Table TableFromHistogram(const Vec& hist, const std::string& attr_name);
+
+/// CPS-census-like table (Sec. 9.2): 49,436 heads-of-household with
+/// schema {income:5000, age:5, marital:7, race:4, gender:2} (1.4M cells).
+/// Income is log-normal clipped to the 5000-bin range and correlated with
+/// age; marital status is correlated with age.
+Table MakeCensusLike(Rng* rng, std::size_t rows = 49436,
+                     std::size_t income_bins = 5000);
+
+/// Credit-default-like table (Sec. 9.3): `rows` records with a binary
+/// label "default" plus four predictors with domains {28, 11, 8, 7}
+/// (joint size 17,248 as in the paper).  Predictors carry label signal so
+/// a Naive-Bayes classifier reaches AUC well above chance.
+Table MakeCreditLike(Rng* rng, std::size_t rows = 30000);
+
+}  // namespace ektelo
+
+#endif  // EKTELO_DATA_GENERATORS_H_

@@ -1,0 +1,60 @@
+#include "data/schema.h"
+
+#include "util/check.h"
+
+namespace ektelo {
+
+Schema::Schema(std::vector<Attribute> attrs) : attrs_(std::move(attrs)) {
+  for (const auto& a : attrs_) EK_CHECK_GT(a.domain_size, 0u);
+}
+
+std::size_t Schema::AttrIndex(const std::string& name) const {
+  for (std::size_t i = 0; i < attrs_.size(); ++i)
+    if (attrs_[i].name == name) return i;
+  EK_CHECK(false && "unknown attribute");
+  return 0;
+}
+
+bool Schema::HasAttr(const std::string& name) const {
+  for (const auto& a : attrs_)
+    if (a.name == name) return true;
+  return false;
+}
+
+std::size_t Schema::TotalDomainSize() const {
+  std::size_t total = 1;
+  for (const auto& a : attrs_) {
+    EK_CHECK_LE(total, std::size_t{1} << 40);  // guard against overflow
+    total *= a.domain_size;
+  }
+  return total;
+}
+
+std::size_t Schema::FlattenIndex(const std::vector<uint32_t>& codes) const {
+  EK_CHECK_EQ(codes.size(), attrs_.size());
+  std::size_t idx = 0;
+  for (std::size_t i = 0; i < attrs_.size(); ++i) {
+    EK_CHECK_LT(codes[i], attrs_[i].domain_size);
+    idx = idx * attrs_[i].domain_size + codes[i];
+  }
+  return idx;
+}
+
+std::vector<uint32_t> Schema::UnflattenIndex(std::size_t cell) const {
+  std::vector<uint32_t> codes(attrs_.size());
+  for (std::size_t i = attrs_.size(); i-- > 0;) {
+    codes[i] = static_cast<uint32_t>(cell % attrs_[i].domain_size);
+    cell /= attrs_[i].domain_size;
+  }
+  EK_CHECK_EQ(cell, 0u);
+  return codes;
+}
+
+Schema Schema::Project(const std::vector<std::string>& names) const {
+  std::vector<Attribute> out;
+  out.reserve(names.size());
+  for (const auto& n : names) out.push_back(attrs_[AttrIndex(n)]);
+  return Schema(std::move(out));
+}
+
+}  // namespace ektelo

@@ -1,0 +1,52 @@
+// Discrete relational schema (paper Sec. 3): a single relation
+// T(A_1, ..., A_l) whose attributes are discrete (or discretized).  The
+// data vector x has one cell per element of the cross product of attribute
+// domains, laid out row-major with attribute 0 as the major axis — the same
+// convention the Kronecker operators use, so per-attribute query matrices
+// compose with MakeKronecker directly.
+#ifndef EKTELO_DATA_SCHEMA_H_
+#define EKTELO_DATA_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ektelo {
+
+struct Attribute {
+  std::string name;
+  /// Number of distinct values; codes are 0 .. domain_size-1.
+  std::size_t domain_size;
+};
+
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Attribute> attrs);
+
+  std::size_t num_attrs() const { return attrs_.size(); }
+  const Attribute& attr(std::size_t i) const { return attrs_[i]; }
+  const std::vector<Attribute>& attrs() const { return attrs_; }
+
+  /// Index of the attribute named `name`; aborts if absent.
+  std::size_t AttrIndex(const std::string& name) const;
+  bool HasAttr(const std::string& name) const;
+
+  /// Product of all attribute domain sizes (the size of the data vector).
+  std::size_t TotalDomainSize() const;
+
+  /// Row-major flattening of per-attribute codes into a cell index.
+  std::size_t FlattenIndex(const std::vector<uint32_t>& codes) const;
+  /// Inverse of FlattenIndex.
+  std::vector<uint32_t> UnflattenIndex(std::size_t cell) const;
+
+  /// Sub-schema on the named attributes (in the given order).
+  Schema Project(const std::vector<std::string>& names) const;
+
+ private:
+  std::vector<Attribute> attrs_;
+};
+
+}  // namespace ektelo
+
+#endif  // EKTELO_DATA_SCHEMA_H_

@@ -1,0 +1,83 @@
+// Columnar in-memory table with the PINQ-style transformations EKTELO's
+// protected kernel applies (Sec. 5.1): Where, Select, GroupBy,
+// SplitByPartition, and T-Vectorize.
+//
+// The table itself is a *private* object; plans never touch it directly.
+// These methods implement the transformation semantics; the kernel wraps
+// them with stability bookkeeping.
+#ifndef EKTELO_DATA_TABLE_H_
+#define EKTELO_DATA_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/schema.h"
+#include "linalg/vec.h"
+
+namespace ektelo {
+
+/// Comparison operator for declarative filter conditions.
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// A single condition "attr OP value" on coded attribute values.
+struct Condition {
+  std::string attr;
+  CmpOp op;
+  uint32_t value;
+
+  bool Eval(uint32_t code) const;
+};
+
+/// Conjunction of conditions (the condition formulas phi of Sec. 3,
+/// restricted to conjunctive range/equality predicates, which is what every
+/// plan in the paper uses).
+struct Predicate {
+  std::vector<Condition> conjuncts;
+
+  static Predicate True() { return Predicate{}; }
+  Predicate&& And(std::string attr, CmpOp op, uint32_t value) &&;
+};
+
+class Table {
+ public:
+  explicit Table(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+  std::size_t NumRows() const { return num_rows_; }
+
+  void AppendRow(const std::vector<uint32_t>& codes);
+  uint32_t At(std::size_t row, std::size_t attr) const {
+    return columns_[attr][row];
+  }
+
+  /// Rows satisfying the predicate (1-stable transformation).
+  Table Where(const Predicate& p) const;
+
+  /// Projection onto the named attributes (1-stable).
+  Table Select(const std::vector<std::string>& attrs) const;
+
+  /// One representative row per distinct key over `attrs` (2-stable, as in
+  /// PINQ: adding one input row can change at most two groups' contents).
+  Table GroupBy(const std::vector<std::string>& attrs) const;
+
+  /// Split rows by the value of `attr` (each row lands in exactly one
+  /// output; 1-stable per child under parallel composition).
+  std::vector<Table> SplitByPartition(const std::string& attr) const;
+
+  /// T-Vectorize (Sec. 5.1): count vector over the full domain product,
+  /// row-major with attribute 0 major.  1-stable.
+  Vec Vectorize() const;
+
+  /// Number of rows satisfying phi — the condition count phi(T) of Sec. 3.
+  std::size_t CountWhere(const Predicate& p) const;
+
+ private:
+  Schema schema_;
+  std::size_t num_rows_ = 0;
+  std::vector<std::vector<uint32_t>> columns_;  // [attr][row]
+};
+
+}  // namespace ektelo
+
+#endif  // EKTELO_DATA_TABLE_H_

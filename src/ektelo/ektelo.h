@@ -1,0 +1,59 @@
+// Umbrella header: the public API of ektelo-cpp.
+//
+// A minimal client program:
+//
+//   #include "ektelo/ektelo.h"
+//   using namespace ektelo;
+//
+//   Rng rng(7);
+//   Table t = MakeCensusLike(&rng);
+//   ProtectedKernel kernel(t, /*eps_total=*/1.0, /*seed=*/42);
+//   auto x = kernel.TVectorize(kernel.root());
+//   PlanContext ctx{.kernel = &kernel, .x = *x,
+//                   .dims = {t.schema().TotalDomainSize()},
+//                   .eps = 1.0, .rng = &rng};
+//   StatusOr<Vec> xhat = RunIdentityPlan(ctx);
+//
+// See examples/ for complete programs.
+#ifndef EKTELO_EKTELO_H_
+#define EKTELO_EKTELO_H_
+
+#include "classify/evaluation.h"
+#include "classify/naive_bayes.h"
+#include "classify/nb_plans.h"
+#include "data/csv.h"
+#include "data/generators.h"
+#include "data/schema.h"
+#include "data/table.h"
+#include "kernel/kernel.h"
+#include "linalg/csr.h"
+#include "linalg/dense.h"
+#include "linalg/haar.h"
+#include "linalg/vec.h"
+#include "matrix/combinators.h"
+#include "matrix/implicit_ops.h"
+#include "matrix/linop.h"
+#include "matrix/cg.h"
+#include "matrix/lsmr.h"
+#include "matrix/nnls.h"
+#include "matrix/partition.h"
+#include "ops/hdmm.h"
+#include "ops/hierarchy.h"
+#include "ops/inference.h"
+#include "ops/measurement.h"
+#include "ops/partition_select.h"
+#include "ops/privbayes.h"
+#include "ops/selection.h"
+#include "plans/case_studies.h"
+#include "plans/grid_plans.h"
+#include "plans/plan.h"
+#include "plans/plans.h"
+#include "plans/reduction_wrapper.h"
+#include "plans/striped_plans.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/timer.h"
+#include "workload/reduction.h"
+#include "workload/workloads.h"
+
+#endif  // EKTELO_EKTELO_H_

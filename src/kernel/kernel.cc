@@ -1,0 +1,304 @@
+#include "kernel/kernel.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace ektelo {
+
+namespace {
+// Relative slack for floating-point budget comparisons: a plan that spends
+// exactly eps_total in k pieces must not be rejected for rounding error.
+constexpr double kBudgetSlack = 1e-9;
+}  // namespace
+
+ProtectedKernel::ProtectedKernel(Table table, double eps_total, uint64_t seed)
+    : eps_total_(eps_total), rng_(seed) {
+  EK_CHECK_GT(eps_total, 0.0);
+  Node root;
+  root.is_table = true;
+  root.table = std::move(table);
+  root.stability = 1.0;
+  AddNode(std::move(root));
+}
+
+SourceId ProtectedKernel::AddNode(Node n) {
+  nodes_.push_back(std::move(n));
+  return nodes_.size() - 1;
+}
+
+bool ProtectedKernel::IsTableSource(SourceId id) const {
+  EK_CHECK_LT(id, nodes_.size());
+  return nodes_[id].is_table && !nodes_[id].is_partition_dummy;
+}
+
+bool ProtectedKernel::IsVectorSource(SourceId id) const {
+  EK_CHECK_LT(id, nodes_.size());
+  return !nodes_[id].is_table && !nodes_[id].is_partition_dummy;
+}
+
+const Schema& ProtectedKernel::SourceSchema(SourceId id) const {
+  EK_CHECK(IsTableSource(id));
+  return nodes_[id].table->schema();
+}
+
+std::size_t ProtectedKernel::VectorSize(SourceId id) const {
+  EK_CHECK(IsVectorSource(id));
+  return nodes_[id].vector.size();
+}
+
+double ProtectedKernel::SourceStability(SourceId id) const {
+  EK_CHECK_LT(id, nodes_.size());
+  return nodes_[id].stability;
+}
+
+Status ProtectedKernel::CheckVector(SourceId id) const {
+  if (id >= nodes_.size())
+    return Status::NotFound("unknown source id");
+  if (!IsVectorSource(id))
+    return Status::InvalidArgument("source is not a vector");
+  return Status::Ok();
+}
+
+Status ProtectedKernel::CheckTable(SourceId id) const {
+  if (id >= nodes_.size())
+    return Status::NotFound("unknown source id");
+  if (!IsTableSource(id))
+    return Status::InvalidArgument("source is not a table");
+  return Status::Ok();
+}
+
+// ----------------------------------------------------------- Algorithm 2
+
+Status ProtectedKernel::Request(SourceId sv, double eps) {
+  if (eps < 0.0) return Status::InvalidArgument("negative budget request");
+  // RequestImpl only mutates budgets after the root check has passed, so a
+  // failed request leaves all bookkeeping untouched.
+  return RequestImpl(sv, eps);
+}
+
+Status ProtectedKernel::RequestImpl(SourceId sv, double eps) {
+  Node& n = nodes_[sv];
+  if (!n.parent.has_value()) {
+    // Root: the only place budget can actually be refused.
+    if (n.budget + eps > eps_total_ * (1.0 + kBudgetSlack) + kBudgetSlack) {
+      return Status::BudgetExhausted(
+          "request of " + std::to_string(eps) + " exceeds remaining " +
+          std::to_string(eps_total_ - n.budget));
+    }
+    n.budget += eps;
+    return Status::Ok();
+  }
+  Node& p = nodes_[*n.parent];
+  if (p.is_partition_dummy) {
+    // Parallel composition: the partition variable absorbs only the
+    // *increase* of the max over its children (Algorithm 2, lines 4-8).
+    const double r = std::max(n.budget + eps - p.budget, 0.0);
+    EK_CHECK(p.parent.has_value());
+    Status st = RequestImpl(*p.parent, r * p.stability);
+    if (!st.ok()) return st;
+    p.budget += r;
+    n.budget += eps;
+    return Status::Ok();
+  }
+  // Sequential composition scaled by this source's stability (line 10).
+  Status st = RequestImpl(*n.parent, n.stability * eps);
+  if (!st.ok()) return st;
+  n.budget += eps;
+  return Status::Ok();
+}
+
+// ------------------------------------------------ table transformations
+
+StatusOr<SourceId> ProtectedKernel::TWhere(SourceId src, const Predicate& p) {
+  EK_RETURN_IF_ERROR(CheckTable(src));
+  Node n;
+  n.is_table = true;
+  n.parent = src;
+  n.stability = 1.0;
+  n.table = nodes_[src].table->Where(p);
+  return AddNode(std::move(n));
+}
+
+StatusOr<SourceId> ProtectedKernel::TSelect(
+    SourceId src, const std::vector<std::string>& attrs) {
+  EK_RETURN_IF_ERROR(CheckTable(src));
+  for (const auto& a : attrs) {
+    if (!nodes_[src].table->schema().HasAttr(a))
+      return Status::InvalidArgument("unknown attribute: " + a);
+  }
+  Node n;
+  n.is_table = true;
+  n.parent = src;
+  n.stability = 1.0;
+  n.table = nodes_[src].table->Select(attrs);
+  return AddNode(std::move(n));
+}
+
+StatusOr<SourceId> ProtectedKernel::TGroupBy(
+    SourceId src, const std::vector<std::string>& attrs) {
+  EK_RETURN_IF_ERROR(CheckTable(src));
+  Node n;
+  n.is_table = true;
+  n.parent = src;
+  n.stability = 2.0;  // PINQ: one record moves at most two groups
+  n.table = nodes_[src].table->GroupBy(attrs);
+  return AddNode(std::move(n));
+}
+
+StatusOr<SourceId> ProtectedKernel::TVectorize(SourceId src) {
+  EK_RETURN_IF_ERROR(CheckTable(src));
+  Node n;
+  n.is_table = false;
+  n.parent = src;
+  n.stability = 1.0;
+  n.vector = nodes_[src].table->Vectorize();
+  return AddNode(std::move(n));
+}
+
+// ----------------------------------------------- vector transformations
+
+StatusOr<SourceId> ProtectedKernel::VReduceByPartition(SourceId src,
+                                                       const Partition& p) {
+  EK_RETURN_IF_ERROR(CheckVector(src));
+  if (p.num_cells() != nodes_[src].vector.size())
+    return Status::InvalidArgument("partition size mismatch");
+  Node n;
+  n.is_table = false;
+  n.parent = src;
+  n.stability = 1.0;  // P is 0/1 with exactly one 1 per column
+  n.vector = p.ReduceMatrix().Matvec(nodes_[src].vector);
+  return AddNode(std::move(n));
+}
+
+StatusOr<SourceId> ProtectedKernel::VTransform(SourceId src, LinOpPtr m) {
+  EK_RETURN_IF_ERROR(CheckVector(src));
+  if (m->cols() != nodes_[src].vector.size())
+    return Status::InvalidArgument("transform shape mismatch");
+  Node n;
+  n.is_table = false;
+  n.parent = src;
+  n.stability = m->SensitivityL1();  // L1->L1 operator norm
+  n.vector = m->Apply(nodes_[src].vector);
+  return AddNode(std::move(n));
+}
+
+StatusOr<std::vector<SourceId>> ProtectedKernel::VSplitByPartition(
+    SourceId src, const Partition& p) {
+  EK_RETURN_IF_ERROR(CheckVector(src));
+  if (p.num_cells() != nodes_[src].vector.size())
+    return Status::InvalidArgument("partition size mismatch");
+  // The dummy partition variable of Sec. 4.4.
+  Node dummy;
+  dummy.is_table = false;
+  dummy.is_partition_dummy = true;
+  dummy.parent = src;
+  dummy.stability = 1.0;
+  SourceId dummy_id = AddNode(std::move(dummy));
+
+  // Copy: AddNode below may reallocate nodes_ and invalidate references.
+  const Vec x = nodes_[src].vector;
+  auto groups = p.Groups();
+  std::vector<SourceId> children;
+  children.reserve(groups.size());
+  for (const auto& cells : groups) {
+    Node child;
+    child.is_table = false;
+    child.parent = dummy_id;
+    child.stability = 1.0;
+    child.vector.reserve(cells.size());
+    for (std::size_t c : cells) child.vector.push_back(x[c]);
+    children.push_back(AddNode(std::move(child)));
+  }
+  return children;
+}
+
+// ------------------------------------------------------- measurements
+
+StatusOr<Vec> ProtectedKernel::VectorLaplace(SourceId src, const LinOp& m,
+                                             double eps) {
+  EK_RETURN_IF_ERROR(CheckVector(src));
+  if (eps <= 0.0) return Status::InvalidArgument("eps must be positive");
+  if (m.cols() != nodes_[src].vector.size())
+    return Status::InvalidArgument("measurement shape mismatch");
+  // Sensitivity is computed from the query matrix; Algorithm 2 applies the
+  // upstream transformation stabilities on top.
+  const double sens = m.SensitivityL1();
+  EK_RETURN_IF_ERROR(Request(src, eps));
+  Vec y = m.Apply(nodes_[src].vector);
+  const double scale = sens / eps;
+  if (scale > 0.0) {
+    for (double& v : y) v += rng_.Laplace(scale);
+  }
+  transcript_.push_back({src, "VectorLaplace[" + m.DebugName() + "]", eps,
+                         scale});
+  return y;
+}
+
+StatusOr<double> ProtectedKernel::NoisyCount(SourceId src, double eps) {
+  EK_RETURN_IF_ERROR(CheckTable(src));
+  if (eps <= 0.0) return Status::InvalidArgument("eps must be positive");
+  EK_RETURN_IF_ERROR(Request(src, eps));
+  double y = static_cast<double>(nodes_[src].table->NumRows()) +
+             rng_.Laplace(1.0 / eps);
+  transcript_.push_back({src, "NoisyCount", eps, 1.0 / eps});
+  return y;
+}
+
+StatusOr<std::size_t> ProtectedKernel::WorstApprox(SourceId src,
+                                                   const LinOp& workload,
+                                                   const Vec& xhat,
+                                                   double eps,
+                                                   double score_sensitivity) {
+  EK_RETURN_IF_ERROR(CheckVector(src));
+  if (eps <= 0.0) return Status::InvalidArgument("eps must be positive");
+  if (workload.cols() != nodes_[src].vector.size() ||
+      xhat.size() != nodes_[src].vector.size())
+    return Status::InvalidArgument("workload/estimate shape mismatch");
+  if (score_sensitivity <= 0.0)
+    return Status::InvalidArgument("score sensitivity must be positive");
+  EK_RETURN_IF_ERROR(Request(src, eps));
+  Vec truth = workload.Apply(nodes_[src].vector);
+  Vec approx = workload.Apply(xhat);
+  std::vector<double> scores(truth.size());
+  for (std::size_t i = 0; i < truth.size(); ++i)
+    scores[i] = std::abs(truth[i] - approx[i]) / score_sensitivity;
+  std::size_t pick = rng_.ExponentialMechanism(scores, eps);
+  transcript_.push_back({src, "WorstApprox", eps, 0.0});
+  return pick;
+}
+
+StatusOr<std::size_t> ProtectedKernel::ChooseByVectorScores(
+    SourceId src, const std::vector<std::function<double(const Vec&)>>& f,
+    double eps, double sensitivity) {
+  EK_RETURN_IF_ERROR(CheckVector(src));
+  if (eps <= 0.0 || sensitivity <= 0.0)
+    return Status::InvalidArgument("eps and sensitivity must be positive");
+  if (f.empty()) return Status::InvalidArgument("no candidates");
+  EK_RETURN_IF_ERROR(Request(src, eps));
+  std::vector<double> scores(f.size());
+  for (std::size_t i = 0; i < f.size(); ++i)
+    scores[i] = f[i](nodes_[src].vector) / sensitivity;
+  std::size_t pick = rng_.ExponentialMechanism(scores, eps);
+  transcript_.push_back({src, "ChooseByVectorScores", eps, 0.0});
+  return pick;
+}
+
+StatusOr<std::size_t> ProtectedKernel::ChooseByTableScores(
+    SourceId src, const std::vector<std::function<double(const Table&)>>& f,
+    double eps, double sensitivity) {
+  EK_RETURN_IF_ERROR(CheckTable(src));
+  if (eps <= 0.0 || sensitivity <= 0.0)
+    return Status::InvalidArgument("eps and sensitivity must be positive");
+  if (f.empty()) return Status::InvalidArgument("no candidates");
+  EK_RETURN_IF_ERROR(Request(src, eps));
+  std::vector<double> scores(f.size());
+  for (std::size_t i = 0; i < f.size(); ++i)
+    scores[i] = f[i](*nodes_[src].table) / sensitivity;
+  std::size_t pick = rng_.ExponentialMechanism(scores, eps);
+  transcript_.push_back({src, "ChooseByTableScores", eps, 0.0});
+  return pick;
+}
+
+}  // namespace ektelo

@@ -1,0 +1,142 @@
+// The protected kernel (paper Sec. 4): the only component that touches
+// private data.
+//
+// The kernel is initialized with a single protected table and a global
+// privacy budget eps_total.  Plans run in untrusted client space and
+// interact with the kernel exclusively through:
+//
+//   * Private operators (transformations): the kernel derives a new data
+//     source, records its stability w.r.t. its parent in the
+//     transformation graph, and returns only an opaque SourceId.
+//   * Private->Public operators (measurements): the kernel charges the
+//     request through the budget tracker (Algorithm 2) — which implements
+//     sequential composition along transformation chains and parallel
+//     composition across the children of a partition — and only then
+//     returns a noisy answer.
+//
+// Budget exhaustion returns Status::kBudgetExhausted; the decision is a
+// deterministic function of public bookkeeping state, so the failure path
+// leaks nothing about the data (Sec. 4.3).
+#ifndef EKTELO_KERNEL_KERNEL_H_
+#define EKTELO_KERNEL_KERNEL_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/table.h"
+#include "matrix/linop.h"
+#include "matrix/partition.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace ektelo {
+
+using SourceId = std::size_t;
+
+class ProtectedKernel {
+ public:
+  /// Init(T, eps_tot): wraps the protected table as the root source.
+  ProtectedKernel(Table table, double eps_total, uint64_t seed);
+
+  SourceId root() const { return 0; }
+  double eps_total() const { return eps_total_; }
+  /// Budget consumed at the root so far (public bookkeeping).
+  double BudgetConsumed() const { return nodes_[0].budget; }
+  double BudgetRemaining() const { return eps_total_ - nodes_[0].budget; }
+
+  // ---- Public metadata (data-independent, safe to expose) ----
+  bool IsTableSource(SourceId id) const;
+  bool IsVectorSource(SourceId id) const;
+  /// Schema of a table source (domains are public).
+  const Schema& SourceSchema(SourceId id) const;
+  /// Length of a vector source (derived from public domain metadata).
+  std::size_t VectorSize(SourceId id) const;
+  /// Stability of `id`'s transformation w.r.t. its parent.
+  double SourceStability(SourceId id) const;
+
+  // ---- Private operators: table transformations (Sec. 5.1) ----
+  StatusOr<SourceId> TWhere(SourceId src, const Predicate& p);
+  StatusOr<SourceId> TSelect(SourceId src,
+                             const std::vector<std::string>& attrs);
+  StatusOr<SourceId> TGroupBy(SourceId src,
+                              const std::vector<std::string>& attrs);
+  /// T-Vectorize: table -> count vector over the full domain.
+  StatusOr<SourceId> TVectorize(SourceId src);
+
+  // ---- Private operators: vector transformations ----
+  /// x' = P x (1-stable; P has one 1 per column).
+  StatusOr<SourceId> VReduceByPartition(SourceId src, const Partition& p);
+  /// General linear transform x' = M x; stability = max L1 column norm.
+  StatusOr<SourceId> VTransform(SourceId src, LinOpPtr m);
+  /// Split into one child per partition group.  Introduces the dummy
+  /// partition variable of Sec. 4.4, so budget composes in parallel
+  /// across children.  Children are returned in group order.
+  StatusOr<std::vector<SourceId>> VSplitByPartition(SourceId src,
+                                                    const Partition& p);
+
+  // ---- Private->Public operators: measurement (Sec. 5.2) ----
+  /// Vector Laplace: returns M x + (sens(M)/eps) * Lap(1)^m, charging eps
+  /// through Algorithm 2 (which applies upstream stabilities).
+  StatusOr<Vec> VectorLaplace(SourceId src, const LinOp& m, double eps);
+  /// |D| + Lap(1/eps) on a table source.
+  StatusOr<double> NoisyCount(SourceId src, double eps);
+  /// Exponential mechanism: index of the workload row with (noisily) the
+  /// largest absolute error |w_i x - w_i xhat| (MWEM's query selection).
+  /// score_sensitivity must bound the per-row score sensitivity (1 for
+  /// 0/1 workloads).
+  StatusOr<std::size_t> WorstApprox(SourceId src, const LinOp& workload,
+                                    const Vec& xhat, double eps,
+                                    double score_sensitivity = 1.0);
+  /// Generic exponential mechanism over scores of the private vector.
+  StatusOr<std::size_t> ChooseByVectorScores(
+      SourceId src, const std::vector<std::function<double(const Vec&)>>& f,
+      double eps, double sensitivity);
+  /// Generic exponential mechanism over scores of a private table (used by
+  /// PrivBayes' mutual-information structure selection).
+  StatusOr<std::size_t> ChooseByTableScores(
+      SourceId src, const std::vector<std::function<double(const Table&)>>& f,
+      double eps, double sensitivity);
+
+  // ---- Transcript (public; for tests and transparency) ----
+  struct TranscriptEntry {
+    SourceId source;
+    std::string op;
+    double eps;
+    double noise_scale;
+  };
+  const std::vector<TranscriptEntry>& transcript() const {
+    return transcript_;
+  }
+
+ private:
+  struct Node {
+    bool is_table = false;
+    bool is_partition_dummy = false;
+    std::optional<SourceId> parent;
+    double stability = 1.0;  // w.r.t. parent
+    double budget = 0.0;     // B(sv)
+    std::optional<Table> table;
+    Vec vector;
+  };
+
+  /// Algorithm 2.  Charges eps at `sv` and propagates to the root,
+  /// multiplying by stabilities and taking the max across partition
+  /// children.  Atomic: on failure no budget state changes.
+  Status Request(SourceId sv, double eps);
+  Status RequestImpl(SourceId sv, double eps);
+
+  SourceId AddNode(Node n);
+  Status CheckVector(SourceId id) const;
+  Status CheckTable(SourceId id) const;
+
+  double eps_total_;
+  Rng rng_;
+  std::vector<Node> nodes_;
+  std::vector<TranscriptEntry> transcript_;
+};
+
+}  // namespace ektelo
+
+#endif  // EKTELO_KERNEL_KERNEL_H_

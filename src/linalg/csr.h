@@ -1,0 +1,81 @@
+// Compressed-sparse-row matrix.
+//
+// EKTELO's "sparse" representation (Sec. 7.2): partition matrices, range
+// query strategies and measurement unions are naturally sparse; this class
+// provides the primitive methods (mat-vec, transposed mat-vec, transpose,
+// mat-mat, abs/sqr, sensitivity) on CSR storage.
+#ifndef EKTELO_LINALG_CSR_H_
+#define EKTELO_LINALG_CSR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "linalg/dense.h"
+#include "linalg/vec.h"
+
+namespace ektelo {
+
+struct Triplet {
+  std::size_t row;
+  std::size_t col;
+  double value;
+};
+
+class CsrMatrix {
+ public:
+  CsrMatrix() : rows_(0), cols_(0), indptr_{0} {}
+  CsrMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), indptr_(rows + 1, 0) {}
+
+  /// Build from (row, col, value) triplets; duplicates are summed.
+  static CsrMatrix FromTriplets(std::size_t rows, std::size_t cols,
+                                std::vector<Triplet> triplets);
+
+  static CsrMatrix Identity(std::size_t n);
+  static CsrMatrix FromDense(const DenseMatrix& d, double drop_tol = 0.0);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nnz() const { return values_.size(); }
+
+  const std::vector<std::size_t>& indptr() const { return indptr_; }
+  const std::vector<std::size_t>& indices() const { return indices_; }
+  const std::vector<double>& values() const { return values_; }
+  std::vector<double>& values() { return values_; }
+
+  Vec Matvec(const Vec& x) const;
+  void Matvec(const double* x, double* y) const;
+  Vec RmatVec(const Vec& x) const;
+  void RmatVec(const double* x, double* y) const;
+
+  CsrMatrix Transpose() const;
+  CsrMatrix Matmul(const CsrMatrix& other) const;
+
+  /// Kronecker product (this ⊗ other); nnz = nnz(this) * nnz(other).
+  CsrMatrix Kronecker(const CsrMatrix& other) const;
+
+  /// Stack other below this (column counts must match).
+  CsrMatrix VStack(const CsrMatrix& other) const;
+
+  CsrMatrix Abs() const;
+  CsrMatrix Sqr() const;
+
+  /// Scale row i by w[i].
+  CsrMatrix ScaleRows(const Vec& w) const;
+
+  double MaxColNormL1() const;
+  double MaxColNormL2() const;
+
+  DenseMatrix ToDense() const;
+
+ private:
+  std::size_t rows_, cols_;
+  std::vector<std::size_t> indptr_;
+  std::vector<std::size_t> indices_;
+  std::vector<double> values_;
+};
+
+}  // namespace ektelo
+
+#endif  // EKTELO_LINALG_CSR_H_

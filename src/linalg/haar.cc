@@ -1,0 +1,93 @@
+#include "linalg/haar.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ektelo {
+
+bool IsPowerOfTwo(std::size_t n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+std::size_t NextPowerOfTwo(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+namespace {
+std::size_t Log2(std::size_t n) {
+  std::size_t k = 0;
+  while ((std::size_t{1} << k) < n) ++k;
+  return k;
+}
+}  // namespace
+
+void HaarAnalysis(const double* x, double* y, std::size_t n) {
+  EK_CHECK(IsPowerOfTwo(n));
+  const std::size_t k = Log2(n);
+  // sums holds block sums for the current level, refined top-down.
+  std::vector<double> sums(x, x + n);
+  // Collapse to block sums level by level, recording differences.
+  // Level j has 2^j blocks of size n/2^j; we build from the finest level up.
+  // sums_at_level[j][b] = sum of block b at level j.  We compute the finest
+  // level (j = k: singleton blocks) and fold upward.
+  std::vector<double> cur(sums);  // level k (size n)
+  std::vector<double> nxt;
+  for (std::size_t j = k; j-- > 0;) {
+    const std::size_t blocks = std::size_t{1} << j;
+    nxt.assign(blocks, 0.0);
+    for (std::size_t b = 0; b < blocks; ++b) {
+      const double left = cur[2 * b];
+      const double right = cur[2 * b + 1];
+      nxt[b] = left + right;
+      y[blocks + b] = left - right;  // row index 2^j + b
+    }
+    cur.swap(nxt);
+  }
+  y[0] = cur[0];  // total
+  if (n == 1) y[0] = x[0];
+}
+
+void HaarSynthesis(const double* x, double* y, std::size_t n) {
+  EK_CHECK(IsPowerOfTwo(n));
+  const std::size_t k = Log2(n);
+  // Start from the root contribution and push signs down level by level.
+  // value[b] at level j accumulates the contribution of all rows covering
+  // block b.
+  std::vector<double> cur(1, x[0]);
+  std::vector<double> nxt;
+  for (std::size_t j = 0; j < k; ++j) {
+    const std::size_t blocks = std::size_t{1} << j;
+    nxt.assign(blocks * 2, 0.0);
+    for (std::size_t b = 0; b < blocks; ++b) {
+      const double c = x[blocks + b];
+      nxt[2 * b] = cur[b] + c;
+      nxt[2 * b + 1] = cur[b] - c;
+    }
+    cur.swap(nxt);
+  }
+  std::copy(cur.begin(), cur.end(), y);
+}
+
+CsrMatrix HaarMatrixSparse(std::size_t n) {
+  EK_CHECK(IsPowerOfTwo(n));
+  const std::size_t k = Log2(n);
+  std::vector<Triplet> t;
+  t.reserve(n * (k + 1));
+  for (std::size_t j = 0; j < n; ++j) t.push_back({0, j, 1.0});
+  for (std::size_t lev = 0; lev < k; ++lev) {
+    const std::size_t blocks = std::size_t{1} << lev;
+    const std::size_t block_size = n / blocks;
+    for (std::size_t b = 0; b < blocks; ++b) {
+      const std::size_t row = blocks + b;
+      const std::size_t start = b * block_size;
+      for (std::size_t j = 0; j < block_size / 2; ++j)
+        t.push_back({row, start + j, 1.0});
+      for (std::size_t j = block_size / 2; j < block_size; ++j)
+        t.push_back({row, start + j, -1.0});
+    }
+  }
+  return CsrMatrix::FromTriplets(n, n, std::move(t));
+}
+
+}  // namespace ektelo

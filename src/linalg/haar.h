@@ -1,0 +1,40 @@
+// Haar wavelet analysis/synthesis used by the Privelet plan (Xiao et al.,
+// ICDE 2010) and by the implicit Wavelet core matrix (paper Table 2).
+//
+// For n = 2^k, the (unnormalized) Haar analysis matrix H has
+//   row 0:                 all ones (the total),
+//   level j = 0..k-1:      2^j rows; row (2^j + b) is +1 over the left half
+//                          and -1 over the right half of block b of size
+//                          n / 2^j.
+// Every column contains the total row plus exactly one ±1 per level, so the
+// L1 column norm (Laplace sensitivity) is 1 + log2(n) — the logarithmic
+// sensitivity that makes Privelet work.  Both H x and H^T x are computed in
+// O(n log n) without materializing H.
+#ifndef EKTELO_LINALG_HAAR_H_
+#define EKTELO_LINALG_HAAR_H_
+
+#include <cstddef>
+
+#include "linalg/csr.h"
+#include "linalg/vec.h"
+
+namespace ektelo {
+
+/// True iff n is a power of two (n >= 1).
+bool IsPowerOfTwo(std::size_t n);
+
+/// Round n up to the next power of two.
+std::size_t NextPowerOfTwo(std::size_t n);
+
+/// y = H x (analysis).  x has length n = 2^k; y has length n.
+void HaarAnalysis(const double* x, double* y, std::size_t n);
+
+/// y = H^T x (synthesis / transposed analysis).
+void HaarSynthesis(const double* x, double* y, std::size_t n);
+
+/// Materialized Haar matrix in CSR form (O(n log n) nonzeros).
+CsrMatrix HaarMatrixSparse(std::size_t n);
+
+}  // namespace ektelo
+
+#endif  // EKTELO_LINALG_HAAR_H_

@@ -1,0 +1,87 @@
+// Small dense-vector kernels used across the library.
+//
+// EKTELO data vectors are plain std::vector<double>; these free functions
+// keep call sites readable and centralize the few numerical loops.
+#ifndef EKTELO_LINALG_VEC_H_
+#define EKTELO_LINALG_VEC_H_
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "util/check.h"
+
+namespace ektelo {
+
+using Vec = std::vector<double>;
+
+inline double Dot(const Vec& a, const Vec& b) {
+  EK_CHECK_EQ(a.size(), b.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+inline double Norm2(const Vec& a) { return std::sqrt(Dot(a, a)); }
+
+inline double Norm1(const Vec& a) {
+  double s = 0.0;
+  for (double v : a) s += std::abs(v);
+  return s;
+}
+
+inline double Sum(const Vec& a) {
+  double s = 0.0;
+  for (double v : a) s += v;
+  return s;
+}
+
+inline double MaxAbs(const Vec& a) {
+  double m = 0.0;
+  for (double v : a) m = std::max(m, std::abs(v));
+  return m;
+}
+
+/// y += alpha * x
+inline void Axpy(double alpha, const Vec& x, Vec* y) {
+  EK_CHECK_EQ(x.size(), y->size());
+  for (std::size_t i = 0; i < x.size(); ++i) (*y)[i] += alpha * x[i];
+}
+
+inline void Scale(double alpha, Vec* x) {
+  for (double& v : *x) v *= alpha;
+}
+
+inline Vec Sub(const Vec& a, const Vec& b) {
+  EK_CHECK_EQ(a.size(), b.size());
+  Vec r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) r[i] = a[i] - b[i];
+  return r;
+}
+
+inline Vec Add(const Vec& a, const Vec& b) {
+  EK_CHECK_EQ(a.size(), b.size());
+  Vec r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) r[i] = a[i] + b[i];
+  return r;
+}
+
+inline Vec Ones(std::size_t n) { return Vec(n, 1.0); }
+inline Vec Zeros(std::size_t n) { return Vec(n, 0.0); }
+
+/// Root-mean-square difference, the per-entry L2 discrepancy used by the
+/// evaluation's "scaled per-query L2 error" metric.
+inline double Rmse(const Vec& a, const Vec& b) {
+  EK_CHECK_EQ(a.size(), b.size());
+  EK_CHECK(!a.empty());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    s += d * d;
+  }
+  return std::sqrt(s / static_cast<double>(a.size()));
+}
+
+}  // namespace ektelo
+
+#endif  // EKTELO_LINALG_VEC_H_

@@ -1,0 +1,52 @@
+#include "matrix/cg.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace ektelo {
+
+CgResult CgLeastSquares(const LinOp& a, const Vec& b, const CgOptions& opts) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  EK_CHECK_EQ(b.size(), m);
+  const std::size_t max_iters =
+      opts.max_iters > 0 ? opts.max_iters
+                         : std::max<std::size_t>(4 * std::min(m, n), 100);
+
+  CgResult result;
+  result.x.assign(n, 0.0);
+
+  // r = A^T b - A^T A x = A^T b at x = 0.
+  Vec r = a.ApplyT(b);
+  Vec p = r;
+  double rs = Dot(r, r);
+  const double rs0 = rs;
+  if (rs0 == 0.0) return result;
+
+  Vec ap(n);
+  for (std::size_t it = 0; it < max_iters; ++it) {
+    // ap = A^T A p
+    Vec tmp = a.Apply(p);
+    ap = a.ApplyT(tmp);
+    const double p_ap = Dot(p, ap);
+    if (p_ap <= 0.0) break;  // numerical breakdown / null-space direction
+    const double alpha = rs / p_ap;
+    Axpy(alpha, p, &result.x);
+    Axpy(-alpha, ap, &r);
+    const double rs_new = Dot(r, r);
+    result.iterations = it + 1;
+    if (std::sqrt(rs_new) <= opts.tol * std::sqrt(rs0)) {
+      rs = rs_new;
+      break;
+    }
+    const double beta = rs_new / rs;
+    for (std::size_t j = 0; j < n; ++j) p[j] = r[j] + beta * p[j];
+    rs = rs_new;
+  }
+  result.normal_residual_norm = std::sqrt(rs);
+  return result;
+}
+
+}  // namespace ektelo

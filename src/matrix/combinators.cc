@@ -1,0 +1,286 @@
+#include "matrix/combinators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace ektelo {
+
+// -------------------------------------------------------------- Transpose
+
+TransposeOp::TransposeOp(LinOpPtr child)
+    : LinOp(child->cols(), child->rows()), child_(std::move(child)) {
+  set_nonneg_binary(child_->is_nonneg_binary());
+}
+
+void TransposeOp::ApplyRaw(const double* x, double* y) const {
+  child_->ApplyTRaw(x, y);
+}
+void TransposeOp::ApplyTRaw(const double* x, double* y) const {
+  child_->ApplyRaw(x, y);
+}
+
+LinOpPtr TransposeOp::Abs() const {
+  if (is_nonneg_binary()) return shared_from_this();
+  return MakeTranspose(child_->Abs());
+}
+LinOpPtr TransposeOp::Sqr() const {
+  if (is_nonneg_binary()) return shared_from_this();
+  return MakeTranspose(child_->Sqr());
+}
+
+CsrMatrix TransposeOp::MaterializeSparse() const {
+  return child_->MaterializeSparse().Transpose();
+}
+
+std::string TransposeOp::DebugName() const {
+  return "Transpose(" + child_->DebugName() + ")";
+}
+
+// ------------------------------------------------------------------ Union
+
+namespace {
+std::size_t SumRows(const std::vector<LinOpPtr>& cs) {
+  std::size_t r = 0;
+  for (const auto& c : cs) r += c->rows();
+  return r;
+}
+}  // namespace
+
+VStackOp::VStackOp(std::vector<LinOpPtr> children)
+    : LinOp(SumRows(children), children.empty() ? 0 : children[0]->cols()),
+      children_(std::move(children)) {
+  EK_CHECK(!children_.empty());
+  bool binary = true;
+  for (const auto& c : children_) {
+    EK_CHECK_EQ(c->cols(), cols());
+    binary = binary && c->is_nonneg_binary();
+  }
+  set_nonneg_binary(binary);
+}
+
+void VStackOp::ApplyRaw(const double* x, double* y) const {
+  std::size_t off = 0;
+  for (const auto& c : children_) {
+    c->ApplyRaw(x, y + off);
+    off += c->rows();
+  }
+}
+
+void VStackOp::ApplyTRaw(const double* x, double* y) const {
+  std::fill(y, y + cols(), 0.0);
+  Vec tmp(cols());
+  std::size_t off = 0;
+  for (const auto& c : children_) {
+    c->ApplyTRaw(x + off, tmp.data());
+    for (std::size_t j = 0; j < cols(); ++j) y[j] += tmp[j];
+    off += c->rows();
+  }
+}
+
+LinOpPtr VStackOp::Abs() const {
+  if (is_nonneg_binary()) return shared_from_this();
+  std::vector<LinOpPtr> abs_children;
+  abs_children.reserve(children_.size());
+  for (const auto& c : children_) abs_children.push_back(c->Abs());
+  return MakeVStack(std::move(abs_children));
+}
+
+LinOpPtr VStackOp::Sqr() const {
+  if (is_nonneg_binary()) return shared_from_this();
+  std::vector<LinOpPtr> sqr_children;
+  sqr_children.reserve(children_.size());
+  for (const auto& c : children_) sqr_children.push_back(c->Sqr());
+  return MakeVStack(std::move(sqr_children));
+}
+
+CsrMatrix VStackOp::MaterializeSparse() const {
+  CsrMatrix m = children_[0]->MaterializeSparse();
+  for (std::size_t i = 1; i < children_.size(); ++i)
+    m = m.VStack(children_[i]->MaterializeSparse());
+  return m;
+}
+
+std::string VStackOp::DebugName() const {
+  std::string s = "Union(";
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    if (i) s += ",";
+    s += children_[i]->DebugName();
+  }
+  return s + ")";
+}
+
+// ---------------------------------------------------------------- Product
+
+ProductOp::ProductOp(LinOpPtr a, LinOpPtr b, bool binary_hint)
+    : LinOp(a->rows(), b->cols()), a_(std::move(a)), b_(std::move(b)) {
+  EK_CHECK_EQ(a_->cols(), b_->rows());
+  set_nonneg_binary(binary_hint);
+}
+
+void ProductOp::ApplyRaw(const double* x, double* y) const {
+  Vec tmp(b_->rows());
+  b_->ApplyRaw(x, tmp.data());
+  a_->ApplyRaw(tmp.data(), y);
+}
+
+void ProductOp::ApplyTRaw(const double* x, double* y) const {
+  Vec tmp(a_->cols());
+  a_->ApplyTRaw(x, tmp.data());
+  b_->ApplyTRaw(tmp.data(), y);
+}
+
+CsrMatrix ProductOp::MaterializeSparse() const {
+  return a_->MaterializeSparse().Matmul(b_->MaterializeSparse());
+}
+
+std::string ProductOp::DebugName() const {
+  return "Product(" + a_->DebugName() + "," + b_->DebugName() + ")";
+}
+
+// -------------------------------------------------------------- Kronecker
+
+KroneckerOp::KroneckerOp(LinOpPtr a, LinOpPtr b)
+    : LinOp(a->rows() * b->rows(), a->cols() * b->cols()),
+      a_(std::move(a)),
+      b_(std::move(b)) {
+  set_nonneg_binary(a_->is_nonneg_binary() && b_->is_nonneg_binary());
+}
+
+void KroneckerOp::ApplyRaw(const double* x, double* y) const {
+  const std::size_t na = a_->cols(), nb = b_->cols();
+  const std::size_t ma = a_->rows(), mb = b_->rows();
+  // Stage 1: Z[ja, :] = B * x[ja*nb .. ja*nb+nb) for each ja: Z is na x mb.
+  Vec z(na * mb);
+  for (std::size_t ja = 0; ja < na; ++ja)
+    b_->ApplyRaw(x + ja * nb, z.data() + ja * mb);
+  // Stage 2: for each output column c: y[:, c] = A * Z[:, c].
+  Vec col(na), out(ma);
+  for (std::size_t c = 0; c < mb; ++c) {
+    for (std::size_t ja = 0; ja < na; ++ja) col[ja] = z[ja * mb + c];
+    a_->ApplyRaw(col.data(), out.data());
+    for (std::size_t ia = 0; ia < ma; ++ia) y[ia * mb + c] = out[ia];
+  }
+}
+
+void KroneckerOp::ApplyTRaw(const double* x, double* y) const {
+  const std::size_t na = a_->cols(), nb = b_->cols();
+  const std::size_t ma = a_->rows(), mb = b_->rows();
+  // x is (ma*mb); y is (na*nb).  Z[ia, :] = B^T x[ia*mb ..): Z is ma x nb.
+  Vec z(ma * nb);
+  for (std::size_t ia = 0; ia < ma; ++ia)
+    b_->ApplyTRaw(x + ia * mb, z.data() + ia * nb);
+  Vec col(ma), out(na);
+  for (std::size_t c = 0; c < nb; ++c) {
+    for (std::size_t ia = 0; ia < ma; ++ia) col[ia] = z[ia * nb + c];
+    a_->ApplyTRaw(col.data(), out.data());
+    for (std::size_t ja = 0; ja < na; ++ja) y[ja * nb + c] = out[ja];
+  }
+}
+
+LinOpPtr KroneckerOp::Abs() const {
+  if (is_nonneg_binary()) return shared_from_this();
+  // |A ⊗ B| = |A| ⊗ |B|.
+  return MakeKronecker(a_->Abs(), b_->Abs());
+}
+
+LinOpPtr KroneckerOp::Sqr() const {
+  if (is_nonneg_binary()) return shared_from_this();
+  return MakeKronecker(a_->Sqr(), b_->Sqr());
+}
+
+CsrMatrix KroneckerOp::MaterializeSparse() const {
+  return a_->MaterializeSparse().Kronecker(b_->MaterializeSparse());
+}
+
+double KroneckerOp::SensitivityL1() const {
+  // Column norms of a Kronecker product factorize.
+  return a_->SensitivityL1() * b_->SensitivityL1();
+}
+
+double KroneckerOp::SensitivityL2() const {
+  return a_->SensitivityL2() * b_->SensitivityL2();
+}
+
+std::string KroneckerOp::DebugName() const {
+  return "Kron(" + a_->DebugName() + "," + b_->DebugName() + ")";
+}
+
+// -------------------------------------------------------------- RowWeight
+
+RowWeightOp::RowWeightOp(LinOpPtr child, Vec weights)
+    : LinOp(child->rows(), child->cols()),
+      child_(std::move(child)),
+      w_(std::move(weights)) {
+  EK_CHECK_EQ(w_.size(), rows());
+}
+
+void RowWeightOp::ApplyRaw(const double* x, double* y) const {
+  child_->ApplyRaw(x, y);
+  for (std::size_t i = 0; i < rows(); ++i) y[i] *= w_[i];
+}
+
+void RowWeightOp::ApplyTRaw(const double* x, double* y) const {
+  Vec scaled(rows());
+  for (std::size_t i = 0; i < rows(); ++i) scaled[i] = x[i] * w_[i];
+  child_->ApplyTRaw(scaled.data(), y);
+}
+
+LinOpPtr RowWeightOp::Abs() const {
+  Vec aw(w_.size());
+  for (std::size_t i = 0; i < w_.size(); ++i) aw[i] = std::abs(w_[i]);
+  return MakeRowWeight(child_->Abs(), std::move(aw));
+}
+
+LinOpPtr RowWeightOp::Sqr() const {
+  Vec sw(w_.size());
+  for (std::size_t i = 0; i < w_.size(); ++i) sw[i] = w_[i] * w_[i];
+  return MakeRowWeight(child_->Sqr(), std::move(sw));
+}
+
+CsrMatrix RowWeightOp::MaterializeSparse() const {
+  return child_->MaterializeSparse().ScaleRows(w_);
+}
+
+std::string RowWeightOp::DebugName() const {
+  return "RowWeight(" + child_->DebugName() + ")";
+}
+
+// -------------------------------------------------------------- factories
+
+LinOpPtr MakeTranspose(LinOpPtr a) {
+  return std::make_shared<TransposeOp>(std::move(a));
+}
+
+LinOpPtr MakeVStack(std::vector<LinOpPtr> children) {
+  if (children.size() == 1) return children[0];
+  return std::make_shared<VStackOp>(std::move(children));
+}
+
+LinOpPtr MakeProduct(LinOpPtr a, LinOpPtr b, bool binary_hint) {
+  return std::make_shared<ProductOp>(std::move(a), std::move(b), binary_hint);
+}
+
+LinOpPtr MakeKronecker(LinOpPtr a, LinOpPtr b) {
+  return std::make_shared<KroneckerOp>(std::move(a), std::move(b));
+}
+
+LinOpPtr MakeKronecker(std::vector<LinOpPtr> factors) {
+  EK_CHECK(!factors.empty());
+  LinOpPtr acc = factors.back();
+  for (std::size_t i = factors.size() - 1; i-- > 0;)
+    acc = MakeKronecker(factors[i], acc);
+  return acc;
+}
+
+LinOpPtr MakeRowWeight(LinOpPtr child, Vec weights) {
+  return std::make_shared<RowWeightOp>(std::move(child), std::move(weights));
+}
+
+LinOpPtr MakeScaled(LinOpPtr child, double c) {
+  Vec w(child->rows(), c);
+  return MakeRowWeight(std::move(child), std::move(w));
+}
+
+}  // namespace ektelo

@@ -1,0 +1,109 @@
+// Combining operations over implicit matrices (paper Sec. 7.4):
+// Union (vertical stack), Product, Kronecker product, plus transpose views
+// and row scaling (used for weighted strategies and noise-aware inference).
+// Composed operators delegate the primitive methods to their children and
+// inherit their complexity (Table 3).
+#ifndef EKTELO_MATRIX_COMBINATORS_H_
+#define EKTELO_MATRIX_COMBINATORS_H_
+
+#include <vector>
+
+#include "matrix/linop.h"
+
+namespace ektelo {
+
+/// Lazy transpose view: Apply/ApplyT swapped.
+class TransposeOp final : public LinOp {
+ public:
+  explicit TransposeOp(LinOpPtr child);
+  void ApplyRaw(const double* x, double* y) const override;
+  void ApplyTRaw(const double* x, double* y) const override;
+  LinOpPtr Abs() const override;
+  LinOpPtr Sqr() const override;
+  CsrMatrix MaterializeSparse() const override;
+  std::string DebugName() const override;
+
+ private:
+  LinOpPtr child_;
+};
+
+/// Union of query sets: children stacked vertically (same column count).
+class VStackOp final : public LinOp {
+ public:
+  explicit VStackOp(std::vector<LinOpPtr> children);
+  void ApplyRaw(const double* x, double* y) const override;
+  void ApplyTRaw(const double* x, double* y) const override;
+  LinOpPtr Abs() const override;
+  LinOpPtr Sqr() const override;
+  CsrMatrix MaterializeSparse() const override;
+  std::string DebugName() const override;
+  const std::vector<LinOpPtr>& children() const { return children_; }
+
+ private:
+  std::vector<LinOpPtr> children_;
+};
+
+/// Matrix product A * B as an operator (Apply = A(B(x))).
+/// Abs()/Sqr() are not distributive over products, so unless the product is
+/// known binary they materialize (paper Sec. 7.5 notes the binary shortcut).
+class ProductOp final : public LinOp {
+ public:
+  ProductOp(LinOpPtr a, LinOpPtr b, bool binary_hint = false);
+  void ApplyRaw(const double* x, double* y) const override;
+  void ApplyTRaw(const double* x, double* y) const override;
+  CsrMatrix MaterializeSparse() const override;
+  std::string DebugName() const override;
+
+ private:
+  LinOpPtr a_, b_;
+};
+
+/// Kronecker product A ⊗ B.  Mat-vec costs nB*Time(A) + nA*Time(B)
+/// (Table 3) using the vec-trick: (A ⊗ B)x = vec(A X B^T) with X = mat(x).
+class KroneckerOp final : public LinOp {
+ public:
+  KroneckerOp(LinOpPtr a, LinOpPtr b);
+  void ApplyRaw(const double* x, double* y) const override;
+  void ApplyTRaw(const double* x, double* y) const override;
+  LinOpPtr Abs() const override;
+  LinOpPtr Sqr() const override;
+  CsrMatrix MaterializeSparse() const override;
+  double SensitivityL1() const override;
+  double SensitivityL2() const override;
+  std::string DebugName() const override;
+  const LinOpPtr& a() const { return a_; }
+  const LinOpPtr& b() const { return b_; }
+
+ private:
+  LinOpPtr a_, b_;
+};
+
+/// diag(w) * A: per-row weights (weighted hierarchies, noise-aware LS).
+class RowWeightOp final : public LinOp {
+ public:
+  RowWeightOp(LinOpPtr child, Vec weights);
+  void ApplyRaw(const double* x, double* y) const override;
+  void ApplyTRaw(const double* x, double* y) const override;
+  LinOpPtr Abs() const override;
+  LinOpPtr Sqr() const override;
+  CsrMatrix MaterializeSparse() const override;
+  std::string DebugName() const override;
+
+ private:
+  LinOpPtr child_;
+  Vec w_;
+};
+
+LinOpPtr MakeTranspose(LinOpPtr a);
+LinOpPtr MakeVStack(std::vector<LinOpPtr> children);
+LinOpPtr MakeProduct(LinOpPtr a, LinOpPtr b, bool binary_hint = false);
+LinOpPtr MakeKronecker(LinOpPtr a, LinOpPtr b);
+/// Right fold: Kron(f[0], Kron(f[1], ...)).  Requires >= 1 factor.
+LinOpPtr MakeKronecker(std::vector<LinOpPtr> factors);
+LinOpPtr MakeRowWeight(LinOpPtr child, Vec weights);
+/// c * A (uniform scaling).
+LinOpPtr MakeScaled(LinOpPtr child, double c);
+
+}  // namespace ektelo
+
+#endif  // EKTELO_MATRIX_COMBINATORS_H_

@@ -1,0 +1,194 @@
+#include "matrix/implicit_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/haar.h"
+#include "util/check.h"
+
+namespace ektelo {
+
+// --------------------------------------------------------------- Identity
+
+IdentityOp::IdentityOp(std::size_t n) : LinOp(n, n) {
+  set_nonneg_binary(true);
+}
+
+void IdentityOp::ApplyRaw(const double* x, double* y) const {
+  std::copy(x, x + cols(), y);
+}
+
+void IdentityOp::ApplyTRaw(const double* x, double* y) const {
+  std::copy(x, x + rows(), y);
+}
+
+CsrMatrix IdentityOp::MaterializeSparse() const {
+  return CsrMatrix::Identity(rows());
+}
+
+std::string IdentityOp::DebugName() const {
+  return "Identity(" + std::to_string(rows()) + ")";
+}
+
+// ------------------------------------------------------------------- Ones
+
+OnesOp::OnesOp(std::size_t m, std::size_t n) : LinOp(m, n) {
+  set_nonneg_binary(true);
+}
+
+void OnesOp::ApplyRaw(const double* x, double* y) const {
+  double s = 0.0;
+  for (std::size_t j = 0; j < cols(); ++j) s += x[j];
+  std::fill(y, y + rows(), s);
+}
+
+void OnesOp::ApplyTRaw(const double* x, double* y) const {
+  double s = 0.0;
+  for (std::size_t i = 0; i < rows(); ++i) s += x[i];
+  std::fill(y, y + cols(), s);
+}
+
+CsrMatrix OnesOp::MaterializeSparse() const {
+  std::vector<Triplet> t;
+  t.reserve(rows() * cols());
+  for (std::size_t i = 0; i < rows(); ++i)
+    for (std::size_t j = 0; j < cols(); ++j) t.push_back({i, j, 1.0});
+  return CsrMatrix::FromTriplets(rows(), cols(), std::move(t));
+}
+
+double OnesOp::SensitivityL1() const { return static_cast<double>(rows()); }
+double OnesOp::SensitivityL2() const {
+  return std::sqrt(static_cast<double>(rows()));
+}
+
+std::string OnesOp::DebugName() const {
+  return "Ones(" + std::to_string(rows()) + "x" + std::to_string(cols()) + ")";
+}
+
+// ----------------------------------------------------------------- Prefix
+
+PrefixOp::PrefixOp(std::size_t n) : LinOp(n, n) { set_nonneg_binary(true); }
+
+void PrefixOp::ApplyRaw(const double* x, double* y) const {
+  double run = 0.0;
+  for (std::size_t k = 0; k < cols(); ++k) {
+    run += x[k];
+    y[k] = run;
+  }
+}
+
+void PrefixOp::ApplyTRaw(const double* x, double* y) const {
+  // (P^T x)_j = sum_{k >= j} x_k: a suffix sum.
+  double run = 0.0;
+  for (std::size_t j = rows(); j-- > 0;) {
+    run += x[j];
+    y[j] = run;
+  }
+}
+
+CsrMatrix PrefixOp::MaterializeSparse() const {
+  std::vector<Triplet> t;
+  t.reserve(rows() * (rows() + 1) / 2);
+  for (std::size_t i = 0; i < rows(); ++i)
+    for (std::size_t j = 0; j <= i; ++j) t.push_back({i, j, 1.0});
+  return CsrMatrix::FromTriplets(rows(), cols(), std::move(t));
+}
+
+double PrefixOp::SensitivityL1() const {
+  // Column j appears in rows j..n-1.
+  return static_cast<double>(rows());
+}
+double PrefixOp::SensitivityL2() const {
+  return std::sqrt(static_cast<double>(rows()));
+}
+
+std::string PrefixOp::DebugName() const {
+  return "Prefix(" + std::to_string(rows()) + ")";
+}
+
+// ----------------------------------------------------------------- Suffix
+
+SuffixOp::SuffixOp(std::size_t n) : LinOp(n, n) { set_nonneg_binary(true); }
+
+void SuffixOp::ApplyRaw(const double* x, double* y) const {
+  double run = 0.0;
+  for (std::size_t k = cols(); k-- > 0;) {
+    run += x[k];
+    y[k] = run;
+  }
+}
+
+void SuffixOp::ApplyTRaw(const double* x, double* y) const {
+  double run = 0.0;
+  for (std::size_t j = 0; j < rows(); ++j) {
+    run += x[j];
+    y[j] = run;
+  }
+}
+
+CsrMatrix SuffixOp::MaterializeSparse() const {
+  std::vector<Triplet> t;
+  t.reserve(rows() * (rows() + 1) / 2);
+  for (std::size_t i = 0; i < rows(); ++i)
+    for (std::size_t j = i; j < cols(); ++j) t.push_back({i, j, 1.0});
+  return CsrMatrix::FromTriplets(rows(), cols(), std::move(t));
+}
+
+double SuffixOp::SensitivityL1() const {
+  return static_cast<double>(rows());
+}
+double SuffixOp::SensitivityL2() const {
+  return std::sqrt(static_cast<double>(rows()));
+}
+
+std::string SuffixOp::DebugName() const {
+  return "Suffix(" + std::to_string(rows()) + ")";
+}
+
+// ---------------------------------------------------------------- Wavelet
+
+WaveletOp::WaveletOp(std::size_t n) : LinOp(n, n) {
+  EK_CHECK(IsPowerOfTwo(n));
+}
+
+void WaveletOp::ApplyRaw(const double* x, double* y) const {
+  HaarAnalysis(x, y, cols());
+}
+
+void WaveletOp::ApplyTRaw(const double* x, double* y) const {
+  HaarSynthesis(x, y, cols());
+}
+
+CsrMatrix WaveletOp::MaterializeSparse() const {
+  return HaarMatrixSparse(rows());
+}
+
+double WaveletOp::SensitivityL1() const {
+  // Each column hits the total row plus one +/-1 per level.
+  double k = std::log2(static_cast<double>(rows()));
+  return 1.0 + k;
+}
+
+double WaveletOp::SensitivityL2() const {
+  double k = std::log2(static_cast<double>(rows()));
+  return std::sqrt(1.0 + k);
+}
+
+std::string WaveletOp::DebugName() const {
+  return "Wavelet(" + std::to_string(rows()) + ")";
+}
+
+LinOpPtr MakeIdentityOp(std::size_t n) {
+  return std::make_shared<IdentityOp>(n);
+}
+LinOpPtr MakeOnesOp(std::size_t m, std::size_t n) {
+  return std::make_shared<OnesOp>(m, n);
+}
+LinOpPtr MakeTotalOp(std::size_t n) { return std::make_shared<OnesOp>(1, n); }
+LinOpPtr MakePrefixOp(std::size_t n) { return std::make_shared<PrefixOp>(n); }
+LinOpPtr MakeSuffixOp(std::size_t n) { return std::make_shared<SuffixOp>(n); }
+LinOpPtr MakeWaveletOp(std::size_t n) {
+  return std::make_shared<WaveletOp>(n);
+}
+
+}  // namespace ektelo

@@ -1,0 +1,167 @@
+#include "matrix/linop.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace ektelo {
+
+Vec LinOp::Apply(const Vec& x) const {
+  EK_CHECK_EQ(x.size(), cols());
+  Vec y(rows());
+  ApplyRaw(x.data(), y.data());
+  return y;
+}
+
+Vec LinOp::ApplyT(const Vec& x) const {
+  EK_CHECK_EQ(x.size(), rows());
+  Vec y(cols());
+  ApplyTRaw(x.data(), y.data());
+  return y;
+}
+
+LinOpPtr LinOp::Abs() const {
+  if (is_nonneg_binary()) return shared_from_this();
+  return MakeSparse(MaterializeSparse().Abs());
+}
+
+LinOpPtr LinOp::Sqr() const {
+  if (is_nonneg_binary()) return shared_from_this();
+  return MakeSparse(MaterializeSparse().Sqr());
+}
+
+CsrMatrix LinOp::MaterializeSparse() const {
+  // Fallback: probe with basis vectors.  O(cols) mat-vecs; structured
+  // subclasses override this with direct constructions.
+  std::vector<Triplet> t;
+  Vec e(cols(), 0.0), col(rows());
+  for (std::size_t j = 0; j < cols(); ++j) {
+    e[j] = 1.0;
+    ApplyRaw(e.data(), col.data());
+    e[j] = 0.0;
+    for (std::size_t i = 0; i < rows(); ++i)
+      if (col[i] != 0.0) t.push_back({i, j, col[i]});
+  }
+  return CsrMatrix::FromTriplets(rows(), cols(), std::move(t));
+}
+
+DenseMatrix LinOp::MaterializeDense() const {
+  return MaterializeSparse().ToDense();
+}
+
+double LinOp::SensitivityL1() const {
+  // max over columns of sum_i |a_ij| = max(Abs()^T * ones).
+  LinOpPtr a = Abs();
+  Vec ones(rows(), 1.0);
+  Vec colsum = a->ApplyT(ones);
+  return colsum.empty() ? 0.0
+                        : *std::max_element(colsum.begin(), colsum.end());
+}
+
+double LinOp::SensitivityL2() const {
+  LinOpPtr s = Sqr();
+  Vec ones(rows(), 1.0);
+  Vec colsum = s->ApplyT(ones);
+  double m =
+      colsum.empty() ? 0.0 : *std::max_element(colsum.begin(), colsum.end());
+  return std::sqrt(m);
+}
+
+// ---------------------------------------------------------------- DenseOp
+
+DenseOp::DenseOp(DenseMatrix m) : LinOp(m.rows(), m.cols()), m_(std::move(m)) {
+  bool binary = true;
+  for (double v : m_.data()) {
+    if (v != 0.0 && v != 1.0) {
+      binary = false;
+      break;
+    }
+  }
+  set_nonneg_binary(binary);
+}
+
+void DenseOp::ApplyRaw(const double* x, double* y) const { m_.Matvec(x, y); }
+void DenseOp::ApplyTRaw(const double* x, double* y) const { m_.RmatVec(x, y); }
+
+LinOpPtr DenseOp::Abs() const {
+  if (is_nonneg_binary()) return shared_from_this();
+  return MakeDense(m_.Abs());
+}
+
+LinOpPtr DenseOp::Sqr() const {
+  if (is_nonneg_binary()) return shared_from_this();
+  return MakeDense(m_.Sqr());
+}
+
+CsrMatrix DenseOp::MaterializeSparse() const {
+  return CsrMatrix::FromDense(m_);
+}
+
+double DenseOp::SensitivityL1() const { return m_.MaxColNormL1(); }
+double DenseOp::SensitivityL2() const { return m_.MaxColNormL2(); }
+
+std::string DenseOp::DebugName() const {
+  return "Dense(" + std::to_string(rows()) + "x" + std::to_string(cols()) +
+         ")";
+}
+
+// ---------------------------------------------------------------- SparseOp
+
+SparseOp::SparseOp(CsrMatrix m)
+    : LinOp(m.rows(), m.cols()), m_(std::move(m)) {
+  bool binary = true;
+  for (double v : m_.values()) {
+    if (v != 1.0) {
+      binary = false;
+      break;
+    }
+  }
+  set_nonneg_binary(binary);
+}
+
+void SparseOp::ApplyRaw(const double* x, double* y) const { m_.Matvec(x, y); }
+void SparseOp::ApplyTRaw(const double* x, double* y) const {
+  m_.RmatVec(x, y);
+}
+
+LinOpPtr SparseOp::Abs() const {
+  if (is_nonneg_binary()) return shared_from_this();
+  return MakeSparse(m_.Abs());
+}
+
+LinOpPtr SparseOp::Sqr() const {
+  if (is_nonneg_binary()) return shared_from_this();
+  return MakeSparse(m_.Sqr());
+}
+
+CsrMatrix SparseOp::MaterializeSparse() const { return m_; }
+
+double SparseOp::SensitivityL1() const { return m_.MaxColNormL1(); }
+double SparseOp::SensitivityL2() const { return m_.MaxColNormL2(); }
+
+std::string SparseOp::DebugName() const {
+  return "Sparse(" + std::to_string(rows()) + "x" + std::to_string(cols()) +
+         ",nnz=" + std::to_string(m_.nnz()) + ")";
+}
+
+LinOpPtr MakeDense(DenseMatrix m) {
+  return std::make_shared<DenseOp>(std::move(m));
+}
+LinOpPtr MakeSparse(CsrMatrix m) {
+  return std::make_shared<SparseOp>(std::move(m));
+}
+
+Vec RowOf(const LinOp& m, std::size_t i) {
+  EK_CHECK_LT(i, m.rows());
+  Vec e(m.rows(), 0.0);
+  e[i] = 1.0;
+  return m.ApplyT(e);
+}
+
+CsrMatrix GramSparse(const LinOp& m) {
+  CsrMatrix s = m.MaterializeSparse();
+  return s.Transpose().Matmul(s);
+}
+
+}  // namespace ektelo

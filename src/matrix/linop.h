@@ -1,0 +1,127 @@
+// LinOp: EKTELO's implicit matrix abstraction (paper Sec. 7).
+//
+// Workload matrices, measurement matrices and partition matrices are all
+// represented as LinOps.  A LinOp is a *virtual* matrix: it must support the
+// five primitive methods of Table 1 — matrix-vector product, transposed
+// matrix-vector product, transpose, elementwise abs and elementwise square —
+// from which every plan-level computation (query evaluation, L1/L2
+// sensitivity, inference, Gram matrices, row indexing, materialization)
+// is derived.
+//
+// Representations are lossless: MaterializeSparse()/MaterializeDense()
+// produce the exact matrix, and the test suite checks every primitive
+// against the materialized form.
+#ifndef EKTELO_MATRIX_LINOP_H_
+#define EKTELO_MATRIX_LINOP_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "linalg/csr.h"
+#include "linalg/dense.h"
+#include "linalg/vec.h"
+
+namespace ektelo {
+
+class LinOp;
+using LinOpPtr = std::shared_ptr<const LinOp>;
+
+class LinOp : public std::enable_shared_from_this<LinOp> {
+ public:
+  LinOp(std::size_t rows, std::size_t cols) : rows_(rows), cols_(cols) {}
+  virtual ~LinOp() = default;
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  /// y = A x.  |x| = cols, |y| = rows.  Must not alias.
+  virtual void ApplyRaw(const double* x, double* y) const = 0;
+  /// y = A^T x.  |x| = rows, |y| = cols.  Must not alias.
+  virtual void ApplyTRaw(const double* x, double* y) const = 0;
+
+  Vec Apply(const Vec& x) const;
+  Vec ApplyT(const Vec& x) const;
+
+  /// Elementwise |a_ij| as a LinOp.  Binary/non-negative matrices return
+  /// themselves (a no-op, per Sec. 7.5); the default materializes sparse.
+  virtual LinOpPtr Abs() const;
+  /// Elementwise a_ij^2 as a LinOp.  Same no-op rule for binary matrices.
+  virtual LinOpPtr Sqr() const;
+
+  /// Exact sparse materialization.  The default evaluates A e_j column by
+  /// column (O(cols) mat-vecs); structured subclasses override with direct
+  /// constructions.
+  virtual CsrMatrix MaterializeSparse() const;
+  DenseMatrix MaterializeDense() const;
+
+  /// Max L1 column norm: the Laplace sensitivity of this query set
+  /// (computed as max(Abs()^T * 1), Table 1).
+  virtual double SensitivityL1() const;
+  /// Max L2 column norm (Gaussian-mechanism sensitivity).
+  virtual double SensitivityL2() const;
+
+  /// A human-readable structural name, e.g. "Kron(Prefix(256),Identity(7))".
+  virtual std::string DebugName() const = 0;
+
+  /// True if all entries are known to lie in {0, 1} (or {0, -1, +1} for
+  /// abs-stability: see set_binary), making Abs()/Sqr() no-ops.
+  bool is_nonneg_binary() const { return nonneg_binary_; }
+
+ protected:
+  void set_nonneg_binary(bool b) const { nonneg_binary_ = b; }
+
+ private:
+  std::size_t rows_, cols_;
+  mutable bool nonneg_binary_ = false;
+};
+
+/// Wrapper over a materialized dense matrix.
+class DenseOp final : public LinOp {
+ public:
+  explicit DenseOp(DenseMatrix m);
+  void ApplyRaw(const double* x, double* y) const override;
+  void ApplyTRaw(const double* x, double* y) const override;
+  LinOpPtr Abs() const override;
+  LinOpPtr Sqr() const override;
+  CsrMatrix MaterializeSparse() const override;
+  double SensitivityL1() const override;
+  double SensitivityL2() const override;
+  std::string DebugName() const override;
+  const DenseMatrix& dense() const { return m_; }
+
+ private:
+  DenseMatrix m_;
+};
+
+/// Wrapper over a materialized CSR sparse matrix.
+class SparseOp final : public LinOp {
+ public:
+  explicit SparseOp(CsrMatrix m);
+  void ApplyRaw(const double* x, double* y) const override;
+  void ApplyTRaw(const double* x, double* y) const override;
+  LinOpPtr Abs() const override;
+  LinOpPtr Sqr() const override;
+  CsrMatrix MaterializeSparse() const override;
+  double SensitivityL1() const override;
+  double SensitivityL2() const override;
+  std::string DebugName() const override;
+  const CsrMatrix& csr() const { return m_; }
+
+ private:
+  CsrMatrix m_;
+};
+
+LinOpPtr MakeDense(DenseMatrix m);
+LinOpPtr MakeSparse(CsrMatrix m);
+
+/// The i-th row of M as a dense vector: M^T e_i (Table 1, row indexing).
+Vec RowOf(const LinOp& m, std::size_t i);
+
+/// Gram matrix M^T M in sparse form (via sparse materialization).
+CsrMatrix GramSparse(const LinOp& m);
+
+}  // namespace ektelo
+
+#endif  // EKTELO_MATRIX_LINOP_H_

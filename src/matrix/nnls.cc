@@ -1,0 +1,102 @@
+#include "matrix/nnls.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace ektelo {
+
+double EstimateSpectralNormSq(const LinOp& a, std::size_t iters) {
+  const std::size_t n = a.cols();
+  // Deterministic pseudo-random start vector (no RNG dependency here).
+  Vec v(n);
+  double seed = 0.5;
+  for (std::size_t j = 0; j < n; ++j) {
+    seed = std::fmod(seed * 997.0 + 3.14159, 1.0);
+    v[j] = seed + 0.1;
+  }
+  double nv = Norm2(v);
+  Scale(1.0 / nv, &v);
+  double lambda = 1.0;
+  for (std::size_t it = 0; it < iters; ++it) {
+    Vec w = a.ApplyT(a.Apply(v));
+    lambda = Norm2(w);
+    if (lambda == 0.0) return 0.0;
+    Scale(1.0 / lambda, &w);
+    v.swap(w);
+  }
+  return lambda;
+}
+
+NnlsResult Nnls(const LinOp& a, const Vec& b, const NnlsOptions& opts) {
+  const std::size_t n = a.cols();
+  EK_CHECK_EQ(b.size(), a.rows());
+
+  double lip = EstimateSpectralNormSq(a, opts.power_iters);
+  if (lip <= 0.0) lip = 1.0;
+  const double step = 1.0 / (1.05 * lip);  // slack for estimation error
+
+  NnlsResult result;
+  Vec x(n, 0.0);
+  if (!opts.x0.empty()) {
+    EK_CHECK_EQ(opts.x0.size(), n);
+    x = opts.x0;
+    for (double& v : x) v = std::max(v, 0.0);
+  }
+  Vec yk = x;
+  double t = 1.0;
+  double prev_obj = 1e300;
+
+  auto objective = [&](const Vec& z) {
+    Vec r = a.Apply(z);
+    for (std::size_t i = 0; i < r.size(); ++i) r[i] -= b[i];
+    return 0.5 * Dot(r, r);
+  };
+
+  std::size_t it = 0;
+  for (; it < opts.max_iters; ++it) {
+    // grad = A^T (A y - b)
+    Vec r = a.Apply(yk);
+    for (std::size_t i = 0; i < r.size(); ++i) r[i] -= b[i];
+    Vec grad = a.ApplyT(r);
+
+    Vec x_new(n);
+    for (std::size_t j = 0; j < n; ++j)
+      x_new[j] = std::max(0.0, yk[j] - step * grad[j]);
+
+    // Monotone restart: if the objective went up, drop momentum.
+    double obj = objective(x_new);
+    if (obj > prev_obj) {
+      t = 1.0;
+      yk = x;
+      ++it;
+      continue;
+    }
+    prev_obj = obj;
+
+    const double t_new = 0.5 * (1.0 + std::sqrt(1.0 + 4.0 * t * t));
+    double dx = 0.0, nx = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double diff = x_new[j] - x[j];
+      dx += diff * diff;
+      nx += x_new[j] * x_new[j];
+      yk[j] = x_new[j] + ((t - 1.0) / t_new) * diff;
+    }
+    x = x_new;
+    t = t_new;
+    if (std::sqrt(dx) <= opts.tol * std::max(1.0, std::sqrt(nx))) {
+      ++it;
+      break;
+    }
+  }
+
+  Vec r = a.Apply(x);
+  for (std::size_t i = 0; i < r.size(); ++i) r[i] -= b[i];
+  result.residual_norm = Norm2(r);
+  result.x = std::move(x);
+  result.iterations = it;
+  return result;
+}
+
+}  // namespace ektelo

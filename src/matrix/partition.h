@@ -1,0 +1,56 @@
+// Partition of the cells of a data vector (paper Sec. 5.4): assigns each of
+// the n cells to one of p groups.  Used as the input to
+// V-ReduceByPartition (x' = P x) and V-SplitByPartition, and produced by
+// the partition-selection operators (AHP, DAWA, Grid, Workload-based,
+// Stripe, Marginal).
+#ifndef EKTELO_MATRIX_PARTITION_H_
+#define EKTELO_MATRIX_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "matrix/linop.h"
+
+namespace ektelo {
+
+class Partition {
+ public:
+  Partition() = default;
+  /// group_of[i] in [0, num_groups) for each cell i.
+  Partition(std::vector<uint32_t> group_of, std::size_t num_groups);
+
+  /// Identity partition: each cell its own group.
+  static Partition Identity(std::size_t n);
+  /// Contiguous intervals given by their (inclusive-start) boundaries.
+  /// `cuts` must start at 0 and be strictly increasing; the last interval
+  /// runs to n.
+  static Partition FromIntervals(const std::vector<std::size_t>& cuts,
+                                 std::size_t n);
+
+  std::size_t num_cells() const { return group_of_.size(); }
+  std::size_t num_groups() const { return num_groups_; }
+  uint32_t group_of(std::size_t cell) const { return group_of_[cell]; }
+  const std::vector<uint32_t>& assignments() const { return group_of_; }
+
+  /// Cells of each group, in cell order.
+  std::vector<std::vector<std::size_t>> Groups() const;
+  std::vector<std::size_t> GroupSizes() const;
+
+  /// The p x n 0/1 reduction matrix P with P_ij = 1 iff cell j is in
+  /// group i (Sec. 5.1).  Max L1 column norm is 1, so reduction is
+  /// 1-stable.
+  CsrMatrix ReduceMatrix() const;
+  LinOpPtr ReduceOp() const;
+
+  /// The pseudo-inverse P+ = P^T D^{-1} (Prop. 8.3), an n x p matrix.
+  CsrMatrix PseudoInverseMatrix() const;
+  LinOpPtr PseudoInverseOp() const;
+
+ private:
+  std::vector<uint32_t> group_of_;
+  std::size_t num_groups_ = 0;
+};
+
+}  // namespace ektelo
+
+#endif  // EKTELO_MATRIX_PARTITION_H_

@@ -1,0 +1,125 @@
+#include "ops/hdmm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/dense.h"
+#include "linalg/haar.h"
+#include "matrix/combinators.h"
+#include "matrix/implicit_ops.h"
+#include "ops/selection.h"
+#include "util/check.h"
+
+namespace ektelo {
+
+double MatrixMechanismTse(const LinOp& workload, const LinOp& strategy) {
+  EK_CHECK_EQ(workload.cols(), strategy.cols());
+  DenseMatrix w = workload.MaterializeDense();
+  DenseMatrix a = strategy.MaterializeDense();
+  DenseMatrix gram = a.Gram();
+  DenseMatrix gram_pinv = PseudoInverse(gram, 1e-9);
+  // trace(W G+ W^T) = sum_i w_i G+ w_i^T.
+  double tr = 0.0;
+  Vec tmp(w.cols());
+  for (std::size_t i = 0; i < w.rows(); ++i) {
+    gram_pinv.Matvec(w.RowPtr(i), tmp.data());
+    double s = 0.0;
+    for (std::size_t j = 0; j < w.cols(); ++j) s += w.At(i, j) * tmp[j];
+    tr += s;
+  }
+  const double sens = a.MaxColNormL1();
+  return sens * sens * tr;
+}
+
+namespace {
+
+/// Group the columns of an op down to <= cap cells (uniform grouping) so
+/// dense scoring stays cheap; strategy quality transfers across scale.
+LinOpPtr Downsample(const LinOp& op, std::size_t n, std::size_t cap) {
+  if (n <= cap) return MakeSparse(op.MaterializeSparse());
+  // Build the n -> cap grouping matrix G (cap x n) and return op * G^T
+  // ... for workload scoring we need W' over the reduced domain: treat a
+  // group as one cell, i.e. W' = W * E where E (n x cap) is the 0/1
+  // expansion assigning each original cell to its group.  Using E (not
+  // E^T) keeps query semantics: a range over cells becomes a range over
+  // groups.
+  std::vector<Triplet> t;
+  t.reserve(n);
+  for (std::size_t j = 0; j < n; ++j)
+    t.push_back({j, j * cap / n, 1.0});
+  auto e = MakeSparse(CsrMatrix::FromTriplets(n, cap, std::move(t)));
+  return MakeProduct(MakeSparse(op.MaterializeSparse()), e);
+}
+
+struct Candidate {
+  LinOpPtr full;    // strategy on the true domain
+  LinOpPtr scored;  // strategy on the scoring domain
+  std::string name;
+};
+
+LinOpPtr WeightedHierarchy(std::size_t n, double leaf_weight) {
+  // H2 with leaves re-weighted: interpolates Identity-ish and tree-ish.
+  Hierarchy h = BuildHierarchy(n, 2);
+  Vec w;
+  w.reserve(h.TotalNodes());
+  for (std::size_t l = 0; l < h.levels.size(); ++l) {
+    const bool leaf_level = (l + 1 == h.levels.size());
+    w.insert(w.end(), h.levels[l].size(), leaf_level ? leaf_weight : 1.0);
+  }
+  return MakeRowWeight(HierarchyOp(h), std::move(w));
+}
+
+}  // namespace
+
+HdmmChoice HdmmSelect1D(const LinOp& workload_factor, std::size_t n,
+                        std::size_t score_cap) {
+  EK_CHECK_EQ(workload_factor.cols(), n);
+  const std::size_t ns = std::min(n, score_cap);
+  LinOpPtr w_scored = Downsample(workload_factor, n, score_cap);
+
+  std::vector<Candidate> candidates;
+  auto add = [&](LinOpPtr full, LinOpPtr scored, std::string name) {
+    candidates.push_back({std::move(full), std::move(scored),
+                          std::move(name)});
+  };
+  add(MakeIdentityOp(n), MakeIdentityOp(ns), "Identity");
+  add(MakeVStack({MakeTotalOp(n), MakeIdentityOp(n)}),
+      MakeVStack({MakeTotalOp(ns), MakeIdentityOp(ns)}), "Total+Identity");
+  add(H2Select(n), H2Select(ns), "H2");
+  add(HbSelect(n), HbSelect(ns), "HB");
+  for (double lw : {0.5, 2.0}) {
+    add(WeightedHierarchy(n, lw), WeightedHierarchy(ns, lw),
+        "H2(leaf=" + std::to_string(lw) + ")");
+  }
+  if (IsPowerOfTwo(n) && IsPowerOfTwo(ns))
+    add(MakeWaveletOp(n), MakeWaveletOp(ns), "Wavelet");
+
+  HdmmChoice best;
+  best.scored_tse = 1e300;
+  for (auto& c : candidates) {
+    const double tse = MatrixMechanismTse(*w_scored, *c.scored);
+    if (tse < best.scored_tse) {
+      best.scored_tse = tse;
+      best.strategy = c.full;
+      best.name = c.name;
+    }
+  }
+  EK_CHECK(best.strategy != nullptr);
+  return best;
+}
+
+LinOpPtr HdmmSelect(const std::vector<LinOpPtr>& workload_factors,
+                    const std::vector<std::size_t>& dims,
+                    std::size_t score_cap) {
+  EK_CHECK_EQ(workload_factors.size(), dims.size());
+  EK_CHECK(!dims.empty());
+  std::vector<LinOpPtr> strategy_factors;
+  strategy_factors.reserve(dims.size());
+  for (std::size_t d = 0; d < dims.size(); ++d) {
+    strategy_factors.push_back(
+        HdmmSelect1D(*workload_factors[d], dims[d], score_cap).strategy);
+  }
+  return MakeKronecker(std::move(strategy_factors));
+}
+
+}  // namespace ektelo

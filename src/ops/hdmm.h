@@ -1,0 +1,46 @@
+// SHD: HDMM-style workload-adaptive strategy selection (McKenna et al.,
+// PVLDB 2018), the paper's plan #13.
+//
+// Full HDMM solves a continuous optimization (OPT_+ over parameterized
+// p-Identity strategies).  Per DESIGN.md we implement the two ideas this
+// paper actually relies on — workload adaptivity and Kronecker structure —
+// with a per-dimension search: each dimension's strategy is chosen from a
+// family of candidates (Identity, Total+Identity mixes, weighted
+// hierarchies, Wavelet) by exact matrix-mechanism expected error, scored
+// on a (possibly down-sampled) copy of the per-dimension workload; the
+// global strategy is the Kronecker product of the winners.
+#ifndef EKTELO_OPS_HDMM_H_
+#define EKTELO_OPS_HDMM_H_
+
+#include <string>
+#include <vector>
+
+#include "matrix/linop.h"
+
+namespace ektelo {
+
+/// Expected total squared error of answering workload W via strategy A
+/// under the matrix mechanism (unit eps): ||A||_1^2 * trace(W G+ W^T)
+/// with G = A^T A.  Dense computation — callers down-sample large domains.
+double MatrixMechanismTse(const LinOp& workload, const LinOp& strategy);
+
+struct HdmmChoice {
+  LinOpPtr strategy;
+  std::string name;
+  double scored_tse;  // on the scoring (possibly down-sampled) domain
+};
+
+/// Choose a strategy for a single dimension of size n given that
+/// dimension's workload factor.  score_cap bounds the dense scoring size;
+/// larger dimensions are scored on a grouped copy.
+HdmmChoice HdmmSelect1D(const LinOp& workload_factor, std::size_t n,
+                        std::size_t score_cap = 256);
+
+/// Kronecker-compose per-dimension selections.
+LinOpPtr HdmmSelect(const std::vector<LinOpPtr>& workload_factors,
+                    const std::vector<std::size_t>& dims,
+                    std::size_t score_cap = 256);
+
+}  // namespace ektelo
+
+#endif  // EKTELO_OPS_HDMM_H_

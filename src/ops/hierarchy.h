@@ -1,0 +1,60 @@
+// Hierarchical query strategies (H2, HB) and the specialized tree-based
+// least-squares inference of Hay et al. (PVLDB 2010), which Fig. 5 compares
+// against the general-purpose iterative inference.
+//
+// A hierarchy over n cells is a complete b-ary tree of interval-sum
+// queries: the root covers [0, n), each node's children split its interval
+// into b parts, down to unit intervals.  The strategy matrix is encoded
+// implicitly as Product(Sparse, Prefix) — two nonzeros per node — giving
+// O(#nodes) storage and O(n + #nodes) mat-vecs.
+#ifndef EKTELO_OPS_HIERARCHY_H_
+#define EKTELO_OPS_HIERARCHY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "matrix/linop.h"
+
+namespace ektelo {
+
+/// One node of the hierarchy: the half-open interval [lo, hi).
+struct HierNode {
+  std::size_t lo;
+  std::size_t hi;
+};
+
+/// Tree structure: levels[0] is the root; children of levels[l][i] are
+/// contiguous in levels[l+1] (child_start[l][i] .. child_start[l][i+1]).
+struct Hierarchy {
+  std::size_t n = 0;
+  std::size_t branch = 2;
+  std::vector<std::vector<HierNode>> levels;
+  /// children index ranges per level (into the next level).
+  std::vector<std::vector<std::size_t>> child_start;
+
+  std::size_t TotalNodes() const;
+  /// Row index of node (level, i) in the stacked strategy matrix, which
+  /// lists levels top-down, nodes left-to-right.
+  std::size_t RowOf(std::size_t level, std::size_t i) const;
+};
+
+/// Build the complete b-ary hierarchy over n cells (intervals of uneven
+/// size when b does not divide evenly; recursion stops at singletons).
+Hierarchy BuildHierarchy(std::size_t n, std::size_t branch);
+
+/// The strategy matrix of a hierarchy (all nodes, all levels).
+LinOpPtr HierarchyOp(const Hierarchy& h);
+
+/// HB's optimized branching factor: argmin_b (b - 1) * height(b)^3, the
+/// variance proxy from Qardaji et al. (PVLDB 2013).
+std::size_t HbBranchingFactor(std::size_t n);
+
+/// Hay et al.'s two-pass (bottom-up weighted average, top-down consistency)
+/// least-squares solver, exact for complete hierarchies with uniform noise.
+/// y is the noisy answer vector in HierarchyOp row order; returns the leaf
+/// estimate (length n).
+Vec TreeBasedLeastSquares(const Hierarchy& h, const Vec& y);
+
+}  // namespace ektelo
+
+#endif  // EKTELO_OPS_HIERARCHY_H_

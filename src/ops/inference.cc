@@ -1,0 +1,94 @@
+#include "matrix/cg.h"
+#include "ops/inference.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/dense.h"
+#include "matrix/implicit_ops.h"
+#include "util/check.h"
+
+namespace ektelo {
+
+Vec LeastSquaresInference(const MeasurementSet& mset,
+                          const LsmrOptions& opts) {
+  EK_CHECK(!mset.empty());
+  LinOpPtr a = mset.WeightedOp();
+  Vec b = mset.WeightedY();
+  return Lsmr(*a, b, opts).x;
+}
+
+Vec NnlsInference(const MeasurementSet& mset,
+                  std::optional<double> known_total,
+                  const NnlsOptions& opts) {
+  EK_CHECK(!mset.empty());
+  MeasurementSet augmented = mset;
+  if (known_total.has_value()) {
+    augmented.Add(MakeTotalOp(mset.Domain()), Vec{*known_total},
+                  /*noise_scale=*/0.0);
+  }
+  LinOpPtr a = augmented.WeightedOp();
+  Vec b = augmented.WeightedY();
+  return Nnls(*a, b, opts).x;
+}
+
+Vec MultWeightsStep(const MeasurementSet& mset, Vec xhat,
+                    const MwOptions& opts) {
+  EK_CHECK(!mset.empty());
+  const std::size_t n = mset.Domain();
+  EK_CHECK_EQ(xhat.size(), n);
+  double total = Sum(xhat);
+  if (total <= 0.0) return xhat;
+  LinOpPtr m = mset.StackedOp();
+  Vec y = mset.StackedY();
+  for (std::size_t it = 0; it < opts.iterations; ++it) {
+    // g = 0.5 M^T (y - M xhat): increase cells under-counted by xhat.
+    Vec res = m->Apply(xhat);
+    for (std::size_t i = 0; i < res.size(); ++i) res[i] = y[i] - res[i];
+    Vec g = m->ApplyT(res);
+    double new_total = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      // Clamp the exponent for numerical robustness on extreme residuals.
+      double e = opts.learning_rate * 0.5 * g[j] / total;
+      e = std::clamp(e, -30.0, 30.0);
+      xhat[j] *= std::exp(e);
+      new_total += xhat[j];
+    }
+    if (new_total <= 0.0) break;
+    const double rescale = total / new_total;
+    for (double& v : xhat) v *= rescale;
+  }
+  return xhat;
+}
+
+Vec MultWeightsInference(const MeasurementSet& mset, double total,
+                         const MwOptions& opts) {
+  EK_CHECK(!mset.empty());
+  const std::size_t n = mset.Domain();
+  EK_CHECK_GT(total, 0.0);
+  Vec xhat(n, total / static_cast<double>(n));  // uniform start
+  return MultWeightsStep(mset, std::move(xhat), opts);
+}
+
+Vec DirectLeastSquaresInference(const MeasurementSet& mset) {
+  EK_CHECK(!mset.empty());
+  DenseMatrix a = mset.WeightedOp()->MaterializeDense();
+  Vec b = mset.WeightedY();
+  return DirectLeastSquares(a, b);
+}
+
+Vec CgLeastSquaresInference(const MeasurementSet& mset) {
+  EK_CHECK(!mset.empty());
+  LinOpPtr a = mset.WeightedOp();
+  Vec b = mset.WeightedY();
+  return CgLeastSquares(*a, b).x;
+}
+
+Vec ThresholdingInference(Vec xhat, double threshold) {
+  EK_CHECK_GE(threshold, 0.0);
+  for (double& v : xhat)
+    if (std::abs(v) < threshold) v = 0.0;
+  return xhat;
+}
+
+}  // namespace ektelo

@@ -1,0 +1,82 @@
+#include "ops/measurement.h"
+
+#include <algorithm>
+
+#include "matrix/combinators.h"
+#include "util/check.h"
+
+namespace ektelo {
+
+void MeasurementSet::Add(LinOpPtr m, Vec y, double noise_scale) {
+  Add(Measurement{std::move(m), std::move(y), noise_scale});
+}
+
+void MeasurementSet::Add(Measurement meas) {
+  EK_CHECK_EQ(meas.m->rows(), meas.y.size());
+  EK_CHECK_GE(meas.noise_scale, 0.0);
+  if (!items_.empty()) EK_CHECK_EQ(meas.m->cols(), Domain());
+  items_.push_back(std::move(meas));
+}
+
+std::size_t MeasurementSet::TotalQueries() const {
+  std::size_t total = 0;
+  for (const auto& it : items_) total += it.m->rows();
+  return total;
+}
+
+std::size_t MeasurementSet::Domain() const {
+  EK_CHECK(!items_.empty());
+  return items_[0].m->cols();
+}
+
+LinOpPtr MeasurementSet::StackedOp() const {
+  EK_CHECK(!items_.empty());
+  std::vector<LinOpPtr> parts;
+  parts.reserve(items_.size());
+  for (const auto& it : items_) parts.push_back(it.m);
+  return MakeVStack(std::move(parts));
+}
+
+Vec MeasurementSet::StackedY() const {
+  Vec y;
+  y.reserve(TotalQueries());
+  for (const auto& it : items_) y.insert(y.end(), it.y.begin(), it.y.end());
+  return y;
+}
+
+double MeasurementSet::WeightFor(double noise_scale) const {
+  if (noise_scale > 0.0) return 1.0 / noise_scale;
+  // Exact side information ("negligible noise scale", Sec. 5.5): dominate
+  // the most precise real measurement by a moderate factor.  The factor
+  // trades constraint tightness against conditioning — first-order
+  // solvers (NNLS) stall when one row's curvature exceeds the rest by
+  // many orders of magnitude.
+  double min_scale = 1e300;
+  for (const auto& it : items_)
+    if (it.noise_scale > 0.0) min_scale = std::min(min_scale, it.noise_scale);
+  if (min_scale == 1e300) return 1.0;  // all exact: weights don't matter
+  return 4.0 / min_scale;
+}
+
+LinOpPtr MeasurementSet::WeightedOp() const {
+  EK_CHECK(!items_.empty());
+  std::vector<LinOpPtr> parts;
+  parts.reserve(items_.size());
+  for (const auto& it : items_) {
+    const double w = WeightFor(it.noise_scale);
+    parts.push_back(w == 1.0 ? it.m : MakeScaled(it.m, w));
+  }
+  return MakeVStack(std::move(parts));
+}
+
+Vec MeasurementSet::WeightedY() const {
+  Vec y;
+  y.reserve(TotalQueries());
+  for (const auto& it : items_) {
+    const double w = WeightFor(it.noise_scale);
+    for (double v : it.y) y.push_back(w * v);
+  }
+  return y;
+}
+
+}  // namespace ektelo

@@ -1,0 +1,274 @@
+#include "ops/privbayes.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+#include "matrix/implicit_ops.h"
+#include "workload/workloads.h"
+#include "util/check.h"
+
+namespace ektelo {
+
+double EmpiricalMutualInformation(const Table& t,
+                                  const std::vector<std::size_t>& a_attrs,
+                                  const std::vector<std::size_t>& b_attrs) {
+  const double n = static_cast<double>(t.NumRows());
+  if (n == 0.0) return 0.0;
+  std::map<std::pair<std::vector<uint32_t>, std::vector<uint32_t>>, double>
+      joint;
+  std::map<std::vector<uint32_t>, double> pa, pb;
+  std::vector<uint32_t> ka(a_attrs.size()), kb(b_attrs.size());
+  for (std::size_t r = 0; r < t.NumRows(); ++r) {
+    for (std::size_t i = 0; i < a_attrs.size(); ++i)
+      ka[i] = t.At(r, a_attrs[i]);
+    for (std::size_t i = 0; i < b_attrs.size(); ++i)
+      kb[i] = t.At(r, b_attrs[i]);
+    joint[{ka, kb}] += 1.0;
+    pa[ka] += 1.0;
+    pb[kb] += 1.0;
+  }
+  double mi = 0.0;
+  for (const auto& [key, c] : joint) {
+    const double pab = c / n;
+    const double p_a = pa[key.first] / n;
+    const double p_b = pb[key.second] / n;
+    mi += pab * std::log(pab / (p_a * p_b));
+  }
+  return std::max(mi, 0.0);
+}
+
+namespace {
+
+/// All subsets of `pool` with size in [0, max_size].
+std::vector<std::vector<std::size_t>> Subsets(
+    const std::vector<std::size_t>& pool, std::size_t max_size) {
+  std::vector<std::vector<std::size_t>> out = {{}};
+  for (std::size_t bit = 1; bit < (std::size_t{1} << pool.size()); ++bit) {
+    std::vector<std::size_t> s;
+    for (std::size_t i = 0; i < pool.size(); ++i)
+      if (bit & (std::size_t{1} << i)) s.push_back(pool[i]);
+    if (s.size() <= max_size) out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<PrivBayesResult> PrivBayesSelectAndMeasure(
+    ProtectedKernel* kernel, SourceId src, const Schema& schema, double eps,
+    Rng* rng, const PrivBayesOptions& opts) {
+  const std::size_t na = schema.num_attrs();
+  if (na == 0) return Status::InvalidArgument("empty schema");
+  PrivBayesResult result;
+
+  // DP estimate of |D| (drives MI sensitivity and the product estimate).
+  const double eps_count = eps * opts.count_frac;
+  EK_ASSIGN_OR_RETURN(double noisy_total, kernel->NoisyCount(src, eps_count));
+  noisy_total = std::max(noisy_total, 1.0);
+  result.noisy_total = noisy_total;
+
+  // Random attribute order (client-side randomness; selection of parents
+  // is the only data-dependent choice and goes through the kernel).
+  std::vector<std::size_t> order(na);
+  std::iota(order.begin(), order.end(), 0);
+  for (std::size_t i = na; i > 1; --i)
+    std::swap(order[i - 1],
+              order[static_cast<std::size_t>(rng->UniformInt(0, i - 1))]);
+
+  // MI sensitivity bound ~ (2/N) log2(N) (Zhang et al.).
+  const double mi_sens =
+      2.0 / noisy_total * std::log2(std::max(noisy_total, 2.0)) + 1e-12;
+  const double eps_structure =
+      na > 1 ? eps * opts.structure_frac / double(na - 1) : 0.0;
+
+  std::vector<std::size_t> chosen;
+  for (std::size_t k = 0; k < na; ++k) {
+    const std::size_t attr = order[k];
+    PrivBayesClique clique;
+    clique.child = attr;
+    if (k > 0) {
+      auto candidates = Subsets(chosen, opts.max_parents);
+      std::vector<std::function<double(const Table&)>> scorers;
+      scorers.reserve(candidates.size());
+      for (const auto& parents : candidates) {
+        scorers.push_back([attr, parents](const Table& t) {
+          if (parents.empty()) return 0.0;
+          return EmpiricalMutualInformation(t, {attr}, parents);
+        });
+      }
+      EK_ASSIGN_OR_RETURN(
+          std::size_t pick,
+          kernel->ChooseByTableScores(src, scorers, eps_structure, mi_sens));
+      clique.parents = candidates[pick];
+    }
+    chosen.push_back(attr);
+    result.cliques.push_back(std::move(clique));
+  }
+
+  // Measure one marginal per clique.
+  const double eps_measure =
+      eps * (1.0 - opts.structure_frac - opts.count_frac) / double(na);
+  for (const auto& clique : result.cliques) {
+    std::vector<std::size_t> attrs = clique.parents;
+    attrs.push_back(clique.child);
+    std::sort(attrs.begin(), attrs.end());
+    std::vector<std::string> names;
+    names.reserve(attrs.size());
+    for (std::size_t a : attrs) names.push_back(schema.attr(a).name);
+
+    EK_ASSIGN_OR_RETURN(SourceId sel, kernel->TSelect(src, names));
+    EK_ASSIGN_OR_RETURN(SourceId vec, kernel->TVectorize(sel));
+    const std::size_t d = kernel->VectorSize(vec);
+    EK_ASSIGN_OR_RETURN(
+        Vec y, kernel->VectorLaplace(vec, *MakeIdentityOp(d), eps_measure));
+    result.noisy_marginals.push_back(y);
+    result.measurements.Add(MarginalWorkload(schema, names), std::move(y),
+                            1.0 / eps_measure);
+  }
+  result.noise_scale = 1.0 / eps_measure;
+  // The noisy total joins the measurement set as side information.
+  result.measurements.Add(MakeTotalOp(schema.TotalDomainSize()),
+                          Vec{noisy_total}, 1.0 / eps_count);
+  return result;
+}
+
+namespace {
+
+/// Conditional distribution P(child | parents) over the clique's
+/// sorted-attr marginal layout, from the clamped noisy marginal.
+struct CliqueTable {
+  std::vector<std::size_t> attrs;  // sorted
+  std::vector<std::size_t> dims;
+  std::size_t child_pos;
+  Vec cond;  // P(child | parents), clique-marginal layout
+};
+
+std::vector<CliqueTable> BuildCliqueTables(const Schema& schema,
+                                           const PrivBayesResult& result);
+
+}  // namespace
+
+Vec PrivBayesProductEstimate(const Schema& schema,
+                             const PrivBayesResult& result) {
+  const std::size_t n = schema.TotalDomainSize();
+  const std::size_t na = schema.num_attrs();
+  std::vector<CliqueTable> tables = BuildCliqueTables(schema, result);
+
+  // Product-form estimate over the full domain.
+  Vec xhat(n);
+  std::vector<uint32_t> codes(na);
+  for (std::size_t cell = 0; cell < n; ++cell) {
+    std::size_t rem = cell;
+    for (std::size_t a = na; a-- > 0;) {
+      codes[a] = static_cast<uint32_t>(rem % schema.attr(a).domain_size);
+      rem /= schema.attr(a).domain_size;
+    }
+    double p = 1.0;
+    for (const auto& ct : tables) {
+      std::size_t idx = 0;
+      for (std::size_t i = 0; i < ct.attrs.size(); ++i)
+        idx = idx * ct.dims[i] + codes[ct.attrs[i]];
+      p *= ct.cond[idx];
+    }
+    xhat[cell] = result.noisy_total * p;
+  }
+  return xhat;
+}
+
+Vec PrivBayesSampleEstimate(const Schema& schema,
+                            const PrivBayesResult& result, Rng* rng) {
+  const std::size_t n = schema.TotalDomainSize();
+  const std::size_t na = schema.num_attrs();
+  std::vector<CliqueTable> tables = BuildCliqueTables(schema, result);
+
+  const auto rows = static_cast<std::size_t>(
+      std::llround(std::max(result.noisy_total, 0.0)));
+  Vec hist(n, 0.0);
+  std::vector<uint32_t> codes(na, 0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    // Ancestral sampling in selection order: every clique's parents were
+    // sampled by an earlier clique.
+    for (std::size_t c = 0; c < result.cliques.size(); ++c) {
+      const auto& ct = tables[c];
+      const std::size_t child = result.cliques[c].child;
+      const std::size_t child_dim = schema.attr(child).domain_size;
+      // Base index with child code 0; child stride within the layout.
+      std::size_t base = 0, stride = 1;
+      for (std::size_t i = 0; i < ct.attrs.size(); ++i)
+        base = base * ct.dims[i] +
+               (ct.attrs[i] == child ? 0 : codes[ct.attrs[i]]);
+      for (std::size_t i = ct.child_pos + 1; i < ct.dims.size(); ++i)
+        stride *= ct.dims[i];
+      double u = rng->Uniform();
+      uint32_t pick = static_cast<uint32_t>(child_dim - 1);
+      double acc = 0.0;
+      for (std::size_t v = 0; v < child_dim; ++v) {
+        acc += ct.cond[base + v * stride];
+        if (u < acc) {
+          pick = static_cast<uint32_t>(v);
+          break;
+        }
+      }
+      codes[child] = pick;
+    }
+    std::size_t cell = 0;
+    for (std::size_t a = 0; a < na; ++a)
+      cell = cell * schema.attr(a).domain_size + codes[a];
+    hist[cell] += 1.0;
+  }
+  return hist;
+}
+
+namespace {
+
+std::vector<CliqueTable> BuildCliqueTables(const Schema& schema,
+                                           const PrivBayesResult& result) {
+  std::vector<CliqueTable> tables;
+  tables.reserve(result.cliques.size());
+  for (std::size_t c = 0; c < result.cliques.size(); ++c) {
+    const auto& clique = result.cliques[c];
+    CliqueTable ct;
+    ct.attrs = clique.parents;
+    ct.attrs.push_back(clique.child);
+    std::sort(ct.attrs.begin(), ct.attrs.end());
+    ct.child_pos = static_cast<std::size_t>(
+        std::find(ct.attrs.begin(), ct.attrs.end(), clique.child) -
+        ct.attrs.begin());
+    std::size_t size = 1;
+    for (std::size_t a : ct.attrs) {
+      ct.dims.push_back(schema.attr(a).domain_size);
+      size *= schema.attr(a).domain_size;
+    }
+    EK_CHECK_EQ(result.noisy_marginals[c].size(), size);
+    Vec clamped = result.noisy_marginals[c];
+    for (double& v : clamped) v = std::max(v, 0.0);
+
+    // Normalize over the child axis per parent combination.
+    ct.cond.assign(size, 0.0);
+    const std::size_t child_dim = ct.dims[ct.child_pos];
+    std::size_t inner = 1;  // stride of the child axis
+    for (std::size_t p = ct.child_pos + 1; p < ct.dims.size(); ++p)
+      inner *= ct.dims[p];
+    const std::size_t outer = size / (child_dim * inner);
+    for (std::size_t o = 0; o < outer; ++o) {
+      for (std::size_t i = 0; i < inner; ++i) {
+        double denom = 0.0;
+        for (std::size_t cv = 0; cv < child_dim; ++cv)
+          denom += clamped[(o * child_dim + cv) * inner + i];
+        for (std::size_t cv = 0; cv < child_dim; ++cv) {
+          const std::size_t idx = (o * child_dim + cv) * inner + i;
+          ct.cond[idx] = denom > 0.0 ? clamped[idx] / denom
+                                     : 1.0 / double(child_dim);
+        }
+      }
+    }
+    tables.push_back(std::move(ct));
+  }
+  return tables;
+}
+
+}  // namespace
+
+}  // namespace ektelo

@@ -1,0 +1,80 @@
+// SPB: PrivBayes (Zhang et al., TODS 2017) as EKTELO operators.
+//
+// Structure: a Bayesian network over the attributes is selected greedily —
+// attribute order is random; each new attribute picks its parent set
+// (<= max_parents already-selected attributes) with the exponential
+// mechanism over empirical mutual information, executed inside the
+// protected kernel (Private->Public).  Measurement: one noisy marginal
+// per clique {attr} ∪ parents (Laplace).  Inference: either the original
+// product-of-conditionals estimate (plan "PrivBayes") or generic least
+// squares on the same marginal measurements (plan #17, "PrivBayesLS").
+#ifndef EKTELO_OPS_PRIVBAYES_H_
+#define EKTELO_OPS_PRIVBAYES_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "data/schema.h"
+#include "kernel/kernel.h"
+#include "ops/measurement.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace ektelo {
+
+struct PrivBayesOptions {
+  std::size_t max_parents = 2;
+  /// Fraction of eps spent on structure selection (split across picks);
+  /// a small slice estimates N for the MI sensitivity; the rest measures
+  /// the clique marginals.
+  double structure_frac = 0.3;
+  double count_frac = 0.05;
+};
+
+struct PrivBayesClique {
+  /// Attribute indices, ascending; the *last listed in `order`* is the
+  /// child, the rest are its parents.
+  std::size_t child;
+  std::vector<std::size_t> parents;
+};
+
+struct PrivBayesResult {
+  std::vector<PrivBayesClique> cliques;  // in selection (topological) order
+  /// Noisy marginal vector per clique over sorted({child} ∪ parents),
+  /// laid out attr-major like MarginalWorkload.
+  std::vector<Vec> noisy_marginals;
+  double noise_scale = 0.0;   // Laplace scale of the marginal measurements
+  double noisy_total = 0.0;   // DP estimate of |D|
+  /// Measurements mapped onto the full domain (for LS inference).
+  MeasurementSet measurements;
+};
+
+/// Select the network and measure the clique marginals, spending `eps`.
+/// `src` must be the root table source of `kernel` with schema `schema`.
+StatusOr<PrivBayesResult> PrivBayesSelectAndMeasure(
+    ProtectedKernel* kernel, SourceId src, const Schema& schema, double eps,
+    Rng* rng, const PrivBayesOptions& opts = {});
+
+/// Expected product-form estimate: normalize the noisy marginals into
+/// conditional distributions and return noisy_total * prod P(a | parents)
+/// over the full domain.  (The smooth, variance-free summary of the net.)
+Vec PrivBayesProductEstimate(const Schema& schema,
+                             const PrivBayesResult& result);
+
+/// Faithful PrivBayes inference (Zhang et al.): ancestral-sample
+/// round(noisy_total) synthetic records from the same conditionals and
+/// return their histogram.  This is what the original system releases;
+/// the sampling variance it carries is part of the baseline's error
+/// profile in Table 5.
+Vec PrivBayesSampleEstimate(const Schema& schema,
+                            const PrivBayesResult& result, Rng* rng);
+
+/// Empirical mutual information I(A; B) of attribute sets in a table
+/// (natural log).  Exposed for tests.
+double EmpiricalMutualInformation(const Table& t,
+                                  const std::vector<std::size_t>& a_attrs,
+                                  const std::vector<std::size_t>& b_attrs);
+
+}  // namespace ektelo
+
+#endif  // EKTELO_OPS_PRIVBAYES_H_

@@ -1,0 +1,63 @@
+#include "plans/case_studies.h"
+
+#include <algorithm>
+
+#include "matrix/implicit_ops.h"
+#include "ops/inference.h"
+#include "util/check.h"
+
+namespace ektelo {
+
+StatusOr<Vec> RunCdfEstimatorPlan(ProtectedKernel* kernel,
+                                  const CdfPlanOptions& opts) {
+  // Lines 2-4: transformations.
+  EK_ASSIGN_OR_RETURN(SourceId filtered,
+                      kernel->TWhere(kernel->root(), opts.filter));
+  EK_ASSIGN_OR_RETURN(SourceId selected,
+                      kernel->TSelect(filtered, {opts.value_attr}));
+  EK_ASSIGN_OR_RETURN(SourceId x, kernel->TVectorize(selected));
+  const std::size_t n = kernel->VectorSize(x);
+
+  // Line 5: AHPpartition with eps/2.
+  EK_ASSIGN_OR_RETURN(Partition p, AhpPartitionSelect(kernel, x,
+                                                      opts.eps / 2.0,
+                                                      opts.ahp));
+  // Line 6: reduce.
+  EK_ASSIGN_OR_RETURN(SourceId reduced, kernel->VReduceByPartition(x, p));
+  // Lines 7-8: Identity selection + Vector Laplace with eps/2.
+  EK_ASSIGN_OR_RETURN(
+      Vec y, kernel->VectorLaplace(reduced, *MakeIdentityOp(p.num_groups()),
+                                   opts.eps / 2.0));
+  // Line 9: NNLS(P, y) on the original salary domain.
+  MeasurementSet mset;
+  mset.Add(p.ReduceOp(), std::move(y), 2.0 / opts.eps);
+  Vec xhat = NnlsInference(mset);
+  EK_CHECK_EQ(xhat.size(), n);
+
+  // Lines 10-11: W_pre * xhat.
+  return MakePrefixOp(n)->Apply(xhat);
+}
+
+StatusOr<Vec> RunPrivBayesPlan(ProtectedKernel* kernel, const Schema& schema,
+                               double eps, Rng* rng,
+                               const PrivBayesOptions& opts) {
+  EK_ASSIGN_OR_RETURN(
+      PrivBayesResult result,
+      PrivBayesSelectAndMeasure(kernel, kernel->root(), schema, eps, rng,
+                                opts));
+  // The original system releases sampled synthetic data; its sampling
+  // variance is part of the baseline's error profile.
+  return PrivBayesSampleEstimate(schema, result, rng);
+}
+
+StatusOr<Vec> RunPrivBayesLsPlan(ProtectedKernel* kernel,
+                                 const Schema& schema, double eps, Rng* rng,
+                                 const PrivBayesOptions& opts) {
+  EK_ASSIGN_OR_RETURN(
+      PrivBayesResult result,
+      PrivBayesSelectAndMeasure(kernel, kernel->root(), schema, eps, rng,
+                                opts));
+  return LeastSquaresInference(result.measurements);
+}
+
+}  // namespace ektelo

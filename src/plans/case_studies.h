@@ -1,0 +1,44 @@
+// Case-study plans that start from the protected *table* (not a
+// pre-vectorized source): the CDF estimator of Algorithm 1 and the
+// PrivBayes / PrivBayesLS census plans (Sec. 9.2, Algorithm 7).
+#ifndef EKTELO_PLANS_CASE_STUDIES_H_
+#define EKTELO_PLANS_CASE_STUDIES_H_
+
+#include <string>
+
+#include "data/table.h"
+#include "ops/partition_select.h"
+#include "ops/privbayes.h"
+#include "plans/plan.h"
+
+namespace ektelo {
+
+struct CdfPlanOptions {
+  Predicate filter;        // e.g. sex == M AND age in [30, 39]
+  std::string value_attr;  // e.g. "salary"
+  double eps = 1.0;
+  AhpOptions ahp;
+};
+
+/// Algorithm 1: Where -> Select -> Vectorize -> AHPpartition(eps/2) ->
+/// ReduceByPartition -> Identity + VecLaplace(eps/2) -> NNLS -> Prefix.
+/// Returns the estimated empirical CDF counts (prefix sums) over the
+/// value attribute's domain.
+StatusOr<Vec> RunCdfEstimatorPlan(ProtectedKernel* kernel,
+                                  const CdfPlanOptions& opts);
+
+/// PrivBayes baseline: select + measure + product-of-conditionals
+/// inference; returns the full-domain estimate.
+StatusOr<Vec> RunPrivBayesPlan(ProtectedKernel* kernel, const Schema& schema,
+                               double eps, Rng* rng,
+                               const PrivBayesOptions& opts = {});
+
+/// #17 PrivBayesLS (Algorithm 7): same selection/measurement, least
+/// squares inference.
+StatusOr<Vec> RunPrivBayesLsPlan(ProtectedKernel* kernel,
+                                 const Schema& schema, double eps, Rng* rng,
+                                 const PrivBayesOptions& opts = {});
+
+}  // namespace ektelo
+
+#endif  // EKTELO_PLANS_CASE_STUDIES_H_

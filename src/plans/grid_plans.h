@@ -1,0 +1,36 @@
+// 2D spatial plans (Fig. 2 #10-#12): Quadtree, UniformGrid, AdaptiveGrid.
+// All expect ctx.dims = {nx, ny}.
+#ifndef EKTELO_PLANS_GRID_PLANS_H_
+#define EKTELO_PLANS_GRID_PLANS_H_
+
+#include "plans/plan.h"
+
+namespace ektelo {
+
+/// #10 Quadtree: SQ LM LS.
+StatusOr<Vec> RunQuadtreePlan(const PlanContext& ctx);
+
+struct UGridOptions {
+  /// Share of eps used to estimate N for the grid-size rule.
+  double total_frac = 0.05;
+  double c = 10.0;  // Qardaji et al.'s constant
+};
+/// #11 UniformGrid: SU LM LS.
+StatusOr<Vec> RunUniformGridPlan(const PlanContext& ctx,
+                                 const UGridOptions& opts = {});
+
+struct AGridOptions {
+  double total_frac = 0.05;
+  double level1_frac = 0.30;  // of the remainder
+  double c1 = 40.0;           // coarse first-level constant
+  double c2 = 5.0;            // second-level constant
+};
+/// #12 AdaptiveGrid: SU LM LS PU TP[ SA LM ] — coarse grid, then a
+/// per-cell second-level grid sized by the first level's noisy counts,
+/// measured in parallel across the partition, then global LS.
+StatusOr<Vec> RunAdaptiveGridPlan(const PlanContext& ctx,
+                                  const AGridOptions& opts = {});
+
+}  // namespace ektelo
+
+#endif  // EKTELO_PLANS_GRID_PLANS_H_

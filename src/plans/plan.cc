@@ -1,0 +1,29 @@
+#include "plans/plan.h"
+
+namespace ektelo {
+
+const char* MatrixModeName(MatrixMode mode) {
+  switch (mode) {
+    case MatrixMode::kDense:
+      return "dense";
+    case MatrixMode::kSparse:
+      return "sparse";
+    case MatrixMode::kImplicit:
+      return "implicit";
+  }
+  return "?";
+}
+
+LinOpPtr ApplyMode(LinOpPtr op, MatrixMode mode) {
+  switch (mode) {
+    case MatrixMode::kImplicit:
+      return op;
+    case MatrixMode::kSparse:
+      return MakeSparse(op->MaterializeSparse());
+    case MatrixMode::kDense:
+      return MakeDense(op->MaterializeDense());
+  }
+  return op;
+}
+
+}  // namespace ektelo

@@ -1,0 +1,51 @@
+// Plan execution context shared by every plan in the Fig. 2 catalog.
+//
+// A plan is a client-space function: it receives a handle to a protected
+// vector source plus public metadata (domain shape, budget, matrix mode)
+// and returns a differentially-private estimate xhat of the full data
+// vector.  All private interaction goes through the ProtectedKernel; the
+// privacy guarantee (Theorem 4.1) therefore holds for arbitrary plan code.
+//
+// MatrixMode selects the physical representation of measurement matrices
+// (Sec. 10.2's dense/sparse/implicit comparison): plans build implicit
+// operators and convert them per mode, so the same plan logic exercises
+// all three implementations.
+#ifndef EKTELO_PLANS_PLAN_H_
+#define EKTELO_PLANS_PLAN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "kernel/kernel.h"
+#include "matrix/linop.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace ektelo {
+
+enum class MatrixMode { kDense, kSparse, kImplicit };
+
+const char* MatrixModeName(MatrixMode mode);
+
+/// Convert an implicit operator to the requested physical representation
+/// (kImplicit is the identity conversion; the others materialize).
+LinOpPtr ApplyMode(LinOpPtr op, MatrixMode mode);
+
+struct PlanContext {
+  ProtectedKernel* kernel = nullptr;
+  SourceId x = 0;                  // protected vector source
+  std::vector<std::size_t> dims;   // public domain shape
+  double eps = 0.1;
+  MatrixMode mode = MatrixMode::kImplicit;
+  Rng* rng = nullptr;              // client-side randomness
+
+  std::size_t n() const {
+    std::size_t total = 1;
+    for (std::size_t d : dims) total *= d;
+    return total;
+  }
+};
+
+}  // namespace ektelo
+
+#endif  // EKTELO_PLANS_PLAN_H_

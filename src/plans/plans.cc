@@ -1,0 +1,229 @@
+#include "plans/plans.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/haar.h"
+#include "matrix/combinators.h"
+#include "matrix/implicit_ops.h"
+#include "ops/hdmm.h"
+#include "ops/inference.h"
+#include "ops/selection.h"
+#include "util/check.h"
+
+namespace ektelo {
+
+namespace {
+
+/// Select-measure-infer: the shared backbone of plans #1-#6, #13 and the
+/// workload baselines.  Measures `strategy` at full eps, runs weighted LS.
+StatusOr<Vec> SelectMeasureLs(const PlanContext& ctx, LinOpPtr strategy) {
+  LinOpPtr m = ApplyMode(std::move(strategy), ctx.mode);
+  const double sens = m->SensitivityL1();
+  EK_ASSIGN_OR_RETURN(Vec y, ctx.kernel->VectorLaplace(ctx.x, *m, ctx.eps));
+  MeasurementSet mset;
+  mset.Add(m, std::move(y), sens / ctx.eps);
+  return LeastSquaresInference(mset);
+}
+
+}  // namespace
+
+StatusOr<Vec> RunIdentityPlan(const PlanContext& ctx) {
+  // Identity needs no inference: the noisy counts are the estimate.
+  LinOpPtr m = ApplyMode(IdentitySelect(ctx.n()), ctx.mode);
+  return ctx.kernel->VectorLaplace(ctx.x, *m, ctx.eps);
+}
+
+StatusOr<Vec> RunUniformPlan(const PlanContext& ctx) {
+  // ST LM LS: measure the total; min-norm LS spreads it uniformly.
+  return SelectMeasureLs(ctx, TotalSelect(ctx.n()));
+}
+
+StatusOr<Vec> RunPriveletPlan(const PlanContext& ctx) {
+  // SP LM LS: per-dimension Haar wavelets composed by Kronecker.
+  std::vector<LinOpPtr> factors;
+  for (std::size_t d : ctx.dims) {
+    if (!IsPowerOfTwo(d))
+      return Status::InvalidArgument(
+          "Privelet requires power-of-two dimensions");
+    factors.push_back(MakeWaveletOp(d));
+  }
+  return SelectMeasureLs(ctx, MakeKronecker(std::move(factors)));
+}
+
+StatusOr<Vec> RunH2Plan(const PlanContext& ctx) {
+  return SelectMeasureLs(ctx, H2Select(ctx.n()));
+}
+
+StatusOr<Vec> RunHbPlan(const PlanContext& ctx) {
+  return SelectMeasureLs(ctx, HbSelect(ctx.n()));
+}
+
+StatusOr<Vec> RunGreedyHPlan(const PlanContext& ctx,
+                             const std::vector<RangeQuery>& workload) {
+  return SelectMeasureLs(ctx, GreedyHSelect(workload, ctx.n()));
+}
+
+StatusOr<Vec> RunWorkloadPlan(const PlanContext& ctx, LinOpPtr workload,
+                              bool ls_inference) {
+  if (!ls_inference) {
+    // Raw noisy answers, reconstructed at minimum norm so callers get an
+    // xhat; the Naive-Bayes "Workload" baseline reads marginals off it.
+    return SelectMeasureLs(ctx, std::move(workload));
+  }
+  return SelectMeasureLs(ctx, std::move(workload));
+}
+
+StatusOr<Vec> RunHdmmPlan(const PlanContext& ctx,
+                          const std::vector<LinOpPtr>& workload_factors) {
+  if (workload_factors.size() != ctx.dims.size())
+    return Status::InvalidArgument("one workload factor per dimension");
+  LinOpPtr strategy = HdmmSelect(workload_factors, ctx.dims);
+  return SelectMeasureLs(ctx, std::move(strategy));
+}
+
+// ------------------------------------------------------------------ MWEM
+
+namespace {
+
+/// Variant b/d query-selection augmentation: tile the domain outside the
+/// selected range with disjoint intervals of length 2^(round-1) — free to
+/// measure alongside q under parallel composition (sensitivity stays 1).
+std::vector<RangeQuery> AugmentDisjoint(const RangeQuery& q, std::size_t n,
+                                        std::size_t round) {
+  std::vector<RangeQuery> extra;
+  const std::size_t len = std::min<std::size_t>(
+      std::size_t{1} << std::min<std::size_t>(round - 1, 30), n);
+  auto tile = [&](std::size_t lo, std::size_t hi_excl) {
+    for (std::size_t p = lo; p < hi_excl; p += len)
+      extra.push_back({p, std::min(p + len, hi_excl) - 1});
+  };
+  if (q.lo > 0) tile(0, q.lo);
+  if (q.hi + 1 < n) tile(q.hi + 1, n);
+  return extra;
+}
+
+}  // namespace
+
+StatusOr<Vec> RunMwemPlan(const PlanContext& ctx,
+                          const std::vector<RangeQuery>& workload,
+                          const MwemOptions& opts) {
+  const std::size_t n = ctx.n();
+  if (opts.rounds == 0) return Status::InvalidArgument("rounds must be > 0");
+  if (opts.known_total <= 0.0)
+    return Status::InvalidArgument("MWEM requires a positive known total");
+  LinOpPtr w_op = ApplyMode(RangeQueryOp(workload, n), ctx.mode);
+
+  const double eps_round = ctx.eps / double(opts.rounds);
+  const double eps_select = eps_round / 2.0;
+  const double eps_measure = eps_round / 2.0;
+
+  Vec xhat(n, opts.known_total / double(n));
+  MeasurementSet mset;
+  for (std::size_t round = 1; round <= opts.rounds; ++round) {
+    EK_ASSIGN_OR_RETURN(std::size_t pick,
+                        ctx.kernel->WorstApprox(ctx.x, *w_op, xhat,
+                                                eps_select));
+    std::vector<RangeQuery> to_measure = {workload[pick]};
+    if (opts.augment_h2) {
+      auto extra = AugmentDisjoint(workload[pick], n, round);
+      to_measure.insert(to_measure.end(), extra.begin(), extra.end());
+    }
+    LinOpPtr m = ApplyMode(RangeQueryOp(to_measure, n), ctx.mode);
+    // Disjoint ranges: sensitivity 1 whether or not we augmented.
+    EK_ASSIGN_OR_RETURN(Vec y,
+                        ctx.kernel->VectorLaplace(ctx.x, *m, eps_measure));
+    mset.Add(m, std::move(y), 1.0 / eps_measure);
+
+    if (opts.nnls_inference) {
+      // Warm-start from the previous round's estimate: faster and keeps
+      // the uniform prior in yet-unmeasured directions, like MW.
+      xhat = NnlsInference(mset, opts.known_total,
+                           {.max_iters = 300, .x0 = xhat});
+    } else {
+      xhat = MultWeightsStep(mset, std::move(xhat),
+                             {.iterations = opts.mw_iterations});
+    }
+  }
+  return xhat;
+}
+
+// ------------------------------------------------------------------- AHP
+
+StatusOr<Vec> RunAhpPlan(const PlanContext& ctx, const AhpPlanOptions& opts) {
+  const double eps_part = ctx.eps * opts.partition_frac;
+  const double eps_meas = ctx.eps - eps_part;
+  EK_ASSIGN_OR_RETURN(
+      Partition p, AhpPartitionSelect(ctx.kernel, ctx.x, eps_part, opts.ahp));
+  EK_ASSIGN_OR_RETURN(SourceId reduced,
+                      ctx.kernel->VReduceByPartition(ctx.x, p));
+  LinOpPtr reduce_op = ApplyMode(p.ReduceOp(), ctx.mode);
+  LinOpPtr ident = ApplyMode(IdentitySelect(p.num_groups()), ctx.mode);
+  EK_ASSIGN_OR_RETURN(Vec y,
+                      ctx.kernel->VectorLaplace(reduced, *ident, eps_meas));
+  MeasurementSet mset;
+  // Identity on the reduced domain == the partition matrix on the
+  // original domain; LS min-norm expands uniformly within groups.
+  mset.Add(reduce_op, std::move(y), 1.0 / eps_meas);
+  Vec xhat = LeastSquaresInference(mset);
+  for (double& v : xhat) v = std::max(v, 0.0);
+  return xhat;
+}
+
+// ------------------------------------------------------------------ DAWA
+
+std::vector<RangeQuery> MapRangesToIntervalPartition(
+    const std::vector<RangeQuery>& ranges, const Partition& p) {
+  std::vector<RangeQuery> out;
+  out.reserve(ranges.size());
+  for (const auto& r : ranges) {
+    const std::size_t glo = p.group_of(r.lo);
+    const std::size_t ghi = p.group_of(r.hi);
+    EK_CHECK_LE(glo, ghi);
+    out.push_back({glo, ghi});
+  }
+  return out;
+}
+
+StatusOr<Vec> RunDawaPlan(const PlanContext& ctx,
+                          const std::vector<RangeQuery>& workload,
+                          const DawaPlanOptions& opts) {
+  const double eps_part = ctx.eps * opts.partition_frac;
+  const double eps_meas = ctx.eps - eps_part;
+  EK_ASSIGN_OR_RETURN(
+      Partition p,
+      DawaPartitionSelect(ctx.kernel, ctx.x, eps_part, opts.dawa));
+  EK_ASSIGN_OR_RETURN(SourceId reduced,
+                      ctx.kernel->VReduceByPartition(ctx.x, p));
+  auto reduced_workload = MapRangesToIntervalPartition(workload, p);
+  LinOpPtr strategy =
+      ApplyMode(GreedyHSelect(reduced_workload, p.num_groups()), ctx.mode);
+  const double sens = strategy->SensitivityL1();
+  EK_ASSIGN_OR_RETURN(
+      Vec y, ctx.kernel->VectorLaplace(reduced, *strategy, eps_meas));
+  if (!opts.dawa.cell_volumes.empty()) {
+    // Cells are pre-merged groups with public volumes: solve on the
+    // reduced domain and expand each group's total proportionally to
+    // volume (uniform *density* within a group, not uniform count).
+    MeasurementSet mset;
+    mset.Add(strategy, std::move(y), sens / eps_meas);
+    Vec z = LeastSquaresInference(mset);
+    const std::size_t n = ctx.n();
+    Vec group_vol(p.num_groups(), 0.0);
+    for (std::size_t c = 0; c < n; ++c)
+      group_vol[p.group_of(c)] += std::max(opts.dawa.cell_volumes[c], 1.0);
+    Vec xhat(n);
+    for (std::size_t c = 0; c < n; ++c) {
+      const uint32_t g = p.group_of(c);
+      xhat[c] = z[g] * std::max(opts.dawa.cell_volumes[c], 1.0) /
+                group_vol[g];
+    }
+    return xhat;
+  }
+  MeasurementSet mset;
+  mset.Add(MakeProduct(strategy, ApplyMode(p.ReduceOp(), ctx.mode)),
+           std::move(y), sens / eps_meas);
+  return LeastSquaresInference(mset);
+}
+
+}  // namespace ektelo

@@ -1,0 +1,91 @@
+// The Fig. 2 plan catalog (1D / flattened-domain plans).
+//
+// Plan signatures (operators color-coded in the paper):
+//   #1  Identity        SI LM
+//   #2  Privelet        SP LM LS
+//   #3  H2              SH2 LM LS
+//   #4  HB              SHB LM LS
+//   #5  Greedy-H        SG LM LS
+//   #6  Uniform         ST LM LS
+//   #7  MWEM            I:( SW LM MW )
+//   #8  AHP             PA TR SI LM LS
+//   #9  DAWA            PD TR SG LM LS
+//   #13 HDMM            SHD LM LS
+//   #18 MWEM variant b  I:( SW SH2 LM MW )
+//   #19 MWEM variant c  I:( SW LM NLS )
+//   #20 MWEM variant d  I:( SW SH2 LM NLS )
+// plus the Workload / WorkloadLS baselines of the Naive-Bayes case study.
+//
+// Every plan implicitly starts with T-Vectorize (the PlanContext already
+// points at a vector source) and returns an estimate of the full data
+// vector.
+#ifndef EKTELO_PLANS_PLANS_H_
+#define EKTELO_PLANS_PLANS_H_
+
+#include <vector>
+
+#include "ops/partition_select.h"
+#include "plans/plan.h"
+#include "workload/workloads.h"
+
+namespace ektelo {
+
+StatusOr<Vec> RunIdentityPlan(const PlanContext& ctx);
+StatusOr<Vec> RunUniformPlan(const PlanContext& ctx);
+StatusOr<Vec> RunPriveletPlan(const PlanContext& ctx);
+StatusOr<Vec> RunH2Plan(const PlanContext& ctx);
+StatusOr<Vec> RunHbPlan(const PlanContext& ctx);
+StatusOr<Vec> RunGreedyHPlan(const PlanContext& ctx,
+                             const std::vector<RangeQuery>& workload);
+
+struct MwemOptions {
+  std::size_t rounds = 10;
+  /// Variant b/d: augment each round's selected query with a growing set
+  /// of disjoint hierarchical queries (free under parallel composition).
+  bool augment_h2 = false;
+  /// Variant c/d: replace multiplicative-weights inference with NNLS plus
+  /// the (assumed known) total.
+  bool nnls_inference = false;
+  /// The record total MWEM assumes known.
+  double known_total = 0.0;
+  std::size_t mw_iterations = 40;
+};
+
+StatusOr<Vec> RunMwemPlan(const PlanContext& ctx,
+                          const std::vector<RangeQuery>& workload,
+                          const MwemOptions& opts);
+
+struct AhpPlanOptions {
+  double partition_frac = 0.5;  // eps share for AHPpartition
+  AhpOptions ahp;
+};
+StatusOr<Vec> RunAhpPlan(const PlanContext& ctx,
+                         const AhpPlanOptions& opts = {});
+
+struct DawaPlanOptions {
+  double partition_frac = 0.25;  // DAWA's rho
+  DawaOptions dawa;
+};
+StatusOr<Vec> RunDawaPlan(const PlanContext& ctx,
+                          const std::vector<RangeQuery>& workload,
+                          const DawaPlanOptions& opts = {});
+
+/// HDMM: workload given per-dimension (Kronecker factors).
+StatusOr<Vec> RunHdmmPlan(const PlanContext& ctx,
+                          const std::vector<LinOpPtr>& workload_factors);
+
+/// Measure the workload directly with Vector Laplace; if ls_inference,
+/// follow with least squares (WorkloadLS), else return the minimum-norm
+/// reconstruction of the raw noisy answers.
+StatusOr<Vec> RunWorkloadPlan(const PlanContext& ctx, LinOpPtr workload,
+                              bool ls_inference);
+
+/// Map 1D ranges through an interval partition (groups must be contiguous
+/// intervals, as produced by DawaIntervalPartition): used by DAWA's
+/// stage 2 to express the workload on the reduced domain.
+std::vector<RangeQuery> MapRangesToIntervalPartition(
+    const std::vector<RangeQuery>& ranges, const Partition& p);
+
+}  // namespace ektelo
+
+#endif  // EKTELO_PLANS_PLANS_H_

@@ -1,0 +1,25 @@
+#include "plans/reduction_wrapper.h"
+
+#include "util/check.h"
+
+namespace ektelo {
+
+StatusOr<Vec> RunWithWorkloadReduction(const PlanContext& ctx,
+                                       const LinOp& workload,
+                                       const ReducedPlanFn& body) {
+  if (workload.cols() != ctx.n())
+    return Status::InvalidArgument("workload does not match domain");
+  // Algorithm 4 runs entirely in client space: the workload is public.
+  Partition p = WorkloadBasedPartition(workload, ctx.rng);
+  EK_ASSIGN_OR_RETURN(SourceId reduced,
+                      ctx.kernel->VReduceByPartition(ctx.x, p));
+  PlanContext inner = ctx;
+  inner.x = reduced;
+  inner.dims = {p.num_groups()};
+  EK_ASSIGN_OR_RETURN(Vec xr, body(inner, p));
+  if (xr.size() != p.num_groups())
+    return Status::Internal("reduced plan returned wrong size");
+  return ExpandEstimate(p, xr);
+}
+
+}  // namespace ektelo

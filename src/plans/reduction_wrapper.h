@@ -1,0 +1,32 @@
+// Workload-driven plan wrapper (Sec. 8 as a first-class operator): given
+// any vector plan, run it on the workload-reduced domain and expand the
+// estimate back.  By Prop. 8.3 workload answers are preserved and by
+// Thm. 8.4 least-squares error can only improve; Table 6 measures the
+// practical gains.
+#ifndef EKTELO_PLANS_REDUCTION_WRAPPER_H_
+#define EKTELO_PLANS_REDUCTION_WRAPPER_H_
+
+#include <functional>
+
+#include "plans/plan.h"
+#include "workload/reduction.h"
+
+namespace ektelo {
+
+/// A plan body to run on the (reduced) domain.  Receives the adjusted
+/// context plus the reduction partition (so range workloads can be
+/// remapped via MapRangesToIntervalPartition and data-dependent selectors
+/// can normalize by group volume).
+using ReducedPlanFn =
+    std::function<StatusOr<Vec>(const PlanContext&, const Partition&)>;
+
+/// Compute the workload-based partition of `workload` (Algorithm 4,
+/// public), reduce the protected vector, run `body` on the reduced
+/// context, and expand the estimate uniformly within groups (P+).
+StatusOr<Vec> RunWithWorkloadReduction(const PlanContext& ctx,
+                                       const LinOp& workload,
+                                       const ReducedPlanFn& body);
+
+}  // namespace ektelo
+
+#endif  // EKTELO_PLANS_REDUCTION_WRAPPER_H_

@@ -1,0 +1,46 @@
+// High-dimensional "striped" plans (Sec. 9.2, Fig. 2 #14-#16).
+//
+// The domain is partitioned into 1D stripes along `stripe_dim` (one stripe
+// per combination of the remaining attributes); a 1D subplan runs on every
+// stripe under parallel composition; inference is global least squares.
+// Because no measurement crosses stripes, the global LS decomposes into
+// per-stripe solves, which these implementations exploit (the result is
+// identical to solving the stacked system).
+//
+// HB-Striped_kron expresses the same HB-per-stripe measurements as a
+// single Kronecker product Identity ⊗ ... ⊗ HB ⊗ ... ⊗ Identity and
+// measures it in one Vector Laplace call — the non-iterative alternative
+// whose scalability Fig. 4b compares.
+#ifndef EKTELO_PLANS_STRIPED_PLANS_H_
+#define EKTELO_PLANS_STRIPED_PLANS_H_
+
+#include "ops/partition_select.h"
+#include "plans/plan.h"
+
+namespace ektelo {
+
+/// #15 HB-Striped: PS TP[ SHB LM ] LS.
+StatusOr<Vec> RunHbStripedPlan(const PlanContext& ctx,
+                               std::size_t stripe_dim);
+
+/// #16 HB-Striped_kron: SS LM LS.  ctx.mode selects the representation of
+/// the Kronecker *factors* (the Kronecker structure itself is kept);
+/// materialize_full instead expands the whole product into one flat sparse
+/// matrix — the "Basic sparse" ablation of Fig. 4b.
+StatusOr<Vec> RunHbStripedKronPlan(const PlanContext& ctx,
+                                   std::size_t stripe_dim,
+                                   bool materialize_full = false);
+
+struct DawaStripedOptions {
+  double partition_frac = 0.25;  // rho, as in the paper (0.25)
+  DawaOptions dawa;
+};
+
+/// #14 DAWA-Striped: PS TP[ PD TR SG LM ] LS.
+StatusOr<Vec> RunDawaStripedPlan(const PlanContext& ctx,
+                                 std::size_t stripe_dim,
+                                 const DawaStripedOptions& opts = {});
+
+}  // namespace ektelo
+
+#endif  // EKTELO_PLANS_STRIPED_PLANS_H_

@@ -1,0 +1,32 @@
+// EK_CHECK macros: fail-fast invariant checks for internal (non-kernel)
+// code paths.  These abort the process; they are for programmer errors,
+// never for conditions an adversarial plan could trigger (those must return
+// Status from kernel entry points instead).
+#ifndef EKTELO_UTIL_CHECK_H_
+#define EKTELO_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ektelo::internal {
+[[noreturn]] inline void CheckFail(const char* file, int line,
+                                   const char* expr) {
+  std::fprintf(stderr, "EK_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+}  // namespace ektelo::internal
+
+#define EK_CHECK(cond)                                             \
+  do {                                                             \
+    if (!(cond))                                                   \
+      ::ektelo::internal::CheckFail(__FILE__, __LINE__, #cond);    \
+  } while (0)
+
+#define EK_CHECK_EQ(a, b) EK_CHECK((a) == (b))
+#define EK_CHECK_NE(a, b) EK_CHECK((a) != (b))
+#define EK_CHECK_LT(a, b) EK_CHECK((a) < (b))
+#define EK_CHECK_LE(a, b) EK_CHECK((a) <= (b))
+#define EK_CHECK_GT(a, b) EK_CHECK((a) > (b))
+#define EK_CHECK_GE(a, b) EK_CHECK((a) >= (b))
+
+#endif  // EKTELO_UTIL_CHECK_H_

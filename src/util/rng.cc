@@ -1,0 +1,83 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace ektelo {
+
+double Rng::Uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> d(lo, hi);
+  return d(gen_);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  std::uniform_int_distribution<int64_t> d(lo, hi);
+  return d(gen_);
+}
+
+double Rng::Laplace(double scale) {
+  EK_CHECK_GT(scale, 0.0);
+  // Inverse CDF: u ~ U(-1/2, 1/2); x = -scale * sgn(u) * ln(1 - 2|u|).
+  std::uniform_real_distribution<double> d(-0.5, 0.5);
+  double u = d(gen_);
+  double sign = (u < 0.0) ? -1.0 : 1.0;
+  return -scale * sign * std::log(1.0 - 2.0 * std::abs(u));
+}
+
+std::vector<double> Rng::LaplaceVector(std::size_t n, double scale) {
+  std::vector<double> v(n);
+  for (auto& x : v) x = Laplace(scale);
+  return v;
+}
+
+double Rng::Normal(double mean, double stddev) {
+  std::normal_distribution<double> d(mean, stddev);
+  return d(gen_);
+}
+
+double Rng::Gumbel() {
+  std::uniform_real_distribution<double> d(0.0, 1.0);
+  double u = d(gen_);
+  // Guard against log(0): u in (0,1) almost surely, but clamp anyway.
+  u = std::max(u, 1e-300);
+  return -std::log(-std::log(u));
+}
+
+std::size_t Rng::ExponentialMechanism(const std::vector<double>& scores,
+                                      double eps) {
+  EK_CHECK(!scores.empty());
+  EK_CHECK_GT(eps, 0.0);
+  std::size_t best = 0;
+  double best_val = -1e300;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    double val = 0.5 * eps * scores[i] + Gumbel();
+    if (val > best_val) {
+      best_val = val;
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::size_t Rng::Categorical(const std::vector<double>& weights) {
+  EK_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    EK_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  EK_CHECK_GT(total, 0.0);
+  double u = Uniform(0.0, total);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (u < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::Fork() { return Rng(gen_()); }
+
+}  // namespace ektelo

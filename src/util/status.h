@@ -1,0 +1,136 @@
+// Status and StatusOr: lightweight error propagation for kernel boundaries.
+//
+// EKTELO's protected kernel must refuse requests (e.g. when the privacy
+// budget is exhausted) without throwing away the program or leaking private
+// state through the failure path.  Following the RocksDB idiom, fallible
+// kernel entry points return Status (or StatusOr<T> when they yield a
+// value).  Pure-math internal code uses EK_CHECK macros instead.
+#ifndef EKTELO_UTIL_STATUS_H_
+#define EKTELO_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/check.h"
+
+namespace ektelo {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kFailedPrecondition,
+  kOutOfRange,
+  kNotFound,
+  // The privacy budget cannot cover the request.  Construction of this
+  // status never inspects private data (paper Sec. 4.3): the decision is a
+  // deterministic function of the budget tracker, which is public state.
+  kBudgetExhausted,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Result of a fallible kernel operation: a code plus a human-readable
+/// message.  Cheap to copy; ok() is the common fast path.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status FailedPrecondition(std::string m) {
+    return Status(StatusCode::kFailedPrecondition, std::move(m));
+  }
+  static Status OutOfRange(std::string m) {
+    return Status(StatusCode::kOutOfRange, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status BudgetExhausted(std::string m) {
+    return Status(StatusCode::kBudgetExhausted, std::move(m));
+  }
+  static Status Unimplemented(std::string m) {
+    return Status(StatusCode::kUnimplemented, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "CODE: message"; for logs and test failure output.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or a non-OK Status.  value() aborts on error
+/// (use after checking ok(), or in tests / examples where errors are bugs).
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : v_(std::move(status)) {
+    EK_CHECK(!std::get<Status>(v_).ok());
+  }
+  StatusOr(T value) : v_(std::move(value)) {}
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(v_);
+  }
+
+  const T& value() const& {
+    EK_CHECK(ok());
+    return std::get<T>(v_);
+  }
+  T& value() & {
+    EK_CHECK(ok());
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    EK_CHECK(ok());
+    return std::get<T>(std::move(v_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> v_;
+};
+
+/// Propagate a non-OK status to the caller.
+#define EK_RETURN_IF_ERROR(expr)                 \
+  do {                                           \
+    ::ektelo::Status _ek_st = (expr);            \
+    if (!_ek_st.ok()) return _ek_st;             \
+  } while (0)
+
+#define EK_CONCAT_INNER(a, b) a##b
+#define EK_CONCAT(a, b) EK_CONCAT_INNER(a, b)
+
+/// Assign from a StatusOr or propagate its error.
+#define EK_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                             \
+  if (!tmp.ok()) return tmp.status();            \
+  lhs = std::move(tmp).value();
+
+#define EK_ASSIGN_OR_RETURN(lhs, expr) \
+  EK_ASSIGN_OR_RETURN_IMPL(EK_CONCAT(_ek_sor_, __LINE__), lhs, expr)
+
+}  // namespace ektelo
+
+#endif  // EKTELO_UTIL_STATUS_H_

@@ -1,0 +1,25 @@
+// Wall-clock timing for the benchmark harnesses.
+#ifndef EKTELO_UTIL_TIMER_H_
+#define EKTELO_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace ektelo {
+
+/// Simple wall timer; Elapsed() returns seconds since construction/Reset.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+  void Reset() { start_ = Clock::now(); }
+  double Elapsed() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ektelo
+
+#endif  // EKTELO_UTIL_TIMER_H_

@@ -1,0 +1,38 @@
+// Workload-based partition selection (paper Sec. 8): losslessly reduce the
+// data-vector representation to exactly the resolution the workload can
+// distinguish.
+//
+// Cells i, j of x are merged when the workload treats them identically,
+// i.e. columns w_i = w_j of W.  Algorithm 4 finds the column groups with a
+// single random projection h = W^T v — identical columns give identical h
+// values, distinct columns collide with probability ~1e-16 per pair —
+// so the reduction runs on implicit workloads without materialization.
+//
+// Properties (proved in the paper, verified in tests):
+//   * W x = W' x' with W' = W P+ and x' = P x  (Prop. 8.3, lossless);
+//   * least-squares error never increases after reduction (Thm. 8.4).
+#ifndef EKTELO_WORKLOAD_REDUCTION_H_
+#define EKTELO_WORKLOAD_REDUCTION_H_
+
+#include "matrix/linop.h"
+#include "matrix/partition.h"
+#include "util/rng.h"
+
+namespace ektelo {
+
+/// Algorithm 4: partition grouping identical workload columns.  `repeats`
+/// independent projections drive the per-pair failure probability to
+/// ~1e-16k (the paper's optional k-repetition).
+Partition WorkloadBasedPartition(const LinOp& workload, Rng* rng,
+                                 std::size_t repeats = 2);
+
+/// The reduced workload W' = W P+ on the reduced domain.
+LinOpPtr ReduceWorkload(LinOpPtr workload, const Partition& p);
+
+/// Expand a reduced-domain estimate back to the original domain via
+/// x = P+ x' (uniform expansion within groups).
+Vec ExpandEstimate(const Partition& p, const Vec& reduced);
+
+}  // namespace ektelo
+
+#endif  // EKTELO_WORKLOAD_REDUCTION_H_

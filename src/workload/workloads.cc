@@ -1,0 +1,118 @@
+#include "workload/workloads.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "matrix/combinators.h"
+#include "matrix/implicit_ops.h"
+#include "util/check.h"
+
+namespace ektelo {
+
+LinOpPtr RangeQueryOp(const std::vector<RangeQuery>& queries, std::size_t n) {
+  EK_CHECK(!queries.empty());
+  std::vector<Interval> ranges;
+  ranges.reserve(queries.size());
+  for (const auto& q : queries) {
+    EK_CHECK_LE(q.lo, q.hi);
+    EK_CHECK_LT(q.hi, n);
+    ranges.push_back({q.lo, q.hi});
+  }
+  return MakeRangeSetOp(std::move(ranges), n);
+}
+
+std::vector<RangeQuery> RandomRanges(std::size_t m, std::size_t n,
+                                     std::size_t max_width, Rng* rng) {
+  std::vector<RangeQuery> qs;
+  qs.reserve(m);
+  const std::size_t cap = (max_width == 0 || max_width > n) ? n : max_width;
+  for (std::size_t i = 0; i < m; ++i) {
+    std::size_t w = static_cast<std::size_t>(rng->UniformInt(1, cap));
+    std::size_t lo = static_cast<std::size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(n - w)));
+    qs.push_back({lo, lo + w - 1});
+  }
+  return qs;
+}
+
+LinOpPtr RandomRangeWorkload(std::size_t m, std::size_t n,
+                             std::size_t max_width, Rng* rng) {
+  return RangeQueryOp(RandomRanges(m, n, max_width, rng), n);
+}
+
+LinOpPtr AllRangeWorkload(std::size_t n) {
+  std::vector<RangeQuery> qs;
+  qs.reserve(n * (n + 1) / 2);
+  for (std::size_t lo = 0; lo < n; ++lo)
+    for (std::size_t hi = lo; hi < n; ++hi) qs.push_back({lo, hi});
+  return RangeQueryOp(qs, n);
+}
+
+LinOpPtr PrefixWorkload(std::size_t n) { return MakePrefixOp(n); }
+LinOpPtr IdentityWorkload(std::size_t n) { return MakeIdentityOp(n); }
+LinOpPtr TotalWorkload(std::size_t n) { return MakeTotalOp(n); }
+
+LinOpPtr RandomRectangleWorkload(std::size_t m, std::size_t nx,
+                                 std::size_t ny, std::size_t max_width,
+                                 Rng* rng) {
+  auto ranges_x = RandomRanges(m, nx, max_width, rng);
+  auto ranges_y = RandomRanges(m, ny, max_width, rng);
+  std::vector<Rectangle> rects;
+  rects.reserve(m);
+  for (std::size_t q = 0; q < m; ++q)
+    rects.push_back({ranges_x[q].lo, ranges_x[q].hi, ranges_y[q].lo,
+                     ranges_y[q].hi});
+  return MakeRectangleSetOp(std::move(rects), nx, ny);
+}
+
+LinOpPtr MarginalWorkload(const Schema& schema,
+                          const std::vector<std::string>& keep) {
+  std::vector<LinOpPtr> factors;
+  factors.reserve(schema.num_attrs());
+  for (std::size_t a = 0; a < schema.num_attrs(); ++a) {
+    const bool kept = std::find(keep.begin(), keep.end(),
+                                schema.attr(a).name) != keep.end();
+    const std::size_t d = schema.attr(a).domain_size;
+    factors.push_back(kept ? MakeIdentityOp(d) : MakeTotalOp(d));
+  }
+  return MakeKronecker(std::move(factors));
+}
+
+LinOpPtr AllKWayMarginals(const Schema& schema, std::size_t k) {
+  EK_CHECK_GE(schema.num_attrs(), k);
+  std::vector<LinOpPtr> parts;
+  // Enumerate attribute subsets of size k via bitmask (attr counts are
+  // small in every workload we target).
+  const std::size_t na = schema.num_attrs();
+  std::vector<std::size_t> idx(k);
+  // Simple recursive combination enumeration.
+  std::vector<std::string> names;
+  std::function<void(std::size_t, std::size_t)> rec = [&](std::size_t start,
+                                                          std::size_t depth) {
+    if (depth == k) {
+      parts.push_back(MarginalWorkload(schema, names));
+      return;
+    }
+    for (std::size_t a = start; a + (k - depth) <= na; ++a) {
+      names.push_back(schema.attr(a).name);
+      rec(a + 1, depth + 1);
+      names.pop_back();
+    }
+  };
+  rec(0, 0);
+  return MakeVStack(std::move(parts));
+}
+
+LinOpPtr CensusPrefixIncomeWorkload(const Schema& schema) {
+  EK_CHECK_GE(schema.num_attrs(), 1u);
+  std::vector<LinOpPtr> factors;
+  factors.push_back(MakePrefixOp(schema.attr(0).domain_size));
+  for (std::size_t a = 1; a < schema.num_attrs(); ++a) {
+    const std::size_t d = schema.attr(a).domain_size;
+    // "<any>" (Total) plus each specific value (Identity).
+    factors.push_back(MakeVStack({MakeTotalOp(d), MakeIdentityOp(d)}));
+  }
+  return MakeKronecker(std::move(factors));
+}
+
+}  // namespace ektelo

@@ -1,0 +1,65 @@
+// Workload constructors: the target query sets of the paper's evaluation.
+//
+// All workloads are LinOps, so large workloads (e.g. the Census
+// Prefix(Income) workload with ~1.8M queries over a 1.4M-cell domain) stay
+// implicit and are never materialized.
+#ifndef EKTELO_WORKLOAD_WORKLOADS_H_
+#define EKTELO_WORKLOAD_WORKLOADS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "data/schema.h"
+#include "matrix/linop.h"
+#include "matrix/range_ops.h"
+#include "util/rng.h"
+
+namespace ektelo {
+
+/// A 1D range query [lo, hi] (inclusive, 0-based cell indices).
+struct RangeQuery {
+  std::size_t lo;
+  std::size_t hi;
+};
+
+/// Range queries encoded as Product(Sparse, Prefix) (Example 7.4):
+/// each row is prefix(hi) - prefix(lo-1).  Mat-vec cost O(n + m).
+LinOpPtr RangeQueryOp(const std::vector<RangeQuery>& queries, std::size_t n);
+
+/// m random range queries.  max_width = 0 means unrestricted; Table 6 uses
+/// "small ranges" (width capped well below n).
+std::vector<RangeQuery> RandomRanges(std::size_t m, std::size_t n,
+                                     std::size_t max_width, Rng* rng);
+LinOpPtr RandomRangeWorkload(std::size_t m, std::size_t n,
+                             std::size_t max_width, Rng* rng);
+
+/// All n(n+1)/2 ranges over a (small) 1D domain.
+LinOpPtr AllRangeWorkload(std::size_t n);
+
+/// Prefix workload (empirical CDF), Identity, Total.
+LinOpPtr PrefixWorkload(std::size_t n);
+LinOpPtr IdentityWorkload(std::size_t n);
+LinOpPtr TotalWorkload(std::size_t n);
+
+/// 2D random rectangular ranges over an nx x ny grid, encoded as a
+/// Kronecker-structured Product(Sparse, Prefix ⊗ Prefix).
+LinOpPtr RandomRectangleWorkload(std::size_t m, std::size_t nx,
+                                 std::size_t ny, std::size_t max_width,
+                                 Rng* rng);
+
+/// The marginal over the given attribute subset (Example 7.5): the
+/// Kronecker product with Identity on attrs in `keep` and Total elsewhere.
+LinOpPtr MarginalWorkload(const Schema& schema,
+                          const std::vector<std::string>& keep);
+
+/// Union of all k-way marginals (Table 5 uses k = 2).
+LinOpPtr AllKWayMarginals(const Schema& schema, std::size_t k);
+
+/// Census Prefix(Income) workload (Sec. 9.2): Prefix on the first (income)
+/// attribute crossed with, per other attribute, both Total ("<any>") and
+/// Identity (each specific value).
+LinOpPtr CensusPrefixIncomeWorkload(const Schema& schema);
+
+}  // namespace ektelo
+
+#endif  // EKTELO_WORKLOAD_WORKLOADS_H_

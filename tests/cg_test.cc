@@ -1,0 +1,99 @@
+// Tests for the CGNR least-squares backend and the thresholding
+// post-processor.
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "linalg/dense.h"
+#include "matrix/cg.h"
+#include "matrix/implicit_ops.h"
+#include "matrix/combinators.h"
+#include "ops/inference.h"
+#include "util/rng.h"
+
+namespace ektelo {
+namespace {
+
+Vec RandomVec(std::size_t n, Rng* rng) {
+  Vec v(n);
+  for (auto& x : v) x = rng->Normal();
+  return v;
+}
+
+TEST(CgTest, SolvesConsistentSystem) {
+  Rng rng(1);
+  DenseMatrix a(10, 10);
+  for (std::size_t i = 0; i < 10; ++i)
+    for (std::size_t j = 0; j < 10; ++j) a.At(i, j) = rng.Normal();
+  Vec x_true = RandomVec(10, &rng);
+  Vec b = a.Matvec(x_true);
+  CgResult res = CgLeastSquares(*MakeDense(a), b);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_NEAR(res.x[i], x_true[i], 1e-4);
+}
+
+TEST(CgTest, MatchesDirectOnOverdetermined) {
+  Rng rng(2);
+  DenseMatrix a(30, 8);
+  for (std::size_t i = 0; i < 30; ++i)
+    for (std::size_t j = 0; j < 8; ++j) a.At(i, j) = rng.Normal();
+  Vec b = RandomVec(30, &rng);
+  Vec direct = DirectLeastSquares(a, b);
+  CgResult res = CgLeastSquares(*MakeDense(a), b);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_NEAR(res.x[i], direct[i], 1e-4);
+}
+
+TEST(CgTest, AgreesWithLsmrOnHierarchy) {
+  Rng rng(3);
+  const std::size_t n = 128;
+  auto m = MakeVStack({MakeTotalOp(n), MakeIdentityOp(n)});
+  Vec y = m->Apply(RandomVec(n, &rng));
+  for (auto& v : y) v += rng.Laplace(1.0);
+  MeasurementSet mset;
+  mset.Add(m, y, 1.0);
+  Vec lsmr = LeastSquaresInference(mset);
+  Vec cg = CgLeastSquaresInference(mset);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(lsmr[i], cg[i], 1e-4);
+}
+
+TEST(CgTest, ZeroRhsGivesZero) {
+  CgResult res = CgLeastSquares(*MakeIdentityOp(6), Vec(6, 0.0));
+  for (double v : res.x) EXPECT_DOUBLE_EQ(v, 0.0);
+  EXPECT_EQ(res.iterations, 0u);
+}
+
+TEST(CgTest, ConvergesFastOnWellConditioned) {
+  CgResult res = CgLeastSquares(*MakeIdentityOp(256), Vec(256, 3.0));
+  EXPECT_LE(res.iterations, 3u);
+}
+
+TEST(ThresholdingTest, ZeroesSmallEntriesOnly) {
+  Vec x = {0.5, -0.4, 10.0, -7.0, 0.0};
+  Vec t = ThresholdingInference(x, 1.0);
+  EXPECT_DOUBLE_EQ(t[0], 0.0);
+  EXPECT_DOUBLE_EQ(t[1], 0.0);
+  EXPECT_DOUBLE_EQ(t[2], 10.0);
+  EXPECT_DOUBLE_EQ(t[3], -7.0);
+}
+
+TEST(ThresholdingTest, ZeroThresholdIsIdentity) {
+  Vec x = {0.1, -0.1};
+  Vec t = ThresholdingInference(x, 0.0);
+  EXPECT_DOUBLE_EQ(t[0], 0.1);
+  EXPECT_DOUBLE_EQ(t[1], -0.1);
+}
+
+TEST(ThresholdingTest, ImprovesSparseEstimates) {
+  // On sparse data, zeroing the noise floor reduces error (AHP's trick).
+  Rng rng(4);
+  const std::size_t n = 512;
+  Vec x_true(n, 0.0);
+  x_true[7] = 500.0;
+  x_true[300] = 800.0;
+  Vec noisy = x_true;
+  const double scale = 10.0;
+  for (auto& v : noisy) v += rng.Laplace(scale);
+  Vec cleaned = ThresholdingInference(noisy, 2.0 * scale);
+  EXPECT_LT(Rmse(cleaned, x_true), Rmse(noisy, x_true));
+}
+
+}  // namespace
+}  // namespace ektelo

@@ -1,0 +1,87 @@
+// Tests for CSV table import/export.
+#include <cstdio>
+
+#include "data/csv.h"
+#include "gtest/gtest.h"
+
+namespace ektelo {
+namespace {
+
+Schema S() { return Schema({{"a", 4}, {"b", 2}}); }
+
+TEST(CsvTest, RoundTrip) {
+  Table t(S());
+  t.AppendRow({0, 1});
+  t.AppendRow({3, 0});
+  auto back = TableFromCsv(TableToCsv(t), S());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->NumRows(), 2u);
+  EXPECT_EQ(back->At(1, 0), 3u);
+  EXPECT_EQ(back->At(0, 1), 1u);
+}
+
+TEST(CsvTest, HeaderOrderInsensitive) {
+  auto t = TableFromCsv("b,a\n1,2\n0,3\n", S());
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->At(0, 0), 2u);  // a column
+  EXPECT_EQ(t->At(0, 1), 1u);  // b column
+}
+
+TEST(CsvTest, WhitespaceAndBlankLinesTolerated) {
+  auto t = TableFromCsv("a, b\n 1 , 0 \n\n2,1\n", S());
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->NumRows(), 2u);
+}
+
+TEST(CsvTest, RejectsUnknownColumn) {
+  auto t = TableFromCsv("a,zzz\n1,2\n", S());
+  ASSERT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, RejectsMissingColumn) {
+  EXPECT_FALSE(TableFromCsv("a\n1\n", S()).ok());
+}
+
+TEST(CsvTest, RejectsDuplicateColumn) {
+  EXPECT_FALSE(TableFromCsv("a,a\n1,2\n", S()).ok());
+}
+
+TEST(CsvTest, RejectsOutOfDomainCode) {
+  auto t = TableFromCsv("a,b\n9,0\n", S());
+  ASSERT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(CsvTest, RejectsNonNumericField) {
+  EXPECT_FALSE(TableFromCsv("a,b\nx,0\n", S()).ok());
+}
+
+TEST(CsvTest, RejectsWrongFieldCount) {
+  EXPECT_FALSE(TableFromCsv("a,b\n1,0,5\n", S()).ok());
+}
+
+TEST(CsvTest, EmptyInputRejected) {
+  EXPECT_FALSE(TableFromCsv("", S()).ok());
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  Table t(S());
+  t.AppendRow({2, 1});
+  const std::string path = "/tmp/ektelo_csv_test.csv";
+  ASSERT_TRUE(SaveTableCsv(t, path).ok());
+  auto back = LoadTableCsv(path, S());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->NumRows(), 1u);
+  EXPECT_EQ(back->At(0, 0), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileIsNotFound) {
+  auto t = LoadTableCsv("/nonexistent/nowhere.csv", S());
+  ASSERT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace ektelo

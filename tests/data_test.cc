@@ -1,0 +1,197 @@
+// Tests for the data substrate: schema indexing, table transformations
+// (semantics the kernel's stability bookkeeping relies on), vectorization
+// layout, and the synthetic generators' shape properties.
+#include <algorithm>
+#include <cmath>
+
+#include "data/generators.h"
+#include "data/schema.h"
+#include "data/table.h"
+#include "gtest/gtest.h"
+#include "linalg/vec.h"
+#include "util/rng.h"
+
+namespace ektelo {
+namespace {
+
+Schema SmallSchema() {
+  return Schema({{"a", 3}, {"b", 2}, {"c", 4}});
+}
+
+TEST(SchemaTest, TotalDomainIsProduct) {
+  EXPECT_EQ(SmallSchema().TotalDomainSize(), 24u);
+}
+
+TEST(SchemaTest, FlattenUnflattenRoundTrip) {
+  Schema s = SmallSchema();
+  for (std::size_t cell = 0; cell < 24; ++cell) {
+    auto codes = s.UnflattenIndex(cell);
+    EXPECT_EQ(s.FlattenIndex(codes), cell);
+  }
+}
+
+TEST(SchemaTest, RowMajorLayoutAttr0Major) {
+  Schema s = SmallSchema();
+  // index = (a * 2 + b) * 4 + c
+  EXPECT_EQ(s.FlattenIndex({1, 0, 2}), 1u * 8 + 0u * 4 + 2u);
+  EXPECT_EQ(s.FlattenIndex({2, 1, 3}), 23u);
+}
+
+TEST(SchemaTest, ProjectPreservesOrder) {
+  Schema s = SmallSchema();
+  Schema p = s.Project({"c", "a"});
+  EXPECT_EQ(p.num_attrs(), 2u);
+  EXPECT_EQ(p.attr(0).name, "c");
+  EXPECT_EQ(p.attr(1).domain_size, 3u);
+}
+
+Table ToyTable() {
+  Table t(SmallSchema());
+  t.AppendRow({0, 0, 0});
+  t.AppendRow({0, 1, 2});
+  t.AppendRow({1, 0, 3});
+  t.AppendRow({1, 0, 3});
+  t.AppendRow({2, 1, 1});
+  return t;
+}
+
+TEST(TableTest, WhereFiltersConjunctively) {
+  Table t = ToyTable();
+  Table f = t.Where(Predicate::True()
+                        .And("a", CmpOp::kGe, 1)
+                        .And("b", CmpOp::kEq, 0));
+  EXPECT_EQ(f.NumRows(), 2u);
+  EXPECT_EQ(f.At(0, 2), 3u);
+}
+
+TEST(TableTest, WhereTrueKeepsAll) {
+  EXPECT_EQ(ToyTable().Where(Predicate::True()).NumRows(), 5u);
+}
+
+TEST(TableTest, SelectProjectsColumns) {
+  Table t = ToyTable().Select({"c", "b"});
+  EXPECT_EQ(t.schema().num_attrs(), 2u);
+  EXPECT_EQ(t.NumRows(), 5u);
+  EXPECT_EQ(t.At(1, 0), 2u);  // c of row 1
+  EXPECT_EQ(t.At(1, 1), 1u);  // b of row 1
+}
+
+TEST(TableTest, GroupByOneRowPerKey) {
+  Table t = ToyTable().GroupBy({"a"});
+  EXPECT_EQ(t.NumRows(), 3u);  // a in {0,1,2}
+}
+
+TEST(TableTest, SplitByPartitionIsDisjointAndComplete) {
+  auto parts = ToyTable().SplitByPartition("b");
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0].NumRows() + parts[1].NumRows(), 5u);
+  EXPECT_EQ(parts[0].NumRows(), 3u);  // b == 0 rows
+}
+
+TEST(TableTest, VectorizeCountsCells) {
+  Table t = ToyTable();
+  Vec x = t.Vectorize();
+  ASSERT_EQ(x.size(), 24u);
+  EXPECT_DOUBLE_EQ(Sum(x), 5.0);
+  // Two identical rows {1,0,3} -> cell (1*2+0)*4+3 = 11.
+  EXPECT_DOUBLE_EQ(x[11], 2.0);
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+}
+
+TEST(TableTest, CountWhereMatchesWhere) {
+  Table t = ToyTable();
+  Predicate p = Predicate::True().And("a", CmpOp::kLe, 1);
+  EXPECT_EQ(t.CountWhere(p), t.Where(p).NumRows());
+}
+
+TEST(TableTest, VectorizeOfSelectIsMarginal) {
+  // Summing the full vector over attributes must equal the projected
+  // table's vector (the identity behind marginal workloads).
+  Table t = ToyTable();
+  Vec full = t.Vectorize();
+  Vec marg_a = t.Select({"a"}).Vectorize();
+  ASSERT_EQ(marg_a.size(), 3u);
+  for (std::size_t a = 0; a < 3; ++a) {
+    double s = 0.0;
+    for (std::size_t rest = 0; rest < 8; ++rest) s += full[a * 8 + rest];
+    EXPECT_DOUBLE_EQ(marg_a[a], s);
+  }
+}
+
+// ---------------------------------------------------------- generators
+
+TEST(GeneratorsTest, HistogramsHaveRequestedScaleAndSize) {
+  Rng rng(1);
+  for (Shape1D s : AllShapes1D()) {
+    SCOPED_TRACE(ShapeName(s));
+    Vec h = MakeHistogram1D(s, 512, 10000.0, &rng);
+    ASSERT_EQ(h.size(), 512u);
+    for (double v : h) EXPECT_GE(v, 0.0);
+    EXPECT_NEAR(Sum(h), 10000.0, 300.0);
+  }
+}
+
+TEST(GeneratorsTest, ShapesAreDistinct) {
+  Rng rng(2);
+  // Sparse spikes should be mostly zero; uniform should not be.
+  Vec spikes = MakeHistogram1D(Shape1D::kSparseSpikes, 1024, 5000.0, &rng);
+  Vec uniform = MakeHistogram1D(Shape1D::kUniform, 1024, 5000.0, &rng);
+  auto zero_frac = [](const Vec& v) {
+    std::size_t z = 0;
+    for (double x : v)
+      if (x == 0.0) ++z;
+    return double(z) / double(v.size());
+  };
+  EXPECT_GT(zero_frac(spikes), 0.8);
+  EXPECT_LT(zero_frac(uniform), 0.2);
+}
+
+TEST(GeneratorsTest, Histogram2DShape) {
+  Rng rng(3);
+  Vec h = MakeHistogram2D(32, 16, 2000.0, &rng);
+  ASSERT_EQ(h.size(), 512u);
+  EXPECT_NEAR(Sum(h), 2000.0, 150.0);
+}
+
+TEST(GeneratorsTest, TableFromHistogramRoundTrips) {
+  Rng rng(4);
+  Vec h = MakeHistogram1D(Shape1D::kStep, 64, 500.0, &rng);
+  Table t = TableFromHistogram(h, "v");
+  Vec back = t.Vectorize();
+  ASSERT_EQ(back.size(), h.size());
+  for (std::size_t i = 0; i < h.size(); ++i) EXPECT_DOUBLE_EQ(back[i], h[i]);
+}
+
+TEST(GeneratorsTest, CensusLikeSchemaMatchesPaper) {
+  Rng rng(5);
+  Table t = MakeCensusLike(&rng, 2000, 5000);
+  EXPECT_EQ(t.NumRows(), 2000u);
+  EXPECT_EQ(t.schema().TotalDomainSize(), 5000u * 5 * 7 * 4 * 2);
+  // Income should be heavy-tailed: the top bin region nearly empty.
+  Vec inc = t.Select({"income"}).Vectorize();
+  double low = 0.0, high = 0.0;
+  for (std::size_t i = 0; i < 500; ++i) low += inc[i];
+  for (std::size_t i = 4500; i < 5000; ++i) high += inc[i];
+  EXPECT_GT(low, 10.0 * (high + 1.0));
+}
+
+TEST(GeneratorsTest, CreditLikeHasLabelSignal) {
+  Rng rng(6);
+  Table t = MakeCreditLike(&rng, 5000);
+  EXPECT_EQ(t.schema().TotalDomainSize(), 2u * 28 * 11 * 8 * 7);
+  // Mean of x3 should differ across labels (the classifier's signal).
+  auto split = t.SplitByPartition("default");
+  ASSERT_EQ(split.size(), 2u);
+  auto mean_x3 = [](const Table& s) {
+    double m = 0.0;
+    for (std::size_t r = 0; r < s.NumRows(); ++r) m += s.At(r, 1);
+    return m / double(s.NumRows());
+  };
+  EXPECT_GT(mean_x3(split[1]), mean_x3(split[0]) + 1.0);
+  // Default rate near 22%.
+  double rate = double(split[1].NumRows()) / double(t.NumRows());
+  EXPECT_NEAR(rate, 0.22, 0.03);
+}
+
+}  // namespace
+}  // namespace ektelo

@@ -1,0 +1,141 @@
+// Tests for the PrivBayes operators: mutual information, structure
+// selection through the kernel's exponential mechanism, marginal
+// measurement bookkeeping, and both inference paths.
+#include <cmath>
+
+#include "data/generators.h"
+#include "gtest/gtest.h"
+#include "ops/inference.h"
+#include "ops/privbayes.h"
+#include "plans/case_studies.h"
+
+namespace ektelo {
+namespace {
+
+/// Table with attribute b = a (perfectly correlated) and c independent.
+Table CorrelatedTable(std::size_t rows, Rng* rng) {
+  Table t(Schema({{"a", 4}, {"b", 4}, {"c", 3}}));
+  for (std::size_t r = 0; r < rows; ++r) {
+    uint32_t a = static_cast<uint32_t>(rng->UniformInt(0, 3));
+    uint32_t c = static_cast<uint32_t>(rng->UniformInt(0, 2));
+    t.AppendRow({a, a, c});
+  }
+  return t;
+}
+
+TEST(PrivBayesTest, MiOfIndependentAttrsNearZero) {
+  Rng rng(1);
+  Table t = CorrelatedTable(5000, &rng);
+  double mi = EmpiricalMutualInformation(t, {0}, {2});
+  EXPECT_NEAR(mi, 0.0, 0.01);
+}
+
+TEST(PrivBayesTest, MiOfCopiedAttrIsEntropy) {
+  Rng rng(2);
+  Table t = CorrelatedTable(5000, &rng);
+  // I(a; b) = H(a) ~= log 4 for a uniform 4-valued attribute.
+  double mi = EmpiricalMutualInformation(t, {0}, {1});
+  EXPECT_NEAR(mi, std::log(4.0), 0.05);
+}
+
+TEST(PrivBayesTest, MiIsSymmetric) {
+  Rng rng(3);
+  Table t = MakeCreditLike(&rng, 3000);
+  double ab = EmpiricalMutualInformation(t, {0}, {1});
+  double ba = EmpiricalMutualInformation(t, {1}, {0});
+  EXPECT_NEAR(ab, ba, 1e-9);
+}
+
+TEST(PrivBayesTest, StructurePicksCorrelatedParentAtHighEps) {
+  Rng rng(4);
+  Table t = CorrelatedTable(4000, &rng);
+  const Schema schema = t.schema();
+  int picked_correlated = 0;
+  const int trials = 10;
+  for (int i = 0; i < trials; ++i) {
+    ProtectedKernel kernel(t, 200.0, 50 + i);
+    auto result = PrivBayesSelectAndMeasure(&kernel, kernel.root(), schema,
+                                            200.0, &rng);
+    ASSERT_TRUE(result.ok());
+    // Wherever a and b both appear with one as a parent option, the
+    // correlated pair should link: look for a clique {a,b}.
+    for (const auto& c : result->cliques) {
+      if ((c.child == 0 &&
+           std::find(c.parents.begin(), c.parents.end(), 1u) !=
+               c.parents.end()) ||
+          (c.child == 1 &&
+           std::find(c.parents.begin(), c.parents.end(), 0u) !=
+               c.parents.end())) {
+        ++picked_correlated;
+        break;
+      }
+    }
+  }
+  EXPECT_GE(picked_correlated, 8);
+}
+
+TEST(PrivBayesTest, MeasurementsCoverAllAttrsAndBudget) {
+  Rng rng(5);
+  Table t = CorrelatedTable(1000, &rng);
+  ProtectedKernel kernel(t, 1.0, 7);
+  auto result = PrivBayesSelectAndMeasure(&kernel, kernel.root(),
+                                          t.schema(), 1.0, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->cliques.size(), 3u);
+  EXPECT_EQ(result->noisy_marginals.size(), 3u);
+  EXPECT_NEAR(kernel.BudgetConsumed(), 1.0, 1e-6);
+  // Every attribute appears as a child exactly once.
+  std::vector<int> seen(3, 0);
+  for (const auto& c : result->cliques) seen[c.child]++;
+  for (int s : seen) EXPECT_EQ(s, 1);
+}
+
+TEST(PrivBayesTest, ProductEstimateMatchesDataAtHighEps) {
+  Rng rng(6);
+  Table t = CorrelatedTable(8000, &rng);
+  ProtectedKernel kernel(t, 1000.0, 8);
+  auto result = PrivBayesSelectAndMeasure(&kernel, kernel.root(),
+                                          t.schema(), 1000.0, &rng);
+  ASSERT_TRUE(result.ok());
+  Vec xhat = PrivBayesProductEstimate(t.schema(), *result);
+  Vec x_true = t.Vectorize();
+  ASSERT_EQ(xhat.size(), x_true.size());
+  EXPECT_NEAR(Sum(xhat), Sum(x_true), 0.05 * Sum(x_true));
+  // With b == a captured by the model, off-diagonal (a != b) cells ~ 0.
+  // Cell (a=0, b=1, c=0): index = (0*4 + 1)*3 + 0 = 3.
+  EXPECT_LT(xhat[3], 0.02 * Sum(x_true));
+}
+
+TEST(PrivBayesTest, LsInferenceConsistentWithMeasurements) {
+  Rng rng(7);
+  Table t = CorrelatedTable(4000, &rng);
+  ProtectedKernel kernel(t, 500.0, 9);
+  auto xhat = RunPrivBayesLsPlan(&kernel, t.schema(), 500.0, &rng);
+  ASSERT_TRUE(xhat.ok());
+  Vec x_true = t.Vectorize();
+  // At large eps the LS solution reproduces all measured marginals, so
+  // the a-marginal must match closely.
+  for (std::size_t a = 0; a < 4; ++a) {
+    double est = 0.0, truth = 0.0;
+    for (std::size_t rest = 0; rest < 12; ++rest) {
+      est += (*xhat)[a * 12 + rest];
+      truth += x_true[a * 12 + rest];
+    }
+    EXPECT_NEAR(est, truth, 0.05 * Sum(x_true) + 1.0);
+  }
+}
+
+TEST(PrivBayesTest, RespectsMaxParents) {
+  Rng rng(8);
+  Table t = MakeCreditLike(&rng, 2000);
+  ProtectedKernel kernel(t, 2.0, 10);
+  PrivBayesOptions opts;
+  opts.max_parents = 1;
+  auto result = PrivBayesSelectAndMeasure(&kernel, kernel.root(),
+                                          t.schema(), 2.0, &rng, opts);
+  ASSERT_TRUE(result.ok());
+  for (const auto& c : result->cliques) EXPECT_LE(c.parents.size(), 1u);
+}
+
+}  // namespace
+}  // namespace ektelo

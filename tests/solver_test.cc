@@ -1,0 +1,161 @@
+// Tests for the iterative solvers (LSMR, NNLS) that power EKTELO's
+// general-purpose inference operators.
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "linalg/dense.h"
+#include "matrix/combinators.h"
+#include "matrix/implicit_ops.h"
+#include "matrix/lsmr.h"
+#include "matrix/nnls.h"
+#include "util/rng.h"
+
+namespace ektelo {
+namespace {
+
+Vec RandomVec(std::size_t n, Rng* rng) {
+  Vec v(n);
+  for (auto& x : v) x = rng->Normal();
+  return v;
+}
+
+DenseMatrix RandomDense(std::size_t m, std::size_t n, Rng* rng) {
+  DenseMatrix a(m, n);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) a.At(i, j) = rng->Normal();
+  return a;
+}
+
+TEST(LsmrTest, SolvesConsistentSquareSystem) {
+  Rng rng(1);
+  DenseMatrix a = RandomDense(8, 8, &rng);
+  Vec x_true = RandomVec(8, &rng);
+  Vec b = a.Matvec(x_true);
+  auto op = MakeDense(a);
+  LsmrResult res = Lsmr(*op, b);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_NEAR(res.x[i], x_true[i], 1e-6);
+  EXPECT_LT(res.residual_norm, 1e-6 * Norm2(b) + 1e-9);
+}
+
+TEST(LsmrTest, MatchesDirectLeastSquaresOverdetermined) {
+  Rng rng(2);
+  DenseMatrix a = RandomDense(30, 10, &rng);
+  Vec b = RandomVec(30, &rng);
+  Vec x_direct = DirectLeastSquares(a, b);
+  LsmrResult res = Lsmr(*MakeDense(a), b);
+  for (std::size_t i = 0; i < 10; ++i)
+    EXPECT_NEAR(res.x[i], x_direct[i], 1e-5);
+}
+
+TEST(LsmrTest, MinimumNormSolutionUnderdetermined) {
+  // For rank-deficient/underdetermined systems LSMR converges to the
+  // minimum-norm least-squares solution, like the pseudo-inverse.
+  Rng rng(3);
+  DenseMatrix a = RandomDense(4, 10, &rng);
+  Vec b = RandomVec(4, &rng);
+  LsmrResult res = Lsmr(*MakeDense(a), b);
+  // Residual should be ~0 (system is consistent w.h.p.).
+  Vec ax = a.Matvec(res.x);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(ax[i], b[i], 1e-6);
+  // Minimum-norm: x must lie in the row space, x = A^T z.
+  // Check by comparing against pinv solution.
+  DenseMatrix at = a.Transpose();
+  Vec z = DirectLeastSquares(at, res.x);  // z: A^T z ≈ x
+  Vec x_rowspace = at.Matvec(z);
+  for (std::size_t j = 0; j < 10; ++j)
+    EXPECT_NEAR(res.x[j], x_rowspace[j], 1e-4);
+}
+
+TEST(LsmrTest, ZeroRhsGivesZero) {
+  auto op = MakeIdentityOp(5);
+  LsmrResult res = Lsmr(*op, Vec(5, 0.0));
+  for (double v : res.x) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(LsmrTest, WorksOnImplicitHierarchy) {
+  // H = [Total; Identity] measured exactly should reconstruct x exactly.
+  const std::size_t n = 64;
+  auto m = MakeVStack({MakeTotalOp(n), MakeIdentityOp(n)});
+  Rng rng(4);
+  Vec x_true(n);
+  for (auto& v : x_true) v = std::abs(rng.Normal()) * 10.0;
+  Vec y = m->Apply(x_true);
+  LsmrResult res = Lsmr(*m, y);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(res.x[i], x_true[i], 1e-6);
+}
+
+TEST(LsmrTest, WeightedMeasurementsViaRowWeight) {
+  // Weighting rows (precision weighting) changes the LS solution in the
+  // expected direction: the heavily weighted duplicate dominates.
+  const std::size_t n = 4;
+  // Two copies of Identity with different weights and conflicting y.
+  auto id = MakeIdentityOp(n);
+  auto heavy = MakeRowWeight(id, Vec(n, 10.0));
+  auto m = MakeVStack({id, heavy});
+  Vec y(2 * n);
+  for (std::size_t i = 0; i < n; ++i) y[i] = 0.0;          // light: says 0
+  for (std::size_t i = 0; i < n; ++i) y[n + i] = 10.0;     // heavy: says 1
+  LsmrResult res = Lsmr(*m, y);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_GT(res.x[i], 0.9);  // pulled toward heavy-weight value 1.0
+    EXPECT_LT(res.x[i], 1.01);
+  }
+}
+
+TEST(NnlsTest, MatchesUnconstrainedWhenInteriorSolution) {
+  Rng rng(5);
+  DenseMatrix a = RandomDense(20, 6, &rng);
+  Vec x_true(6);
+  for (auto& v : x_true) v = std::abs(rng.Normal()) + 0.5;  // positive
+  Vec b = a.Matvec(x_true);
+  NnlsResult res = Nnls(*MakeDense(a), b, {.max_iters = 2000, .tol = 1e-12});
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_NEAR(res.x[i], x_true[i], 1e-4);
+}
+
+TEST(NnlsTest, ClampsNegativeComponents) {
+  // min ||x - b|| with b negative => x = 0.
+  auto id = MakeIdentityOp(3);
+  NnlsResult res = Nnls(*id, {-1.0, -2.0, 3.0});
+  EXPECT_NEAR(res.x[0], 0.0, 1e-9);
+  EXPECT_NEAR(res.x[1], 0.0, 1e-9);
+  EXPECT_NEAR(res.x[2], 3.0, 1e-6);
+}
+
+TEST(NnlsTest, AllZeroIsFeasible) {
+  auto id = MakeIdentityOp(4);
+  NnlsResult res = Nnls(*id, Vec(4, 0.0));
+  for (double v : res.x) EXPECT_NEAR(v, 0.0, 1e-12);
+}
+
+TEST(NnlsTest, HierarchicalMeasurementsNonneg) {
+  const std::size_t n = 32;
+  auto m = MakeVStack({MakeTotalOp(n), MakeIdentityOp(n)});
+  Rng rng(6);
+  Vec x_true(n);
+  for (auto& v : x_true) v = std::max(0.0, rng.Normal() * 5.0);
+  Vec y = m->Apply(x_true);
+  // Perturb y so the unconstrained solution would go negative.
+  for (auto& v : y) v += rng.Laplace(2.0);
+  NnlsResult res = Nnls(*m, y, {.max_iters = 1000});
+  for (double v : res.x) EXPECT_GE(v, -1e-12);
+}
+
+TEST(SpectralNormTest, MatchesKnownValue) {
+  // Identity has spectral norm^2 = 1; Ones(m,n) has ||A||_2^2 = m*n.
+  EXPECT_NEAR(EstimateSpectralNormSq(*MakeIdentityOp(10)), 1.0, 1e-6);
+  EXPECT_NEAR(EstimateSpectralNormSq(*MakeOnesOp(3, 4), 100), 12.0, 1e-4);
+}
+
+TEST(LsmrTest, IterationCountScalesGently) {
+  // Well-conditioned hierarchical systems converge in << n iterations
+  // (the observation that justifies iterative inference, Sec. 7.6).
+  const std::size_t n = 1024;
+  auto m = MakeVStack({MakeTotalOp(n), MakeIdentityOp(n)});
+  Rng rng(7);
+  Vec y = m->Apply(RandomVec(n, &rng));
+  LsmrResult res = Lsmr(*m, y);
+  EXPECT_LT(res.iterations, 50u);
+}
+
+}  // namespace
+}  // namespace ektelo

@@ -1,0 +1,198 @@
+// Tests for workload constructors and workload-based domain reduction
+// (Sec. 8): Algorithm 4 grouping, Prop. 8.3 losslessness, Thm. 8.4
+// error monotonicity (spot-checked via matrix-mechanism error).
+#include <cmath>
+
+#include "data/schema.h"
+#include "gtest/gtest.h"
+#include "matrix/combinators.h"
+#include "matrix/implicit_ops.h"
+#include "ops/hdmm.h"
+#include "util/rng.h"
+#include "workload/reduction.h"
+#include "workload/workloads.h"
+
+namespace ektelo {
+namespace {
+
+Vec RandomCounts(std::size_t n, Rng* rng) {
+  Vec v(n);
+  for (auto& x : v) x = std::floor(rng->Uniform(0.0, 20.0));
+  return v;
+}
+
+TEST(WorkloadTest, RangeQueryOpAnswersRangeSums) {
+  Vec x = {1, 2, 3, 4, 5};
+  auto w = RangeQueryOp({{0, 4}, {1, 3}, {2, 2}}, 5);
+  Vec y = w->Apply(x);
+  EXPECT_DOUBLE_EQ(y[0], 15.0);
+  EXPECT_DOUBLE_EQ(y[1], 9.0);
+  EXPECT_DOUBLE_EQ(y[2], 3.0);
+}
+
+TEST(WorkloadTest, RangeOpIsBinaryWithUnitSensitivityPerCover) {
+  auto w = RangeQueryOp({{0, 2}, {3, 4}}, 5);  // disjoint
+  EXPECT_DOUBLE_EQ(w->SensitivityL1(), 1.0);
+  auto w2 = RangeQueryOp({{0, 2}, {1, 4}}, 5);  // overlapping
+  EXPECT_DOUBLE_EQ(w2->SensitivityL1(), 2.0);
+}
+
+TEST(WorkloadTest, RandomRangesRespectWidthCap) {
+  Rng rng(1);
+  auto qs = RandomRanges(200, 100, 10, &rng);
+  for (const auto& q : qs) {
+    EXPECT_LE(q.hi - q.lo + 1, 10u);
+    EXPECT_LT(q.hi, 100u);
+  }
+}
+
+TEST(WorkloadTest, AllRangeCount) {
+  auto w = AllRangeWorkload(6);
+  EXPECT_EQ(w->rows(), 21u);
+}
+
+TEST(WorkloadTest, RectangleWorkloadMatchesBruteForce) {
+  Rng rng(2);
+  const std::size_t nx = 7, ny = 5;
+  Vec x = RandomCounts(nx * ny, &rng);
+  auto w = RandomRectangleWorkload(20, nx, ny, 0, &rng);
+  DenseMatrix d = w->MaterializeDense();
+  // Every row must be a 0/1 rectangle indicator: entries in {0,1} and
+  // the answer equals a contiguous 2D block sum.
+  Vec y = w->Apply(x);
+  for (std::size_t r = 0; r < d.rows(); ++r) {
+    double manual = 0.0;
+    for (std::size_t c = 0; c < nx * ny; ++c) {
+      EXPECT_TRUE(d.At(r, c) == 0.0 || d.At(r, c) == 1.0);
+      manual += d.At(r, c) * x[c];
+    }
+    EXPECT_NEAR(y[r], manual, 1e-9);
+  }
+}
+
+TEST(WorkloadTest, MarginalWorkloadSumsOutOthers) {
+  Schema s({{"a", 2}, {"b", 3}, {"c", 2}});
+  auto w = MarginalWorkload(s, {"b"});
+  EXPECT_EQ(w->rows(), 3u);
+  Vec x(12, 1.0);
+  Vec y = w->Apply(x);
+  for (double v : y) EXPECT_DOUBLE_EQ(v, 4.0);  // 2*2 cells per b value
+}
+
+TEST(WorkloadTest, AllTwoWayMarginalsShape) {
+  Schema s({{"a", 2}, {"b", 3}, {"c", 4}});
+  auto w = AllKWayMarginals(s, 2);
+  EXPECT_EQ(w->rows(), 2u * 3 + 2u * 4 + 3u * 4);
+  EXPECT_EQ(w->cols(), 24u);
+}
+
+TEST(WorkloadTest, CensusWorkloadShape) {
+  Schema s({{"income", 16}, {"age", 3}, {"gender", 2}});
+  auto w = CensusPrefixIncomeWorkload(s);
+  // Prefix(16) x (Total+Identity)(3+1=4 rows) x (Total+Identity)(3 rows).
+  EXPECT_EQ(w->rows(), 16u * 4 * 3);
+  EXPECT_EQ(w->cols(), 16u * 3 * 2);
+  // Row for (income <= all, any age, any gender) = total.
+  Vec x(96, 1.0);
+  Vec y = w->Apply(x);
+  // The last income prefix with both <any> selectors: index (15, 0, 0) in
+  // row-major over (16, 4, 3) = 15*12.
+  EXPECT_DOUBLE_EQ(y[15 * 12], 96.0);
+}
+
+// ------------------------------------------------------- Sec. 8 reduction
+
+TEST(ReductionTest, GroupsIdenticalColumns) {
+  // Workload asks only about [0,1] and [2,3]: columns {0,1} and {2,3}
+  // are interchangeable.
+  Rng rng(3);
+  auto w = RangeQueryOp({{0, 1}, {2, 3}}, 4);
+  Partition p = WorkloadBasedPartition(*w, &rng);
+  EXPECT_EQ(p.num_groups(), 2u);
+  EXPECT_EQ(p.group_of(0), p.group_of(1));
+  EXPECT_EQ(p.group_of(2), p.group_of(3));
+  EXPECT_NE(p.group_of(0), p.group_of(2));
+}
+
+TEST(ReductionTest, IdentityWorkloadAdmitsNoReduction) {
+  Rng rng(4);
+  auto w = MakeIdentityOp(8);
+  Partition p = WorkloadBasedPartition(*w, &rng);
+  EXPECT_EQ(p.num_groups(), 8u);
+}
+
+TEST(ReductionTest, TotalWorkloadReducesToOneCell) {
+  Rng rng(5);
+  Partition p = WorkloadBasedPartition(*MakeTotalOp(10), &rng);
+  EXPECT_EQ(p.num_groups(), 1u);
+}
+
+TEST(ReductionTest, MarginalExampleFromPaper) {
+  // Example 8.1: two disjoint salary-range/sex queries need only 2 cells
+  // ... emulated as two disjoint 1D ranges covering part of the domain:
+  // cells outside any query also form groups.
+  Rng rng(6);
+  auto w = RangeQueryOp({{0, 3}, {4, 7}}, 10);
+  Partition p = WorkloadBasedPartition(*w, &rng);
+  EXPECT_EQ(p.num_groups(), 3u);  // [0-3], [4-7], untouched [8-9]
+}
+
+TEST(ReductionTest, LosslessProp83) {
+  // W x == W' x' for random workloads with duplicated columns.
+  Rng rng(7);
+  auto w = RangeQueryOp({{0, 3}, {0, 7}, {4, 7}, {8, 11}}, 12);
+  Partition p = WorkloadBasedPartition(*w, &rng);
+  LinOpPtr w_red = ReduceWorkload(w, p);
+  Vec x = RandomCounts(12, &rng);
+  Vec x_red = p.ReduceOp()->Apply(x);
+  Vec lhs = w->Apply(x);
+  Vec rhs = w_red->Apply(x_red);
+  ASSERT_EQ(lhs.size(), rhs.size());
+  for (std::size_t i = 0; i < lhs.size(); ++i)
+    EXPECT_NEAR(lhs[i], rhs[i], 1e-9);
+}
+
+TEST(ReductionTest, PseudoInverseIsPtDinv) {
+  Partition p({0, 0, 1, 0, 1}, 2);
+  DenseMatrix pinv = p.PseudoInverseMatrix().ToDense();
+  EXPECT_DOUBLE_EQ(pinv.At(0, 0), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(pinv.At(2, 1), 1.0 / 2.0);
+  // P * P+ = I_p.
+  DenseMatrix prod = p.ReduceMatrix().ToDense().Matmul(pinv);
+  EXPECT_TRUE(prod.ApproxEquals(DenseMatrix::Identity(2), 1e-12));
+}
+
+TEST(ReductionTest, ExpandEstimateUniform) {
+  Partition p({0, 0, 1}, 2);
+  Vec x = ExpandEstimate(p, {6.0, 5.0});
+  EXPECT_DOUBLE_EQ(x[0], 3.0);
+  EXPECT_DOUBLE_EQ(x[1], 3.0);
+  EXPECT_DOUBLE_EQ(x[2], 5.0);
+}
+
+TEST(ReductionTest, Theorem84ErrorNeverWorseAfterReduction) {
+  // Matrix-mechanism expected error of answering W via the (reduced)
+  // Identity strategy should not increase after workload-based reduction.
+  Rng rng(8);
+  auto w = RangeQueryOp({{0, 3}, {4, 7}, {0, 7}}, 8);
+  Partition p = WorkloadBasedPartition(*w, &rng);
+  ASSERT_LT(p.num_groups(), 8u);
+  LinOpPtr w_red = ReduceWorkload(w, p);
+  const double err_full = MatrixMechanismTse(*w, *MakeIdentityOp(8));
+  const double err_red =
+      MatrixMechanismTse(*w_red, *MakeIdentityOp(p.num_groups()));
+  EXPECT_LE(err_red, err_full + 1e-9);
+}
+
+TEST(ReductionTest, WorksOnImplicitKroneckerWorkloads) {
+  // A marginal workload over a 3-attr domain: reduction should collapse
+  // the summed-out attributes.
+  Schema s({{"a", 3}, {"b", 4}, {"c", 2}});
+  auto w = MarginalWorkload(s, {"a"});
+  Rng rng(9);
+  Partition p = WorkloadBasedPartition(*w, &rng);
+  EXPECT_EQ(p.num_groups(), 3u);
+}
+
+}  // namespace
+}  // namespace ektelo
