@@ -1,12 +1,16 @@
 // Shared helpers for the benchmark harnesses: kernel/environment setup
-// from a histogram, error metrics, and time-capped execution.
+// from a histogram, error metrics, time-capped execution, and a minimal
+// machine-readable JSON emitter so benchmark runs leave a BENCH_*.json
+// trail for the perf trajectory.
 #ifndef EKTELO_BENCH_BENCH_UTIL_H_
 #define EKTELO_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
 #include <functional>
 #include <optional>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "ektelo/ektelo.h"
 
@@ -47,6 +51,43 @@ inline std::optional<double> TimeIt(
   if (!s.ok()) return std::nullopt;
   return t.Elapsed();
 }
+
+/// Accumulates flat records of string/number fields and writes them as a
+/// JSON array of objects — just enough structure for the perf-tracking
+/// scripts, with no external dependency.
+class JsonRecords {
+ public:
+  void StartRecord() { records_.emplace_back(); }
+  void Field(const std::string& key, const std::string& value) {
+    records_.back().push_back("\"" + key + "\":\"" + value + "\"");
+  }
+  void Field(const std::string& key, double value) {
+    std::ostringstream os;
+    os.precision(9);
+    os << value;
+    records_.back().push_back("\"" + key + "\":" + os.str());
+  }
+
+  bool WriteFile(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) return false;
+    std::fputs("[\n", f);
+    for (std::size_t r = 0; r < records_.size(); ++r) {
+      std::fputs("  {", f);
+      for (std::size_t i = 0; i < records_[r].size(); ++i) {
+        if (i) std::fputs(",", f);
+        std::fputs(records_[r][i].c_str(), f);
+      }
+      std::fputs(r + 1 < records_.size() ? "},\n" : "}\n", f);
+    }
+    std::fputs("]\n", f);
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  std::vector<std::vector<std::string>> records_;
+};
 
 }  // namespace ektelo::bench
 

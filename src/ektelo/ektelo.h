@@ -26,6 +26,7 @@
 #include "data/schema.h"
 #include "data/table.h"
 #include "kernel/kernel.h"
+#include "linalg/block.h"
 #include "linalg/csr.h"
 #include "linalg/dense.h"
 #include "linalg/haar.h"

@@ -1,0 +1,80 @@
+// Block: a column-major n x k multi-vector (a panel of k right-hand
+// sides), the unit of work of the blocked operator core.
+//
+// Every column is contiguous, so a Block is interchangeable with k dense
+// vectors: ColPtr(c) can be handed to any single-vector kernel.  The
+// blocked BLAS-style helpers below (dense and CSR A*B / A^T*B over k RHS
+// in one sweep of A) amortize the cost of touching A — row pointers,
+// column indices, dense rows — over all k columns, which is where the
+// dense/sparse representation advantage of Sec. 10.2 comes from.
+#ifndef EKTELO_LINALG_BLOCK_H_
+#define EKTELO_LINALG_BLOCK_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "linalg/csr.h"
+#include "linalg/dense.h"
+#include "linalg/vec.h"
+
+namespace ektelo {
+
+class Block {
+ public:
+  Block() : rows_(0), cols_(0) {}
+  Block(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// The n x k panel [e_{first}, ..., e_{first+k-1}] of the n x n identity.
+  static Block IdentityPanel(std::size_t n, std::size_t first,
+                             std::size_t k);
+  /// Column c = v for all c (broadcast).
+  static Block FromColumn(const Vec& v, std::size_t k);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& At(std::size_t i, std::size_t c) { return data_[c * rows_ + i]; }
+  double At(std::size_t i, std::size_t c) const {
+    return data_[c * rows_ + i];
+  }
+
+  const double* ColPtr(std::size_t c) const { return &data_[c * rows_]; }
+  double* ColPtr(std::size_t c) { return &data_[c * rows_]; }
+
+  const double* data() const { return data_.data(); }
+  double* data() { return data_.data(); }
+
+  Vec Col(std::size_t c) const;
+  void SetCol(std::size_t c, const Vec& v);
+
+  void Fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+ private:
+  std::size_t rows_, cols_;
+  std::vector<double> data_;
+};
+
+// Blocked kernels over raw column-major storage.  X is (A.cols x k),
+// Y is (A.rows x k) for the forward direction; the *T* variants take
+// X (A.rows x k) and produce Y (A.cols x k).  X and Y must not alias.
+
+/// Y = A X for dense A: one sweep over A's rows, all k columns at once.
+void DenseMatmat(const DenseMatrix& a, const double* x, double* y,
+                 std::size_t k);
+/// Y = A^T X for dense A.
+void DenseRmatMat(const DenseMatrix& a, const double* x, double* y,
+                  std::size_t k);
+
+/// Y = A X for CSR A: one sweep over the nonzeros, each (i, j, v) updating
+/// all k columns, so index loads are amortized k-fold.
+void CsrMatmat(const CsrMatrix& a, const double* x, double* y,
+               std::size_t k);
+/// Y = A^T X for CSR A, same single-sweep structure.
+void CsrRmatMat(const CsrMatrix& a, const double* x, double* y,
+                std::size_t k);
+
+}  // namespace ektelo
+
+#endif  // EKTELO_LINALG_BLOCK_H_

@@ -38,6 +38,28 @@ CsrMatrix CsrMatrix::FromTriplets(std::size_t rows, std::size_t cols,
   return m;
 }
 
+CsrMatrix CsrMatrix::FromColumnStream(std::size_t rows, std::size_t cols,
+                                      const std::vector<Triplet>& entries) {
+  CsrMatrix m(rows, cols);
+  for (const Triplet& t : entries) {
+    EK_CHECK_LT(t.row, rows);
+    ++m.indptr_[t.row + 1];
+  }
+  for (std::size_t r = 0; r < rows; ++r) m.indptr_[r + 1] += m.indptr_[r];
+  m.indices_.resize(entries.size());
+  m.values_.resize(entries.size());
+  std::vector<std::size_t> next(m.indptr_.begin(), m.indptr_.end() - 1);
+  // Stable scatter: within a row, entries arrive in ascending column order
+  // because the stream is column-grouped.
+  for (const Triplet& t : entries) {
+    EK_CHECK_LT(t.col, cols);
+    const std::size_t pos = next[t.row]++;
+    m.indices_[pos] = t.col;
+    m.values_[pos] = t.value;
+  }
+  return m;
+}
+
 CsrMatrix CsrMatrix::Identity(std::size_t n) {
   CsrMatrix m(n, n);
   m.indices_.resize(n);

@@ -32,6 +32,13 @@ class CsrMatrix {
   static CsrMatrix FromTriplets(std::size_t rows, std::size_t cols,
                                 std::vector<Triplet> triplets);
 
+  /// Build from entries grouped by ascending column with ascending rows
+  /// within each column — the natural output order of blocked column-panel
+  /// evaluation.  Assembles in O(nnz) by counting sort on the row index
+  /// (no comparison sort); entries must be unique (no duplicate summing).
+  static CsrMatrix FromColumnStream(std::size_t rows, std::size_t cols,
+                                    const std::vector<Triplet>& entries);
+
   static CsrMatrix Identity(std::size_t n);
   static CsrMatrix FromDense(const DenseMatrix& d, double drop_tol = 0.0);
 

@@ -157,19 +157,23 @@ Vec CholeskySolve(const DenseMatrix& chol, const Vec& b) {
 
 Vec DirectLeastSquares(const DenseMatrix& a, const Vec& b, double ridge) {
   EK_CHECK_EQ(b.size(), a.rows());
-  DenseMatrix gram = a.Gram();
+  return SolveNormalEquations(a.Gram(), a.RmatVec(b), ridge);
+}
+
+Vec SolveNormalEquations(DenseMatrix gram, const Vec& atb, double ridge) {
+  EK_CHECK_EQ(gram.rows(), gram.cols());
+  EK_CHECK_EQ(atb.size(), gram.rows());
   // Scale-aware jitter keeps the factorization stable for rank-deficient
   // measurement sets without visibly biasing well-posed solves.
   double diag_max = 0.0;
   for (std::size_t i = 0; i < gram.rows(); ++i)
     diag_max = std::max(diag_max, gram.At(i, i));
   const double jitter = ridge * std::max(diag_max, 1.0);
-  for (std::size_t i = 0; i < gram.rows(); ++i) gram.At(i, i) += jitter;
-  Vec atb = a.RmatVec(b);
   DenseMatrix chol = gram;
+  for (std::size_t i = 0; i < chol.rows(); ++i) chol.At(i, i) += jitter;
   if (!CholeskyFactor(&chol)) {
     // Retry with a stronger ridge; the system is badly conditioned.
-    chol = a.Gram();
+    chol = std::move(gram);
     for (std::size_t i = 0; i < chol.rows(); ++i)
       chol.At(i, i) += 1e-6 * std::max(diag_max, 1.0);
     EK_CHECK(CholeskyFactor(&chol));

@@ -75,6 +75,15 @@ Vec CholeskySolve(const DenseMatrix& chol, const Vec& b);
 Vec DirectLeastSquares(const DenseMatrix& a, const Vec& b,
                        double ridge = 1e-10);
 
+/// Solve (gram + jitter I) x = atb by Cholesky, with scale-aware jitter and
+/// a stronger-ridge retry for badly conditioned systems.  `gram` is
+/// consumed (factored in place).  This is the normal-equations back end
+/// shared by DirectLeastSquares and the Gram-driven inference path, which
+/// assembles gram = M^T M from the operator's structured Gram() without
+/// ever materializing M.
+Vec SolveNormalEquations(DenseMatrix gram, const Vec& atb,
+                         double ridge = 1e-10);
+
 /// Moore-Penrose pseudo-inverse via ridge-regularized normal equations.
 /// Suitable for the small per-dimension matrices in strategy optimization.
 DenseMatrix PseudoInverse(const DenseMatrix& a, double ridge = 1e-10);

@@ -69,6 +69,61 @@ void HaarSynthesis(const double* x, double* y, std::size_t n) {
   std::copy(cur.begin(), cur.end(), y);
 }
 
+void HaarAnalysisBlock(const double* x, double* y, std::size_t n,
+                       std::size_t k) {
+  EK_CHECK(IsPowerOfTwo(n));
+  if (n == 1) {
+    for (std::size_t c = 0; c < k; ++c) y[c] = x[c];
+    return;
+  }
+  const std::size_t levels = Log2(n);
+  // cur[b * k + c]: block-sum of block b for RHS column c; the k values of
+  // a block are contiguous so each fold step is a unit-stride sweep.
+  std::vector<double> cur(n * k), nxt;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t c = 0; c < k; ++c) cur[i * k + c] = x[c * n + i];
+  for (std::size_t j = levels; j-- > 0;) {
+    const std::size_t blocks = std::size_t{1} << j;
+    nxt.assign(blocks * k, 0.0);
+    for (std::size_t b = 0; b < blocks; ++b) {
+      const double* left = &cur[(2 * b) * k];
+      const double* right = &cur[(2 * b + 1) * k];
+      double* sum = &nxt[b * k];
+      for (std::size_t c = 0; c < k; ++c) {
+        sum[c] = left[c] + right[c];
+        y[c * n + blocks + b] = left[c] - right[c];
+      }
+    }
+    cur.swap(nxt);
+  }
+  for (std::size_t c = 0; c < k; ++c) y[c * n] = cur[c];
+}
+
+void HaarSynthesisBlock(const double* x, double* y, std::size_t n,
+                        std::size_t k) {
+  EK_CHECK(IsPowerOfTwo(n));
+  const std::size_t levels = Log2(n);
+  std::vector<double> cur(k), nxt;
+  for (std::size_t c = 0; c < k; ++c) cur[c] = x[c * n];
+  for (std::size_t j = 0; j < levels; ++j) {
+    const std::size_t blocks = std::size_t{1} << j;
+    nxt.assign(blocks * 2 * k, 0.0);
+    for (std::size_t b = 0; b < blocks; ++b) {
+      const double* parent = &cur[b * k];
+      double* even = &nxt[(2 * b) * k];
+      double* odd = &nxt[(2 * b + 1) * k];
+      for (std::size_t c = 0; c < k; ++c) {
+        const double coef = x[c * n + blocks + b];
+        even[c] = parent[c] + coef;
+        odd[c] = parent[c] - coef;
+      }
+    }
+    cur.swap(nxt);
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t c = 0; c < k; ++c) y[c * n + i] = cur[i * k + c];
+}
+
 CsrMatrix HaarMatrixSparse(std::size_t n) {
   EK_CHECK(IsPowerOfTwo(n));
   const std::size_t k = Log2(n);

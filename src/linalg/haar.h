@@ -32,6 +32,14 @@ void HaarAnalysis(const double* x, double* y, std::size_t n);
 /// y = H^T x (synthesis / transposed analysis).
 void HaarSynthesis(const double* x, double* y, std::size_t n);
 
+/// Blocked analysis over k column-major RHS: Y = H X, one level sweep
+/// shared by all columns (the per-level block structure is walked once).
+void HaarAnalysisBlock(const double* x, double* y, std::size_t n,
+                       std::size_t k);
+/// Blocked synthesis: Y = H^T X over k column-major RHS.
+void HaarSynthesisBlock(const double* x, double* y, std::size_t n,
+                        std::size_t k);
+
 /// Materialized Haar matrix in CSR form (O(n log n) nonzeros).
 CsrMatrix HaarMatrixSparse(std::size_t n);
 

@@ -7,34 +7,31 @@
 
 namespace ektelo {
 
-CgResult CgLeastSquares(const LinOp& a, const Vec& b, const CgOptions& opts) {
-  const std::size_t m = a.rows();
-  const std::size_t n = a.cols();
-  EK_CHECK_EQ(b.size(), m);
+CgResult CgSpd(const LinOp& g, const Vec& b, const CgOptions& opts) {
+  const std::size_t n = g.cols();
+  EK_CHECK_EQ(g.rows(), n);
+  EK_CHECK_EQ(b.size(), n);
   const std::size_t max_iters =
-      opts.max_iters > 0 ? opts.max_iters
-                         : std::max<std::size_t>(4 * std::min(m, n), 100);
+      opts.max_iters > 0 ? opts.max_iters : std::max<std::size_t>(4 * n, 100);
 
   CgResult result;
   result.x.assign(n, 0.0);
 
-  // r = A^T b - A^T A x = A^T b at x = 0.
-  Vec r = a.ApplyT(b);
+  // r = b - G x = b at x = 0.
+  Vec r = b;
   Vec p = r;
   double rs = Dot(r, r);
   const double rs0 = rs;
   if (rs0 == 0.0) return result;
 
-  Vec ap(n);
+  Vec gp(n);
   for (std::size_t it = 0; it < max_iters; ++it) {
-    // ap = A^T A p
-    Vec tmp = a.Apply(p);
-    ap = a.ApplyT(tmp);
-    const double p_ap = Dot(p, ap);
-    if (p_ap <= 0.0) break;  // numerical breakdown / null-space direction
-    const double alpha = rs / p_ap;
+    g.ApplyRaw(p.data(), gp.data());
+    const double p_gp = Dot(p, gp);
+    if (p_gp <= 0.0) break;  // numerical breakdown / null-space direction
+    const double alpha = rs / p_gp;
     Axpy(alpha, p, &result.x);
-    Axpy(-alpha, ap, &r);
+    Axpy(-alpha, gp, &r);
     const double rs_new = Dot(r, r);
     result.iterations = it + 1;
     if (std::sqrt(rs_new) <= opts.tol * std::sqrt(rs0)) {
@@ -47,6 +44,16 @@ CgResult CgLeastSquares(const LinOp& a, const Vec& b, const CgOptions& opts) {
   }
   result.normal_residual_norm = std::sqrt(rs);
   return result;
+}
+
+CgResult CgLeastSquares(const LinOp& a, const Vec& b, const CgOptions& opts) {
+  EK_CHECK_EQ(b.size(), a.rows());
+  CgOptions spd_opts = opts;
+  if (spd_opts.max_iters == 0)
+    spd_opts.max_iters =
+        std::max<std::size_t>(4 * std::min(a.rows(), a.cols()), 100);
+  // A^T A x = A^T b through the structured Gram operator.
+  return CgSpd(*a.Gram(), a.ApplyT(b), spd_opts);
 }
 
 }  // namespace ektelo

@@ -4,6 +4,11 @@
 // numerical behaviour: LSMR is more stable on ill-conditioned systems,
 // CGNR is often a bit faster per iteration.  The ablation bench compares
 // them; inference defaults to LSMR as in the paper.
+//
+// CgLeastSquares runs CG against A.Gram() as a first-class operator, so
+// structured Grams (Kron of Grams, precomputed sparse/dense A^T A) cut the
+// per-iteration cost without ever materializing A; CgSpd is the underlying
+// SPD solver, usable with any symmetric positive (semi-)definite LinOp.
 #ifndef EKTELO_MATRIX_CG_H_
 #define EKTELO_MATRIX_CG_H_
 
@@ -24,7 +29,12 @@ struct CgResult {
   double normal_residual_norm = 0.0;  // ||A^T (A x - b)||
 };
 
-/// Solve argmin_x ||A x - b||_2 via CG on A^T A x = A^T b.
+/// Solve G x = b for symmetric positive (semi-)definite G by plain CG.
+/// normal_residual_norm reports ||G x - b|| on exit.
+CgResult CgSpd(const LinOp& g, const Vec& b, const CgOptions& opts = {});
+
+/// Solve argmin_x ||A x - b||_2 via CG on A^T A x = A^T b, driven through
+/// A.Gram() (never materializes A or A^T A unless the operator already is).
 CgResult CgLeastSquares(const LinOp& a, const Vec& b,
                         const CgOptions& opts = {});
 

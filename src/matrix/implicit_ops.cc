@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "linalg/haar.h"
+#include "matrix/combinators.h"
 #include "util/check.h"
 
 namespace ektelo {
@@ -21,6 +22,18 @@ void IdentityOp::ApplyRaw(const double* x, double* y) const {
 void IdentityOp::ApplyTRaw(const double* x, double* y) const {
   std::copy(x, x + rows(), y);
 }
+
+void IdentityOp::ApplyBlockRaw(const double* x, double* y,
+                               std::size_t k) const {
+  std::copy(x, x + cols() * k, y);
+}
+
+void IdentityOp::ApplyTBlockRaw(const double* x, double* y,
+                                std::size_t k) const {
+  std::copy(x, x + rows() * k, y);
+}
+
+LinOpPtr IdentityOp::Gram() const { return SelfPtr(); }
 
 CsrMatrix IdentityOp::MaterializeSparse() const {
   return CsrMatrix::Identity(rows());
@@ -48,6 +61,30 @@ void OnesOp::ApplyTRaw(const double* x, double* y) const {
   std::fill(y, y + cols(), s);
 }
 
+void OnesOp::ApplyBlockRaw(const double* x, double* y, std::size_t k) const {
+  for (std::size_t c = 0; c < k; ++c) {
+    const double* xc = x + c * cols();
+    double s = 0.0;
+    for (std::size_t j = 0; j < cols(); ++j) s += xc[j];
+    std::fill(y + c * rows(), y + (c + 1) * rows(), s);
+  }
+}
+
+void OnesOp::ApplyTBlockRaw(const double* x, double* y, std::size_t k) const {
+  for (std::size_t c = 0; c < k; ++c) {
+    const double* xc = x + c * rows();
+    double s = 0.0;
+    for (std::size_t i = 0; i < rows(); ++i) s += xc[i];
+    std::fill(y + c * cols(), y + (c + 1) * cols(), s);
+  }
+}
+
+LinOpPtr OnesOp::Gram() const {
+  // Ones(m,n)^T Ones(m,n) = m * Ones(n,n).
+  return MakeScaled(MakeOnesOp(cols(), cols()),
+                    static_cast<double>(rows()));
+}
+
 CsrMatrix OnesOp::MaterializeSparse() const {
   std::vector<Triplet> t;
   t.reserve(rows() * cols());
@@ -56,8 +93,10 @@ CsrMatrix OnesOp::MaterializeSparse() const {
   return CsrMatrix::FromTriplets(rows(), cols(), std::move(t));
 }
 
-double OnesOp::SensitivityL1() const { return static_cast<double>(rows()); }
-double OnesOp::SensitivityL2() const {
+double OnesOp::ComputeSensitivityL1() const {
+  return static_cast<double>(rows());
+}
+double OnesOp::ComputeSensitivityL2() const {
   return std::sqrt(static_cast<double>(rows()));
 }
 
@@ -86,6 +125,32 @@ void PrefixOp::ApplyTRaw(const double* x, double* y) const {
   }
 }
 
+void PrefixOp::ApplyBlockRaw(const double* x, double* y,
+                             std::size_t k) const {
+  for (std::size_t c = 0; c < k; ++c) {
+    const double* xc = x + c * cols();
+    double* yc = y + c * cols();
+    double run = 0.0;
+    for (std::size_t i = 0; i < cols(); ++i) {
+      run += xc[i];
+      yc[i] = run;
+    }
+  }
+}
+
+void PrefixOp::ApplyTBlockRaw(const double* x, double* y,
+                              std::size_t k) const {
+  for (std::size_t c = 0; c < k; ++c) {
+    const double* xc = x + c * rows();
+    double* yc = y + c * rows();
+    double run = 0.0;
+    for (std::size_t j = rows(); j-- > 0;) {
+      run += xc[j];
+      yc[j] = run;
+    }
+  }
+}
+
 CsrMatrix PrefixOp::MaterializeSparse() const {
   std::vector<Triplet> t;
   t.reserve(rows() * (rows() + 1) / 2);
@@ -94,11 +159,11 @@ CsrMatrix PrefixOp::MaterializeSparse() const {
   return CsrMatrix::FromTriplets(rows(), cols(), std::move(t));
 }
 
-double PrefixOp::SensitivityL1() const {
+double PrefixOp::ComputeSensitivityL1() const {
   // Column j appears in rows j..n-1.
   return static_cast<double>(rows());
 }
-double PrefixOp::SensitivityL2() const {
+double PrefixOp::ComputeSensitivityL2() const {
   return std::sqrt(static_cast<double>(rows()));
 }
 
@@ -126,6 +191,32 @@ void SuffixOp::ApplyTRaw(const double* x, double* y) const {
   }
 }
 
+void SuffixOp::ApplyBlockRaw(const double* x, double* y,
+                             std::size_t k) const {
+  for (std::size_t c = 0; c < k; ++c) {
+    const double* xc = x + c * cols();
+    double* yc = y + c * cols();
+    double run = 0.0;
+    for (std::size_t i = cols(); i-- > 0;) {
+      run += xc[i];
+      yc[i] = run;
+    }
+  }
+}
+
+void SuffixOp::ApplyTBlockRaw(const double* x, double* y,
+                              std::size_t k) const {
+  for (std::size_t c = 0; c < k; ++c) {
+    const double* xc = x + c * rows();
+    double* yc = y + c * rows();
+    double run = 0.0;
+    for (std::size_t j = 0; j < rows(); ++j) {
+      run += xc[j];
+      yc[j] = run;
+    }
+  }
+}
+
 CsrMatrix SuffixOp::MaterializeSparse() const {
   std::vector<Triplet> t;
   t.reserve(rows() * (rows() + 1) / 2);
@@ -134,10 +225,10 @@ CsrMatrix SuffixOp::MaterializeSparse() const {
   return CsrMatrix::FromTriplets(rows(), cols(), std::move(t));
 }
 
-double SuffixOp::SensitivityL1() const {
+double SuffixOp::ComputeSensitivityL1() const {
   return static_cast<double>(rows());
 }
-double SuffixOp::SensitivityL2() const {
+double SuffixOp::ComputeSensitivityL2() const {
   return std::sqrt(static_cast<double>(rows()));
 }
 
@@ -159,17 +250,27 @@ void WaveletOp::ApplyTRaw(const double* x, double* y) const {
   HaarSynthesis(x, y, cols());
 }
 
+void WaveletOp::ApplyBlockRaw(const double* x, double* y,
+                              std::size_t k) const {
+  HaarAnalysisBlock(x, y, cols(), k);
+}
+
+void WaveletOp::ApplyTBlockRaw(const double* x, double* y,
+                               std::size_t k) const {
+  HaarSynthesisBlock(x, y, cols(), k);
+}
+
 CsrMatrix WaveletOp::MaterializeSparse() const {
   return HaarMatrixSparse(rows());
 }
 
-double WaveletOp::SensitivityL1() const {
+double WaveletOp::ComputeSensitivityL1() const {
   // Each column hits the total row plus one +/-1 per level.
   double k = std::log2(static_cast<double>(rows()));
   return 1.0 + k;
 }
 
-double WaveletOp::SensitivityL2() const {
+double WaveletOp::ComputeSensitivityL2() const {
   double k = std::log2(static_cast<double>(rows()));
   return std::sqrt(1.0 + k);
 }

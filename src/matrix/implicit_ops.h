@@ -1,6 +1,9 @@
 // Core implicit matrices (paper Sec. 7.4, Table 2): Identity, Ones, Total,
 // Prefix, Suffix, Wavelet.  Each stores O(1) state and supports mat-vec in
 // O(n) (O(n log n) for Wavelet), versus O(n^2) for dense/sparse Prefix.
+// Block applies run all k right-hand sides through one structural sweep;
+// Gram() has closed forms where they exist (Identity is idempotent,
+// Ones(m,n)^T Ones(m,n) = m * Ones(n,n)).
 #ifndef EKTELO_MATRIX_IMPLICIT_OPS_H_
 #define EKTELO_MATRIX_IMPLICIT_OPS_H_
 
@@ -14,10 +17,16 @@ class IdentityOp final : public LinOp {
   explicit IdentityOp(std::size_t n);
   void ApplyRaw(const double* x, double* y) const override;
   void ApplyTRaw(const double* x, double* y) const override;
+  void ApplyBlockRaw(const double* x, double* y, std::size_t k) const override;
+  void ApplyTBlockRaw(const double* x, double* y,
+                      std::size_t k) const override;
+  LinOpPtr Gram() const override;  // I^T I = I
   CsrMatrix MaterializeSparse() const override;
-  double SensitivityL1() const override { return 1.0; }
-  double SensitivityL2() const override { return 1.0; }
   std::string DebugName() const override;
+
+ protected:
+  double ComputeSensitivityL1() const override { return 1.0; }
+  double ComputeSensitivityL2() const override { return 1.0; }
 };
 
 /// m x n all-ones matrix; (Ones x)_i = sum(x).
@@ -26,10 +35,16 @@ class OnesOp final : public LinOp {
   OnesOp(std::size_t m, std::size_t n);
   void ApplyRaw(const double* x, double* y) const override;
   void ApplyTRaw(const double* x, double* y) const override;
+  void ApplyBlockRaw(const double* x, double* y, std::size_t k) const override;
+  void ApplyTBlockRaw(const double* x, double* y,
+                      std::size_t k) const override;
+  LinOpPtr Gram() const override;  // m * Ones(n, n)
   CsrMatrix MaterializeSparse() const override;
-  double SensitivityL1() const override;
-  double SensitivityL2() const override;
   std::string DebugName() const override;
+
+ protected:
+  double ComputeSensitivityL1() const override;
+  double ComputeSensitivityL2() const override;
 };
 
 /// n x n lower-triangular all-ones: y_k = x_1 + ... + x_k (empirical CDF).
@@ -38,10 +53,15 @@ class PrefixOp final : public LinOp {
   explicit PrefixOp(std::size_t n);
   void ApplyRaw(const double* x, double* y) const override;
   void ApplyTRaw(const double* x, double* y) const override;
+  void ApplyBlockRaw(const double* x, double* y, std::size_t k) const override;
+  void ApplyTBlockRaw(const double* x, double* y,
+                      std::size_t k) const override;
   CsrMatrix MaterializeSparse() const override;
-  double SensitivityL1() const override;
-  double SensitivityL2() const override;
   std::string DebugName() const override;
+
+ protected:
+  double ComputeSensitivityL1() const override;
+  double ComputeSensitivityL2() const override;
 };
 
 /// n x n upper-triangular all-ones: y_k = x_k + ... + x_n.
@@ -50,10 +70,15 @@ class SuffixOp final : public LinOp {
   explicit SuffixOp(std::size_t n);
   void ApplyRaw(const double* x, double* y) const override;
   void ApplyTRaw(const double* x, double* y) const override;
+  void ApplyBlockRaw(const double* x, double* y, std::size_t k) const override;
+  void ApplyTBlockRaw(const double* x, double* y,
+                      std::size_t k) const override;
   CsrMatrix MaterializeSparse() const override;
-  double SensitivityL1() const override;
-  double SensitivityL2() const override;
   std::string DebugName() const override;
+
+ protected:
+  double ComputeSensitivityL1() const override;
+  double ComputeSensitivityL2() const override;
 };
 
 /// n x n Haar wavelet analysis matrix (n must be a power of two).
@@ -64,10 +89,15 @@ class WaveletOp final : public LinOp {
   explicit WaveletOp(std::size_t n);
   void ApplyRaw(const double* x, double* y) const override;
   void ApplyTRaw(const double* x, double* y) const override;
+  void ApplyBlockRaw(const double* x, double* y, std::size_t k) const override;
+  void ApplyTBlockRaw(const double* x, double* y,
+                      std::size_t k) const override;
   CsrMatrix MaterializeSparse() const override;
-  double SensitivityL1() const override;
-  double SensitivityL2() const override;
   std::string DebugName() const override;
+
+ protected:
+  double ComputeSensitivityL1() const override;
+  double ComputeSensitivityL2() const override;
 };
 
 LinOpPtr MakeIdentityOp(std::size_t n);

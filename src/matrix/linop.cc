@@ -21,6 +21,32 @@ Vec LinOp::ApplyT(const Vec& x) const {
   return y;
 }
 
+void LinOp::ApplyBlockRaw(const double* x, double* y, std::size_t k) const {
+  // Fallback: k independent mat-vecs.  Columns are contiguous, so each
+  // column is handed to the single-vector kernel directly.
+  for (std::size_t c = 0; c < k; ++c)
+    ApplyRaw(x + c * cols(), y + c * rows());
+}
+
+void LinOp::ApplyTBlockRaw(const double* x, double* y, std::size_t k) const {
+  for (std::size_t c = 0; c < k; ++c)
+    ApplyTRaw(x + c * rows(), y + c * cols());
+}
+
+Block LinOp::ApplyBlock(const Block& x) const {
+  EK_CHECK_EQ(x.rows(), cols());
+  Block y(rows(), x.cols());
+  ApplyBlockRaw(x.data(), y.data(), x.cols());
+  return y;
+}
+
+Block LinOp::ApplyTBlock(const Block& x) const {
+  EK_CHECK_EQ(x.rows(), rows());
+  Block y(cols(), x.cols());
+  ApplyTBlockRaw(x.data(), y.data(), x.cols());
+  return y;
+}
+
 LinOpPtr LinOp::Abs() const {
   if (is_nonneg_binary()) return shared_from_this();
   return MakeSparse(MaterializeSparse().Abs());
@@ -31,19 +57,33 @@ LinOpPtr LinOp::Sqr() const {
   return MakeSparse(MaterializeSparse().Sqr());
 }
 
+LinOpPtr LinOp::SelfPtr() const {
+  if (LinOpPtr self = weak_from_this().lock()) return self;
+  return LinOpPtr(LinOpPtr{}, this);  // non-owning alias
+}
+
+LinOpPtr LinOp::Gram() const { return std::make_shared<GramOp>(SelfPtr()); }
+
 CsrMatrix LinOp::MaterializeSparse() const {
-  // Fallback: probe with basis vectors.  O(cols) mat-vecs; structured
-  // subclasses override this with direct constructions.
+  // Fallback: stream identity panels of bounded width through the blocked
+  // apply.  Each panel is one blocked traversal of the operator instead of
+  // kMaterializePanel scalar mat-vecs; exact zeros are dropped on assembly.
   std::vector<Triplet> t;
-  Vec e(cols(), 0.0), col(rows());
-  for (std::size_t j = 0; j < cols(); ++j) {
-    e[j] = 1.0;
-    ApplyRaw(e.data(), col.data());
-    e[j] = 0.0;
-    for (std::size_t i = 0; i < rows(); ++i)
-      if (col[i] != 0.0) t.push_back({i, j, col[i]});
+  const std::size_t n = cols();
+  Block out(rows(), std::min(n, kMaterializePanel));
+  for (std::size_t j0 = 0; j0 < n; j0 += kMaterializePanel) {
+    const std::size_t k = std::min(kMaterializePanel, n - j0);
+    Block panel = Block::IdentityPanel(n, j0, k);
+    ApplyBlockRaw(panel.data(), out.data(), k);
+    for (std::size_t c = 0; c < k; ++c) {
+      const double* col = out.ColPtr(c);
+      for (std::size_t i = 0; i < rows(); ++i)
+        if (col[i] != 0.0) t.push_back({i, j0 + c, col[i]});
+    }
   }
-  return CsrMatrix::FromTriplets(rows(), cols(), std::move(t));
+  // Panels emit column-grouped entries, so CSR assembly is a counting
+  // sort — no comparison sort over the nnz.
+  return CsrMatrix::FromColumnStream(rows(), cols(), t);
 }
 
 DenseMatrix LinOp::MaterializeDense() const {
@@ -51,6 +91,16 @@ DenseMatrix LinOp::MaterializeDense() const {
 }
 
 double LinOp::SensitivityL1() const {
+  if (!sens_l1_) sens_l1_ = ComputeSensitivityL1();
+  return *sens_l1_;
+}
+
+double LinOp::SensitivityL2() const {
+  if (!sens_l2_) sens_l2_ = ComputeSensitivityL2();
+  return *sens_l2_;
+}
+
+double LinOp::ComputeSensitivityL1() const {
   // max over columns of sum_i |a_ij| = max(Abs()^T * ones).
   LinOpPtr a = Abs();
   Vec ones(rows(), 1.0);
@@ -59,7 +109,7 @@ double LinOp::SensitivityL1() const {
                         : *std::max_element(colsum.begin(), colsum.end());
 }
 
-double LinOp::SensitivityL2() const {
+double LinOp::ComputeSensitivityL2() const {
   LinOpPtr s = Sqr();
   Vec ones(rows(), 1.0);
   Vec colsum = s->ApplyT(ones);
@@ -84,6 +134,15 @@ DenseOp::DenseOp(DenseMatrix m) : LinOp(m.rows(), m.cols()), m_(std::move(m)) {
 void DenseOp::ApplyRaw(const double* x, double* y) const { m_.Matvec(x, y); }
 void DenseOp::ApplyTRaw(const double* x, double* y) const { m_.RmatVec(x, y); }
 
+void DenseOp::ApplyBlockRaw(const double* x, double* y, std::size_t k) const {
+  DenseMatmat(m_, x, y, k);
+}
+
+void DenseOp::ApplyTBlockRaw(const double* x, double* y,
+                             std::size_t k) const {
+  DenseRmatMat(m_, x, y, k);
+}
+
 LinOpPtr DenseOp::Abs() const {
   if (is_nonneg_binary()) return shared_from_this();
   return MakeDense(m_.Abs());
@@ -94,12 +153,22 @@ LinOpPtr DenseOp::Sqr() const {
   return MakeDense(m_.Sqr());
 }
 
+LinOpPtr DenseOp::Gram() const {
+  // For wide matrices (rows < cols) the composed form is both cheaper to
+  // build (nothing to precompute) and cheaper per apply (2mn < n^2 flops),
+  // so only precompute A^T A when the matrix is at least square-ish.
+  if (rows() < cols()) return LinOp::Gram();
+  return MakeDense(m_.Gram());
+}
+
 CsrMatrix DenseOp::MaterializeSparse() const {
   return CsrMatrix::FromDense(m_);
 }
 
-double DenseOp::SensitivityL1() const { return m_.MaxColNormL1(); }
-double DenseOp::SensitivityL2() const { return m_.MaxColNormL2(); }
+DenseMatrix DenseOp::MaterializeDense() const { return m_; }
+
+double DenseOp::ComputeSensitivityL1() const { return m_.MaxColNormL1(); }
+double DenseOp::ComputeSensitivityL2() const { return m_.MaxColNormL2(); }
 
 std::string DenseOp::DebugName() const {
   return "Dense(" + std::to_string(rows()) + "x" + std::to_string(cols()) +
@@ -125,6 +194,16 @@ void SparseOp::ApplyTRaw(const double* x, double* y) const {
   m_.RmatVec(x, y);
 }
 
+void SparseOp::ApplyBlockRaw(const double* x, double* y,
+                             std::size_t k) const {
+  CsrMatmat(m_, x, y, k);
+}
+
+void SparseOp::ApplyTBlockRaw(const double* x, double* y,
+                              std::size_t k) const {
+  CsrRmatMat(m_, x, y, k);
+}
+
 LinOpPtr SparseOp::Abs() const {
   if (is_nonneg_binary()) return shared_from_this();
   return MakeSparse(m_.Abs());
@@ -135,14 +214,66 @@ LinOpPtr SparseOp::Sqr() const {
   return MakeSparse(m_.Sqr());
 }
 
+LinOpPtr SparseOp::Gram() const {
+  // A^T A can be catastrophically denser than A itself — one dense row
+  // (e.g. a hierarchy's root) makes the Gram fully dense.  The update
+  // count of the sparse matmul is exactly sum_i nnz(row_i)^2, so
+  // materialize only when that stays within a small multiple of nnz(A)
+  // and fall back to the composed matrix-free form (2 sweeps of A per
+  // apply) otherwise.
+  const double budget = 64.0 * static_cast<double>(m_.nnz() + cols() + 1);
+  double work = 0.0;
+  for (std::size_t i = 0; i < m_.rows() && work <= budget; ++i) {
+    const double r =
+        static_cast<double>(m_.indptr()[i + 1] - m_.indptr()[i]);
+    work += r * r;
+  }
+  if (work > budget) return LinOp::Gram();
+  return MakeSparse(m_.Transpose().Matmul(m_));
+}
+
 CsrMatrix SparseOp::MaterializeSparse() const { return m_; }
 
-double SparseOp::SensitivityL1() const { return m_.MaxColNormL1(); }
-double SparseOp::SensitivityL2() const { return m_.MaxColNormL2(); }
+double SparseOp::ComputeSensitivityL1() const { return m_.MaxColNormL1(); }
+double SparseOp::ComputeSensitivityL2() const { return m_.MaxColNormL2(); }
 
 std::string SparseOp::DebugName() const {
   return "Sparse(" + std::to_string(rows()) + "x" + std::to_string(cols()) +
          ",nnz=" + std::to_string(m_.nnz()) + ")";
+}
+
+// ------------------------------------------------------------------ GramOp
+
+GramOp::GramOp(LinOpPtr child)
+    : LinOp(child->cols(), child->cols()), child_(std::move(child)) {}
+
+void GramOp::ApplyRaw(const double* x, double* y) const {
+  Vec tmp(child_->rows());
+  child_->ApplyRaw(x, tmp.data());
+  child_->ApplyTRaw(tmp.data(), y);
+}
+
+void GramOp::ApplyTRaw(const double* x, double* y) const {
+  ApplyRaw(x, y);  // symmetric
+}
+
+void GramOp::ApplyBlockRaw(const double* x, double* y, std::size_t k) const {
+  Block tmp(child_->rows(), k);
+  child_->ApplyBlockRaw(x, tmp.data(), k);
+  child_->ApplyTBlockRaw(tmp.data(), y, k);
+}
+
+void GramOp::ApplyTBlockRaw(const double* x, double* y, std::size_t k) const {
+  ApplyBlockRaw(x, y, k);
+}
+
+LinOpPtr GramOp::Gram() const {
+  // (M^T M)^T (M^T M): keep it lazy; callers rarely need this.
+  return std::make_shared<GramOp>(SelfPtr());
+}
+
+std::string GramOp::DebugName() const {
+  return "Gram(" + child_->DebugName() + ")";
 }
 
 LinOpPtr MakeDense(DenseMatrix m) {
@@ -160,8 +291,7 @@ Vec RowOf(const LinOp& m, std::size_t i) {
 }
 
 CsrMatrix GramSparse(const LinOp& m) {
-  CsrMatrix s = m.MaterializeSparse();
-  return s.Transpose().Matmul(s);
+  return m.Gram()->MaterializeSparse();
 }
 
 }  // namespace ektelo

@@ -8,6 +8,24 @@
 // sensitivity, inference, Gram matrices, row indexing, materialization)
 // is derived.
 //
+// The evaluation core is *blocked*: ApplyBlockRaw/ApplyTBlockRaw evaluate a
+// panel of k right-hand sides per traversal of the operator, so
+// materialization, Gram assembly and multi-RHS solves amortize the cost of
+// touching the operator structure over k columns.  Subclasses that only
+// implement the single-vector ApplyRaw/ApplyTRaw still work — the default
+// block methods loop over columns — but the dense/sparse/implicit leaves
+// and all combinators override them with genuinely blocked kernels.
+//
+// Gram() contract: Gram() returns M^T M as a LinOp with rows == cols ==
+// this->cols().  The result is symmetric positive semi-definite and exact
+// (no approximation): Gram()->MaterializeDense() equals the densified
+// M^T M for every operator.  The default is the lazily-composed operator
+// x -> M^T (M x), which stays matrix-free (per-apply cost 2 * Time(M));
+// structured subclasses override it with closed forms (e.g. Kron(A, B)
+// yields Kron(Gram(A), Gram(B)); a vertical stack yields the sum of its
+// children's Grams).  Solvers on the normal equations (CG, NNLS) consume
+// Gram() directly and never materialize M.
+//
 // Representations are lossless: MaterializeSparse()/MaterializeDense()
 // produce the exact matrix, and the test suite checks every primitive
 // against the materialized form.
@@ -16,9 +34,11 @@
 
 #include <cstddef>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "linalg/block.h"
 #include "linalg/csr.h"
 #include "linalg/dense.h"
 #include "linalg/vec.h"
@@ -41,8 +61,19 @@ class LinOp : public std::enable_shared_from_this<LinOp> {
   /// y = A^T x.  |x| = rows, |y| = cols.  Must not alias.
   virtual void ApplyTRaw(const double* x, double* y) const = 0;
 
+  /// Y = A X over k column-major right-hand sides: x is (cols x k), y is
+  /// (rows x k), both column-major.  Must not alias.  The default loops
+  /// over columns calling ApplyRaw; blocked subclasses traverse their
+  /// structure once for all k columns.
+  virtual void ApplyBlockRaw(const double* x, double* y, std::size_t k) const;
+  /// Y = A^T X over k column-major RHS: x is (rows x k), y is (cols x k).
+  virtual void ApplyTBlockRaw(const double* x, double* y,
+                              std::size_t k) const;
+
   Vec Apply(const Vec& x) const;
   Vec ApplyT(const Vec& x) const;
+  Block ApplyBlock(const Block& x) const;
+  Block ApplyTBlock(const Block& x) const;
 
   /// Elementwise |a_ij| as a LinOp.  Binary/non-negative matrices return
   /// themselves (a no-op, per Sec. 7.5); the default materializes sparse.
@@ -50,17 +81,24 @@ class LinOp : public std::enable_shared_from_this<LinOp> {
   /// Elementwise a_ij^2 as a LinOp.  Same no-op rule for binary matrices.
   virtual LinOpPtr Sqr() const;
 
-  /// Exact sparse materialization.  The default evaluates A e_j column by
-  /// column (O(cols) mat-vecs); structured subclasses override with direct
-  /// constructions.
+  /// M^T M as a first-class operator (see the Gram() contract above).
+  virtual LinOpPtr Gram() const;
+
+  /// Exact sparse materialization.  The default streams identity panels of
+  /// bounded width through ApplyBlockRaw (one blocked traversal per
+  /// ~kMaterializePanel columns, dropping exact zeros); structured
+  /// subclasses override with direct constructions.
   virtual CsrMatrix MaterializeSparse() const;
-  DenseMatrix MaterializeDense() const;
+  /// Exact dense materialization; the default densifies MaterializeSparse.
+  virtual DenseMatrix MaterializeDense() const;
 
   /// Max L1 column norm: the Laplace sensitivity of this query set
-  /// (computed as max(Abs()^T * 1), Table 1).
-  virtual double SensitivityL1() const;
-  /// Max L2 column norm (Gaussian-mechanism sensitivity).
-  virtual double SensitivityL2() const;
+  /// (computed as max(Abs()^T * 1), Table 1).  Cached per instance: plans
+  /// query sensitivity repeatedly (budget splitting, noise calibration)
+  /// and the underlying operator is immutable.
+  double SensitivityL1() const;
+  /// Max L2 column norm (Gaussian-mechanism sensitivity).  Cached.
+  double SensitivityL2() const;
 
   /// A human-readable structural name, e.g. "Kron(Prefix(256),Identity(7))".
   virtual std::string DebugName() const = 0;
@@ -69,12 +107,28 @@ class LinOp : public std::enable_shared_from_this<LinOp> {
   /// abs-stability: see set_binary), making Abs()/Sqr() no-ops.
   bool is_nonneg_binary() const { return nonneg_binary_; }
 
+  /// Panel width used by the blocked materialization fallback.
+  static constexpr std::size_t kMaterializePanel = 64;
+
  protected:
   void set_nonneg_binary(bool b) const { nonneg_binary_ = b; }
+
+  /// A shared_ptr view of this operator for composed results (lazy Grams,
+  /// Abs/Sqr no-ops).  Uses the owning control block when the operator is
+  /// shared-owned (the factory functions); otherwise a non-owning alias,
+  /// valid only while the operator itself lives — the same lifetime
+  /// contract as the const-reference solver APIs that trigger it.
+  LinOpPtr SelfPtr() const;
+
+  /// Uncached sensitivity computations; override these, not the public
+  /// cached accessors.
+  virtual double ComputeSensitivityL1() const;
+  virtual double ComputeSensitivityL2() const;
 
  private:
   std::size_t rows_, cols_;
   mutable bool nonneg_binary_ = false;
+  mutable std::optional<double> sens_l1_, sens_l2_;
 };
 
 /// Wrapper over a materialized dense matrix.
@@ -83,13 +137,20 @@ class DenseOp final : public LinOp {
   explicit DenseOp(DenseMatrix m);
   void ApplyRaw(const double* x, double* y) const override;
   void ApplyTRaw(const double* x, double* y) const override;
+  void ApplyBlockRaw(const double* x, double* y, std::size_t k) const override;
+  void ApplyTBlockRaw(const double* x, double* y,
+                      std::size_t k) const override;
   LinOpPtr Abs() const override;
   LinOpPtr Sqr() const override;
+  LinOpPtr Gram() const override;
   CsrMatrix MaterializeSparse() const override;
-  double SensitivityL1() const override;
-  double SensitivityL2() const override;
+  DenseMatrix MaterializeDense() const override;
   std::string DebugName() const override;
   const DenseMatrix& dense() const { return m_; }
+
+ protected:
+  double ComputeSensitivityL1() const override;
+  double ComputeSensitivityL2() const override;
 
  private:
   DenseMatrix m_;
@@ -101,16 +162,41 @@ class SparseOp final : public LinOp {
   explicit SparseOp(CsrMatrix m);
   void ApplyRaw(const double* x, double* y) const override;
   void ApplyTRaw(const double* x, double* y) const override;
+  void ApplyBlockRaw(const double* x, double* y, std::size_t k) const override;
+  void ApplyTBlockRaw(const double* x, double* y,
+                      std::size_t k) const override;
   LinOpPtr Abs() const override;
   LinOpPtr Sqr() const override;
+  LinOpPtr Gram() const override;
   CsrMatrix MaterializeSparse() const override;
-  double SensitivityL1() const override;
-  double SensitivityL2() const override;
   std::string DebugName() const override;
   const CsrMatrix& csr() const { return m_; }
 
+ protected:
+  double ComputeSensitivityL1() const override;
+  double ComputeSensitivityL2() const override;
+
  private:
   CsrMatrix m_;
+};
+
+/// The lazily-composed Gram operator x -> M^T (M x): the default result of
+/// LinOp::Gram().  Symmetric, so Apply == ApplyT; block applies stay
+/// blocked end to end through the child.
+class GramOp final : public LinOp {
+ public:
+  explicit GramOp(LinOpPtr child);
+  void ApplyRaw(const double* x, double* y) const override;
+  void ApplyTRaw(const double* x, double* y) const override;
+  void ApplyBlockRaw(const double* x, double* y, std::size_t k) const override;
+  void ApplyTBlockRaw(const double* x, double* y,
+                      std::size_t k) const override;
+  LinOpPtr Gram() const override;  // Gram of a Gram composes lazily too
+  std::string DebugName() const override;
+  const LinOpPtr& child() const { return child_; }
+
+ private:
+  LinOpPtr child_;
 };
 
 LinOpPtr MakeDense(DenseMatrix m);
@@ -119,7 +205,9 @@ LinOpPtr MakeSparse(CsrMatrix m);
 /// The i-th row of M as a dense vector: M^T e_i (Table 1, row indexing).
 Vec RowOf(const LinOp& m, std::size_t i);
 
-/// Gram matrix M^T M in sparse form (via sparse materialization).
+/// Gram matrix M^T M in sparse form, via the structured Gram() operator
+/// (closed forms where available, blocked identity-panel materialization
+/// otherwise).
 CsrMatrix GramSparse(const LinOp& m);
 
 }  // namespace ektelo

@@ -85,16 +85,19 @@ LsmrResult Lsmr(const LinOp& a, const Vec& b, const LsmrOptions& opts) {
 
   std::size_t itn = 0;
   double normr = beta;
+  // Work buffers reused across iterations: the bidiagonalization applies
+  // go through the raw interface so no per-iteration Vec is allocated.
+  Vec au(m), atv(n);
   while (itn < max_iters) {
     ++itn;
 
     // Next bidiagonalization step.
-    Vec au = a.Apply(v);
+    a.ApplyRaw(v.data(), au.data());
     for (std::size_t i = 0; i < m; ++i) u[i] = au[i] - alpha * u[i];
     beta = Norm2(u);
     if (beta > 0.0) {
       Scale(1.0 / beta, &u);
-      Vec atv = a.ApplyT(u);
+      a.ApplyTRaw(u.data(), atv.data());
       for (std::size_t j = 0; j < n; ++j) v[j] = atv[j] - beta * v[j];
       alpha = Norm2(v);
       if (alpha > 0.0) Scale(1.0 / alpha, &v);
@@ -193,6 +196,21 @@ LsmrResult Lsmr(const LinOp& a, const Vec& b, const LsmrOptions& opts) {
   result.iterations = itn;
   result.residual_norm = normr;
   return result;
+}
+
+std::vector<LsmrResult> LsmrMulti(const LinOp& a, const Block& rhs,
+                                  const LsmrOptions& opts) {
+  // Golub-Kahan bidiagonalization builds a separate Krylov space per RHS,
+  // so the columns solve independently; the Block packaging exists so
+  // multi-RHS call sites (workload answering, pseudo-inverse columns)
+  // have one entry point that can later be swapped for a block-Krylov
+  // method without touching callers.
+  EK_CHECK_EQ(rhs.rows(), a.rows());
+  std::vector<LsmrResult> results;
+  results.reserve(rhs.cols());
+  for (std::size_t c = 0; c < rhs.cols(); ++c)
+    results.push_back(Lsmr(a, rhs.Col(c), opts));
+  return results;
 }
 
 }  // namespace ektelo

@@ -7,8 +7,8 @@
 
 namespace ektelo {
 
-double EstimateSpectralNormSq(const LinOp& a, std::size_t iters) {
-  const std::size_t n = a.cols();
+double EstimateSpectralNormSqGram(const LinOp& gram, std::size_t iters) {
+  const std::size_t n = gram.cols();
   // Deterministic pseudo-random start vector (no RNG dependency here).
   Vec v(n);
   double seed = 0.5;
@@ -19,8 +19,9 @@ double EstimateSpectralNormSq(const LinOp& a, std::size_t iters) {
   double nv = Norm2(v);
   Scale(1.0 / nv, &v);
   double lambda = 1.0;
+  Vec w(n);
   for (std::size_t it = 0; it < iters; ++it) {
-    Vec w = a.ApplyT(a.Apply(v));
+    gram.ApplyRaw(v.data(), w.data());
     lambda = Norm2(w);
     if (lambda == 0.0) return 0.0;
     Scale(1.0 / lambda, &w);
@@ -29,11 +30,24 @@ double EstimateSpectralNormSq(const LinOp& a, std::size_t iters) {
   return lambda;
 }
 
+double EstimateSpectralNormSq(const LinOp& a, std::size_t iters) {
+  return EstimateSpectralNormSqGram(*a.Gram(), iters);
+}
+
 NnlsResult Nnls(const LinOp& a, const Vec& b, const NnlsOptions& opts) {
   const std::size_t n = a.cols();
   EK_CHECK_EQ(b.size(), a.rows());
 
-  double lip = EstimateSpectralNormSq(a, opts.power_iters);
+  // The whole FISTA loop runs on the normal-equations side: gradient and
+  // objective are both functions of (Gram, A^T b, ||b||^2), so each
+  // iteration costs a single Gram apply — structured Grams (sparse A^T A,
+  // Kron of Grams) make it cheaper still, and A itself is applied exactly
+  // once, for the final residual report.
+  LinOpPtr g = a.Gram();
+  const Vec atb = a.ApplyT(b);
+  const double btb = Dot(b, b);
+
+  double lip = EstimateSpectralNormSqGram(*g, opts.power_iters);
   if (lip <= 0.0) lip = 1.0;
   const double step = 1.0 / (1.05 * lip);  // slack for estimation error
 
@@ -44,46 +58,49 @@ NnlsResult Nnls(const LinOp& a, const Vec& b, const NnlsOptions& opts) {
     x = opts.x0;
     for (double& v : x) v = std::max(v, 0.0);
   }
-  Vec yk = x;
+  Vec gx(n, 0.0);  // G x, kept in lockstep with x
+  g->ApplyRaw(x.data(), gx.data());
+  Vec yk = x, gyk = gx;  // momentum iterate and its Gram image
   double t = 1.0;
   double prev_obj = 1e300;
 
-  auto objective = [&](const Vec& z) {
-    Vec r = a.Apply(z);
-    for (std::size_t i = 0; i < r.size(); ++i) r[i] -= b[i];
-    return 0.5 * Dot(r, r);
-  };
-
+  Vec grad(n), x_new(n), gx_new(n);
   std::size_t it = 0;
   for (; it < opts.max_iters; ++it) {
-    // grad = A^T (A y - b)
-    Vec r = a.Apply(yk);
-    for (std::size_t i = 0; i < r.size(); ++i) r[i] -= b[i];
-    Vec grad = a.ApplyT(r);
+    // grad = A^T (A y - b) = G y - A^T b.
+    for (std::size_t j = 0; j < n; ++j) grad[j] = gyk[j] - atb[j];
 
-    Vec x_new(n);
     for (std::size_t j = 0; j < n; ++j)
       x_new[j] = std::max(0.0, yk[j] - step * grad[j]);
+    g->ApplyRaw(x_new.data(), gx_new.data());
 
+    // 0.5||A z - b||^2 = 0.5 z^T G z - z^T A^T b + 0.5 ||b||^2.
+    const double obj =
+        0.5 * Dot(x_new, gx_new) - Dot(x_new, atb) + 0.5 * btb;
     // Monotone restart: if the objective went up, drop momentum.
-    double obj = objective(x_new);
     if (obj > prev_obj) {
       t = 1.0;
       yk = x;
+      gyk = gx;
       ++it;
       continue;
     }
     prev_obj = obj;
 
     const double t_new = 0.5 * (1.0 + std::sqrt(1.0 + 4.0 * t * t));
+    const double mom = (t - 1.0) / t_new;
     double dx = 0.0, nx = 0.0;
     for (std::size_t j = 0; j < n; ++j) {
       const double diff = x_new[j] - x[j];
       dx += diff * diff;
       nx += x_new[j] * x_new[j];
-      yk[j] = x_new[j] + ((t - 1.0) / t_new) * diff;
+      yk[j] = x_new[j] + mom * diff;
+      // G is linear, so the momentum iterate's Gram image extrapolates for
+      // free: G y = G x_new + mom (G x_new - G x).
+      gyk[j] = gx_new[j] + mom * (gx_new[j] - gx[j]);
     }
     x = x_new;
+    gx = gx_new;
     t = t_new;
     if (std::sqrt(dx) <= opts.tol * std::max(1.0, std::sqrt(nx))) {
       ++it;

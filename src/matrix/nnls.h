@@ -40,6 +40,10 @@ NnlsResult Nnls(const LinOp& a, const Vec& b, const NnlsOptions& opts = {});
 /// by power iteration; exposed for tests.
 double EstimateSpectralNormSq(const LinOp& a, std::size_t iters = 30);
 
+/// Same estimate driven by an already-built Gram operator (A^T A), so
+/// callers that hold one (e.g. Nnls) don't construct it twice.
+double EstimateSpectralNormSqGram(const LinOp& gram, std::size_t iters = 30);
+
 }  // namespace ektelo
 
 #endif  // EKTELO_MATRIX_NNLS_H_

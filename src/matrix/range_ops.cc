@@ -39,6 +39,48 @@ void RangeSetOp::ApplyTRaw(const double* x, double* y) const {
   }
 }
 
+void RangeSetOp::ApplyBlockRaw(const double* x, double* y,
+                               std::size_t k) const {
+  // One prefix-sum pass per column, then the interval list is walked once
+  // with all k columns answered per interval.
+  const std::size_t n = cols(), m = rows();
+  Vec pre((n + 1) * k, 0.0);
+  for (std::size_t c = 0; c < k; ++c) {
+    const double* xc = x + c * n;
+    double* pc = pre.data() + c * (n + 1);
+    for (std::size_t i = 0; i < n; ++i) pc[i + 1] = pc[i] + xc[i];
+  }
+  for (std::size_t q = 0; q < m; ++q) {
+    const std::size_t lo = ranges_[q].lo, hi = ranges_[q].hi;
+    for (std::size_t c = 0; c < k; ++c) {
+      const double* pc = pre.data() + c * (n + 1);
+      y[c * m + q] = pc[hi + 1] - pc[lo];
+    }
+  }
+}
+
+void RangeSetOp::ApplyTBlockRaw(const double* x, double* y,
+                                std::size_t k) const {
+  const std::size_t n = cols(), m = rows();
+  Vec diff((n + 1) * k, 0.0);
+  for (std::size_t q = 0; q < m; ++q) {
+    const std::size_t lo = ranges_[q].lo, hi = ranges_[q].hi;
+    for (std::size_t c = 0; c < k; ++c) {
+      diff[c * (n + 1) + lo] += x[c * m + q];
+      diff[c * (n + 1) + hi + 1] -= x[c * m + q];
+    }
+  }
+  for (std::size_t c = 0; c < k; ++c) {
+    const double* dc = diff.data() + c * (n + 1);
+    double* yc = y + c * n;
+    double run = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      run += dc[i];
+      yc[i] = run;
+    }
+  }
+}
+
 CsrMatrix RangeSetOp::MaterializeSparse() const {
   std::size_t nnz = 0;
   for (const auto& r : ranges_) nnz += r.hi - r.lo + 1;
@@ -50,7 +92,7 @@ CsrMatrix RangeSetOp::MaterializeSparse() const {
   return CsrMatrix::FromTriplets(rows(), cols(), std::move(t));
 }
 
-double RangeSetOp::SensitivityL1() const {
+double RangeSetOp::ComputeSensitivityL1() const {
   // Coverage count per cell via a difference array.
   Vec diff(cols() + 1, 0.0);
   for (const auto& r : ranges_) {
@@ -65,7 +107,7 @@ double RangeSetOp::SensitivityL1() const {
   return best;
 }
 
-double RangeSetOp::SensitivityL2() const {
+double RangeSetOp::ComputeSensitivityL2() const {
   return std::sqrt(SensitivityL1());  // binary entries
 }
 
@@ -125,6 +167,64 @@ void RectangleSetOp::ApplyTRaw(const double* x, double* y) const {
   }
 }
 
+void RectangleSetOp::ApplyBlockRaw(const double* x, double* y,
+                                   std::size_t k) const {
+  // One summed-area table per column, then the rectangle list is walked
+  // once with all k columns answered per rectangle.
+  const std::size_t w = ny_ + 1;
+  const std::size_t sat_sz = (nx_ + 1) * w;
+  const std::size_t n = cols(), m = rows();
+  Vec sat(sat_sz * k, 0.0);
+  for (std::size_t c = 0; c < k; ++c) {
+    const double* xc = x + c * n;
+    double* sc = sat.data() + c * sat_sz;
+    for (std::size_t i = 0; i < nx_; ++i)
+      for (std::size_t j = 0; j < ny_; ++j)
+        sc[(i + 1) * w + (j + 1)] = xc[i * ny_ + j] + sc[i * w + (j + 1)] +
+                                    sc[(i + 1) * w + j] - sc[i * w + j];
+  }
+  for (std::size_t q = 0; q < m; ++q) {
+    const auto& r = rects_[q];
+    for (std::size_t c = 0; c < k; ++c) {
+      const double* sc = sat.data() + c * sat_sz;
+      y[c * m + q] = sc[(r.x_hi + 1) * w + (r.y_hi + 1)] -
+                     sc[r.x_lo * w + (r.y_hi + 1)] -
+                     sc[(r.x_hi + 1) * w + r.y_lo] + sc[r.x_lo * w + r.y_lo];
+    }
+  }
+}
+
+void RectangleSetOp::ApplyTBlockRaw(const double* x, double* y,
+                                    std::size_t k) const {
+  const std::size_t w = ny_ + 1;
+  const std::size_t diff_sz = (nx_ + 1) * w;
+  const std::size_t n = cols(), m = rows();
+  Vec diff(diff_sz * k, 0.0);
+  for (std::size_t q = 0; q < m; ++q) {
+    const auto& r = rects_[q];
+    for (std::size_t c = 0; c < k; ++c) {
+      double* dc = diff.data() + c * diff_sz;
+      const double v = x[c * m + q];
+      dc[r.x_lo * w + r.y_lo] += v;
+      dc[r.x_lo * w + (r.y_hi + 1)] -= v;
+      dc[(r.x_hi + 1) * w + r.y_lo] -= v;
+      dc[(r.x_hi + 1) * w + (r.y_hi + 1)] += v;
+    }
+  }
+  for (std::size_t c = 0; c < k; ++c) {
+    const double* dc = diff.data() + c * diff_sz;
+    double* yc = y + c * n;
+    for (std::size_t i = 0; i < nx_; ++i) {
+      double run = 0.0;
+      for (std::size_t j = 0; j < ny_; ++j) {
+        run += dc[i * w + j];
+        double above = (i > 0) ? yc[(i - 1) * ny_ + j] : 0.0;
+        yc[i * ny_ + j] = run + above;
+      }
+    }
+  }
+}
+
 CsrMatrix RectangleSetOp::MaterializeSparse() const {
   std::size_t nnz = 0;
   for (const auto& r : rects_)
@@ -140,7 +240,7 @@ CsrMatrix RectangleSetOp::MaterializeSparse() const {
   return CsrMatrix::FromTriplets(rows(), cols(), std::move(t));
 }
 
-double RectangleSetOp::SensitivityL1() const {
+double RectangleSetOp::ComputeSensitivityL1() const {
   Vec diff((nx_ + 1) * (ny_ + 1), 0.0);
   const std::size_t w = ny_ + 1;
   for (const auto& r : rects_) {
@@ -163,7 +263,7 @@ double RectangleSetOp::SensitivityL1() const {
   return best;
 }
 
-double RectangleSetOp::SensitivityL2() const {
+double RectangleSetOp::ComputeSensitivityL2() const {
   return std::sqrt(SensitivityL1());
 }
 

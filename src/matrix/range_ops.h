@@ -32,11 +32,16 @@ class RangeSetOp final : public LinOp {
   RangeSetOp(std::vector<Interval> ranges, std::size_t n);
   void ApplyRaw(const double* x, double* y) const override;
   void ApplyTRaw(const double* x, double* y) const override;
+  void ApplyBlockRaw(const double* x, double* y, std::size_t k) const override;
+  void ApplyTBlockRaw(const double* x, double* y,
+                      std::size_t k) const override;
   CsrMatrix MaterializeSparse() const override;
-  double SensitivityL1() const override;
-  double SensitivityL2() const override;
   std::string DebugName() const override;
   const std::vector<Interval>& ranges() const { return ranges_; }
+
+ protected:
+  double ComputeSensitivityL1() const override;
+  double ComputeSensitivityL2() const override;
 
  private:
   std::vector<Interval> ranges_;
@@ -53,11 +58,16 @@ class RectangleSetOp final : public LinOp {
                  std::size_t ny);
   void ApplyRaw(const double* x, double* y) const override;
   void ApplyTRaw(const double* x, double* y) const override;
+  void ApplyBlockRaw(const double* x, double* y, std::size_t k) const override;
+  void ApplyTBlockRaw(const double* x, double* y,
+                      std::size_t k) const override;
   CsrMatrix MaterializeSparse() const override;
-  double SensitivityL1() const override;
-  double SensitivityL2() const override;
   std::string DebugName() const override;
   const std::vector<Rectangle>& rects() const { return rects_; }
+
+ protected:
+  double ComputeSensitivityL1() const override;
+  double ComputeSensitivityL2() const override;
 
  private:
   std::vector<Rectangle> rects_;

@@ -72,9 +72,14 @@ Vec MultWeightsInference(const MeasurementSet& mset, double total,
 
 Vec DirectLeastSquaresInference(const MeasurementSet& mset) {
   EK_CHECK(!mset.empty());
-  DenseMatrix a = mset.WeightedOp()->MaterializeDense();
-  Vec b = mset.WeightedY();
-  return DirectLeastSquares(a, b);
+  // Assemble the n x n normal equations from the structured Gram operator
+  // instead of densifying the (queries x n) measurement stack: the stack
+  // is usually much taller than the domain, and Gram() materializes via
+  // blocked identity panels when no closed form applies.
+  LinOpPtr a = mset.WeightedOp();
+  DenseMatrix gram = a->Gram()->MaterializeDense();
+  Vec atb = a->ApplyT(mset.WeightedY());
+  return SolveNormalEquations(std::move(gram), atb);
 }
 
 Vec CgLeastSquaresInference(const MeasurementSet& mset) {

@@ -69,7 +69,7 @@ LinOpPtr RandomLeaf(std::size_t n, Rng* rng) {
 /// A random operator tree of bounded depth over `n` columns.
 LinOpPtr RandomTree(std::size_t n, std::size_t depth, Rng* rng) {
   if (depth == 0 || n <= 2) return RandomLeaf(n, rng);
-  switch (rng->UniformInt(0, 4)) {
+  switch (rng->UniformInt(0, 7)) {
     case 0: {  // Union of 2-3 subtrees with equal column counts
       std::vector<LinOpPtr> kids;
       const int k = int(rng->UniformInt(2, 3));
@@ -97,6 +97,30 @@ LinOpPtr RandomTree(std::size_t n, std::size_t depth, Rng* rng) {
       Vec w(child->rows());
       for (auto& x : w) x = rng->Normal();
       return MakeRowWeight(std::move(child), std::move(w));
+    }
+    case 4: {  // Horizontal stack: split the columns across 2 children
+      if (n < 4) return RandomLeaf(n, rng);
+      const std::size_t n1 = 1 + std::size_t(rng->UniformInt(1, int64_t(n) - 2));
+      LinOpPtr a = RandomTree(n1, depth - 1, rng);
+      LinOpPtr b = RandomTree(n - n1, depth - 1, rng);
+      // Children must share a row count; equalize by stacking under a
+      // fixed-row Ones on top (cheapest is to just retry with leaves).
+      if (a->rows() != b->rows()) {
+        a = MakeOnesOp(3, n1);
+        b = MakeOnesOp(3, n - n1);
+      }
+      return MakeHStack({std::move(a), std::move(b)});
+    }
+    case 5: {  // Sum of 2 same-shape subtrees
+      LinOpPtr a = RandomTree(n, depth - 1, rng);
+      LinOpPtr b = RandomLeaf(n, rng);
+      if (a->rows() != b->rows()) b = MakeIdentityOp(n);
+      if (a->rows() != b->rows()) return a;
+      return MakeSum({std::move(a), std::move(b)});
+    }
+    case 6: {  // Uniform scaling
+      LinOpPtr child = RandomTree(n, depth - 1, rng);
+      return MakeScaled(std::move(child), rng->Normal() * 2.0);
     }
     default:  // Transpose of a square-ish subtree: transpose twice to
               // keep the column count (transpose itself is exercised).
@@ -128,11 +152,50 @@ void CheckLossless(const LinOp& op, Rng* rng, double tol = 1e-8) {
               tol * (1.0 + d.MaxColNormL1()));
   EXPECT_NEAR(op.SensitivityL2(), d.MaxColNormL2(),
               tol * (1.0 + d.MaxColNormL2()));
+  // Sensitivity is cached per instance; repeated calls must return the
+  // exact same value (not merely a re-derivation within tolerance).
+  EXPECT_EQ(op.SensitivityL1(), op.SensitivityL1());
+  EXPECT_EQ(op.SensitivityL2(), op.SensitivityL2());
   EXPECT_TRUE(op.Abs()->MaterializeDense().ApproxEquals(
       d.Abs(), tol * (1.0 + d.MaxColNormL1())));
   EXPECT_TRUE(op.Sqr()->MaterializeDense().ApproxEquals(
       d.Sqr(), tol * (1.0 + d.MaxColNormL1())));
   EXPECT_TRUE(op.MaterializeSparse().ToDense().ApproxEquals(d, tol * ref));
+
+  // Blocked apply == column-by-column apply, both directions.
+  const std::size_t kb = 1 + std::size_t(rng->UniformInt(1, 5));
+  Block xb(op.cols(), kb);
+  for (std::size_t c = 0; c < kb; ++c) xb.SetCol(c, RandomVec(op.cols(), rng));
+  Block yb = op.ApplyBlock(xb);
+  for (std::size_t c = 0; c < kb; ++c) {
+    Vec want = op.Apply(xb.Col(c));
+    Vec got = yb.Col(c);
+    const double r = 1.0 + MaxAbs(want);
+    for (std::size_t i = 0; i < want.size(); ++i)
+      ASSERT_NEAR(got[i], want[i], tol * r) << "ApplyBlock col " << c;
+  }
+  Block ub(op.rows(), kb);
+  for (std::size_t c = 0; c < kb; ++c) ub.SetCol(c, RandomVec(op.rows(), rng));
+  Block zb = op.ApplyTBlock(ub);
+  for (std::size_t c = 0; c < kb; ++c) {
+    Vec want = op.ApplyT(ub.Col(c));
+    Vec got = zb.Col(c);
+    const double r = 1.0 + MaxAbs(want);
+    for (std::size_t j = 0; j < want.size(); ++j)
+      ASSERT_NEAR(got[j], want[j], tol * r) << "ApplyTBlock col " << c;
+  }
+
+  // Gram(): structured M^T M == densified M^T M, through both the operator
+  // view and the sparse materialization used by GramSparse().
+  DenseMatrix gram_want = d.Gram();
+  const double gtol = tol * (1.0 + d.MaxColNormL2() * d.MaxColNormL2()) *
+                      double(op.rows() + 1);
+  LinOpPtr g = op.Gram();
+  ASSERT_EQ(g->rows(), op.cols());
+  ASSERT_EQ(g->cols(), op.cols());
+  EXPECT_TRUE(g->MaterializeDense().ApproxEquals(gram_want, gtol))
+      << "Gram() of " << op.DebugName() << " is " << g->DebugName();
+  EXPECT_TRUE(GramSparse(op).ToDense().ApproxEquals(gram_want, gtol));
 }
 
 class MatrixFuzzTest : public ::testing::TestWithParam<int> {};
