@@ -1,7 +1,10 @@
-// Fig. 2: the plan catalog.  Runs every plan signature end-to-end on a
-// suitable small domain and prints its signature, scaled workload error
-// and budget spent — the "all plans are expressible and run" claim of
-// Sec. 6, in executable form.
+// Fig. 2: the plan catalog.  Enumerates PlanRegistry::Global() — so a
+// newly registered plan is benchmarked automatically, no hand-maintained
+// list — runs every plan end-to-end on a domain matching its DomainKind,
+// and prints its signature, scaled workload error and budget spent: the
+// "all plans are expressible and run" claim of Sec. 6, in executable
+// form.  (PrivBayesLS starts from the protected *table*, outside the
+// vector-plan registry, and keeps a hand-written row.)
 //
 // Besides the human-readable table, the run writes BENCH_plan_catalog.json
 // with per-plan wall times (implicit mode plus a dense/sparse mode sweep
@@ -91,128 +94,79 @@ int main() {
   Rng rng2 = rng.Fork();
   auto rects = RandomRectangleWorkload(200, side, side, 16, &rng2);
 
+  // Shared multi-dim (striped) environment pieces.
+  const std::vector<std::size_t> dims3 = {64, 4, 4};
+  Vec hist3 = MakeHistogram1D(Shape1D::kStep, 64 * 16, 1e5, &rng);
+  auto ranges3 = RandomRanges(200, 64 * 16, 64, &rng);
+  auto w_3 = RangeQueryOp(ranges3, 64 * 16);
+
   int id = 0;
-  auto row_mode = [&](const char* name, const char* sig, bool two_d,
-                      MatrixMode mode, auto&& run) {
+  // One registry-driven row: environment, workload and error metric are
+  // picked from the plan's DomainKind; inputs the plan does not need are
+  // simply ignored by it.
+  auto row = [&](const Plan& plan, MatrixMode mode) {
     ++id;
-    Vec& hist = two_d ? hist2d : hist1d;
-    std::vector<std::size_t> dims =
-        two_d ? std::vector<std::size_t>{side, side}
-              : std::vector<std::size_t>{n};
-    HistEnv env(hist, dims, eps, 4000 + id, &rng, mode);
+    const Vec* hist = &hist1d;
+    std::vector<std::size_t> dims = {n};
+    const LinOp* err_w = w_1d.get();
+    switch (plan.domain()) {
+      case DomainKind::k1D:
+        break;
+      case DomainKind::k2D:
+        hist = &hist2d;
+        dims = {side, side};
+        err_w = rects.get();
+        break;
+      case DomainKind::kMultiDim:
+        hist = &hist3;
+        dims = dims3;
+        err_w = w_3.get();
+        break;
+    }
+    HistEnv env(*hist, dims, eps, 4000 + id, &rng, mode);
+    ProtectedVector x(&env.kernel, env.ctx.x);
+    BudgetScope scope(eps);
+    PlanInput in;
+    in.dims = dims;
+    in.mode = mode;
+    in.rng = &rng;
+    in.ranges = ranges;
+    in.workload = w_1d;
+    in.workload_factors = {w_1d};
+    in.known_total = total;
+    in.stripe_dim = 0;
     WallTimer timer;
-    StatusOr<Vec> xhat = run(env.ctx);
+    StatusOr<Vec> xhat = plan.Execute(x, scope, in);
     const double secs = timer.Elapsed();
     if (!xhat.ok()) {
-      std::printf("%-4d %-18s %-34s %-9s %12s\n", id, name, sig,
-                  MatrixModeName(mode), "FAILED");
+      std::printf("%-4d %-18s %-34s %-9s %12s\n", id, plan.name().c_str(),
+                  plan.signature().c_str(), MatrixModeName(mode), "FAILED");
       return;
     }
-    const LinOp& w = two_d ? *rects : *w_1d;
-    const double err = ScaledWorkloadError(w, *xhat, hist);
-    std::printf("%-4d %-18s %-34s %-9s %12.3e %8.3f %9.4f\n", id, name, sig,
+    const double err = ScaledWorkloadError(*err_w, *xhat, *hist);
+    std::printf("%-4d %-18s %-34s %-9s %12.3e %8.3f %9.4f\n", id,
+                plan.name().c_str(), plan.signature().c_str(),
                 MatrixModeName(mode), err, env.kernel.BudgetConsumed(),
                 secs);
     json.StartRecord();
     json.Field("kind", "plan");
-    json.Field("plan", name);
-    json.Field("signature", sig);
+    json.Field("plan", plan.name());
+    json.Field("signature", plan.signature());
     json.Field("mode", MatrixModeName(mode));
     json.Field("seconds", secs);
     json.Field("scaled_error", err);
     json.Field("budget", env.kernel.BudgetConsumed());
   };
-  auto row = [&](const char* name, const char* sig, bool two_d,
-                 auto&& run) {
-    row_mode(name, sig, two_d, MatrixMode::kImplicit, run);
-  };
 
-  row("Identity", "SI LM", false,
-      [](const PlanContext& c) { return RunIdentityPlan(c); });
-  row("Privelet", "SP LM LS", false,
-      [](const PlanContext& c) { return RunPriveletPlan(c); });
-  row("H2", "SH2 LM LS", false,
-      [](const PlanContext& c) { return RunH2Plan(c); });
-  row("HB", "SHB LM LS", false,
-      [](const PlanContext& c) { return RunHbPlan(c); });
-  row("Greedy-H", "SG LM LS", false, [&](const PlanContext& c) {
-    return RunGreedyHPlan(c, ranges);
-  });
-  row("Uniform", "ST LM LS", false,
-      [](const PlanContext& c) { return RunUniformPlan(c); });
-  row("MWEM", "I:( SW LM MW )", false, [&](const PlanContext& c) {
-    return RunMwemPlan(c, ranges, {.rounds = 8, .known_total = total});
-  });
-  row("AHP", "PA TR SI LM LS", false,
-      [](const PlanContext& c) { return RunAhpPlan(c); });
-  row("DAWA", "PD TR SG LM LS", false, [&](const PlanContext& c) {
-    return RunDawaPlan(c, ranges);
-  });
-  row("QuadTree", "SQ LM LS", true,
-      [](const PlanContext& c) { return RunQuadtreePlan(c); });
-  row("UniformGrid", "SU LM LS", true,
-      [](const PlanContext& c) { return RunUniformGridPlan(c); });
-  row("AdaptiveGrid", "SU LM LS PU TP[ SA LM ]", true,
-      [](const PlanContext& c) { return RunAdaptiveGridPlan(c); });
-  row("HDMM", "SHD LM LS", false, [&](const PlanContext& c) {
-    return RunHdmmPlan(c, {RangeQueryOp(ranges, n)});
-  });
+  const std::vector<const Plan*> catalog = PlanRegistry::Global().Catalog();
+  for (const Plan* plan : catalog) row(*plan, MatrixMode::kImplicit);
 
   // Representation sweep (Sec. 10.2): the same plan logic under dense and
   // sparse physical matrices — the MaterializeSparse/MaterializeDense-heavy
-  // paths the blocked core accelerates.
-  for (MatrixMode mode : {MatrixMode::kDense, MatrixMode::kSparse}) {
-    row_mode("Identity", "SI LM", false, mode,
-             [](const PlanContext& c) { return RunIdentityPlan(c); });
-    row_mode("Privelet", "SP LM LS", false, mode,
-             [](const PlanContext& c) { return RunPriveletPlan(c); });
-    row_mode("H2", "SH2 LM LS", false, mode,
-             [](const PlanContext& c) { return RunH2Plan(c); });
-    row_mode("HB", "SHB LM LS", false, mode,
-             [](const PlanContext& c) { return RunHbPlan(c); });
-    row_mode("Uniform", "ST LM LS", false, mode,
-             [](const PlanContext& c) { return RunUniformPlan(c); });
-    row_mode("Greedy-H", "SG LM LS", false, mode,
-             [&](const PlanContext& c) { return RunGreedyHPlan(c, ranges); });
-  }
-
-  // Striped plans on a 3D domain.
-  {
-    const std::vector<std::size_t> dims3 = {64, 4, 4};
-    Vec hist3 = MakeHistogram1D(Shape1D::kStep, 64 * 16, 1e5, &rng);
-    auto ranges3 = RandomRanges(200, 64 * 16, 64, &rng);
-    auto w_3 = RangeQueryOp(ranges3, 64 * 16);
-    auto striped = [&](const char* name, const char* sig, auto&& run) {
-      ++id;
-      HistEnv env(hist3, dims3, eps, 4000 + id, &rng);
-      WallTimer timer;
-      auto xhat = run(env.ctx);
-      const double secs = timer.Elapsed();
-      if (!xhat.ok()) {
-        std::printf("%-4d %-18s %-34s %-9s %12s\n", id, name, sig,
-                    "implicit", "FAILED");
-        return;
-      }
-      const double err = ScaledWorkloadError(*w_3, *xhat, hist3);
-      std::printf("%-4d %-18s %-34s %-9s %12.3e %8.3f %9.4f\n", id, name,
-                  sig, "implicit", err, env.kernel.BudgetConsumed(), secs);
-      json.StartRecord();
-      json.Field("kind", "plan");
-      json.Field("plan", name);
-      json.Field("signature", sig);
-      json.Field("mode", "implicit");
-      json.Field("seconds", secs);
-      json.Field("scaled_error", err);
-      json.Field("budget", env.kernel.BudgetConsumed());
-    };
-    striped("DAWA-Striped", "PS TP[ PD TR SG LM ] LS",
-            [](const PlanContext& c) { return RunDawaStripedPlan(c, 0); });
-    striped("HB-Striped", "PS TP[ SHB LM ] LS",
-            [](const PlanContext& c) { return RunHbStripedPlan(c, 0); });
-    striped("HB-Striped_kron", "SS LM LS", [](const PlanContext& c) {
-      return RunHbStripedKronPlan(c, 0);
-    });
-  }
+  // paths the blocked core accelerates.  Plans opt in via mode_sweep.
+  for (MatrixMode mode : {MatrixMode::kDense, MatrixMode::kSparse})
+    for (const Plan* plan : catalog)
+      if (plan->mode_sweep()) row(*plan, mode);
 
   // PrivBayes plans on a small multi-attribute table.
   {
@@ -247,26 +201,6 @@ int main() {
       return RunPrivBayesLsPlan(k, t.schema(), eps, &rng);
     });
   }
-
-  // MWEM variants.
-  row("MWEM variant b", "I:( SW SH2 LM MW )", false,
-      [&](const PlanContext& c) {
-        return RunMwemPlan(c, ranges,
-                           {.rounds = 8, .augment_h2 = true,
-                            .known_total = total});
-      });
-  row("MWEM variant c", "I:( SW LM NLS )", false,
-      [&](const PlanContext& c) {
-        return RunMwemPlan(c, ranges,
-                           {.rounds = 8, .nnls_inference = true,
-                            .known_total = total});
-      });
-  row("MWEM variant d", "I:( SW SH2 LM NLS )", false,
-      [&](const PlanContext& c) {
-        return RunMwemPlan(c, ranges,
-                           {.rounds = 8, .augment_h2 = true,
-                            .nnls_inference = true, .known_total = total});
-      });
 
   // Operator-core micro-baselines: blocked engine vs the pre-refactor
   // per-column strategy, on a structure-free (opaque) operator so the

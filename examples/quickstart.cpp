@@ -1,9 +1,16 @@
-// Quickstart: the paper's running example (Algorithm 1).
+// Quickstart: the paper's running example (Algorithm 1), written against
+// the typed client API.
 //
 // Estimates the empirical CDF of salary for males in their 30s under
 // eps-differential privacy.  Demonstrates the core EKTELO workflow:
-// protected kernel init -> table transformations -> partition selection ->
-// reduce -> measure -> inference -> workload answers.
+//
+//   * ProtectedTable / ProtectedVector — typed handles over protected
+//     sources: table ops on tables, vector ops on vectors, enforced at
+//     compile time.
+//   * BudgetScope — explicit eps allocation: the plan's allowance is
+//     split once, and each stage spends exactly its share.
+//   * PlanRegistry — the Fig. 2 catalog by name: the same protected
+//     histogram feeds a registered plan with zero extra plumbing.
 //
 //   $ ./examples/quickstart [eps]
 #include <algorithm>
@@ -33,31 +40,99 @@ int main(int argc, char** argv) {
                                   .And("sex", CmpOp::kEq, 1)
                                   .And("age", CmpOp::kGe, 30)
                                   .And("age", CmpOp::kLe, 39);
-  Vec true_cdf = MakePrefixOp(50)->Apply(
-      table.Where(males_30s).Select({"salary"}).Vectorize());
+  Vec true_hist = table.Where(males_30s).Select({"salary"}).Vectorize();
+  Vec true_cdf = MakePrefixOp(50)->Apply(true_hist);
 
-  // ---- Run Algorithm 1 through the protected kernel ---------------------
+  // ---- Algorithm 1 through typed handles and budget scopes --------------
   ProtectedKernel kernel(table, /*eps_total=*/eps, /*seed=*/7);
-  CdfPlanOptions opts;
-  opts.filter = males_30s;
-  opts.value_attr = "salary";
-  opts.eps = eps;
-  StatusOr<Vec> cdf = RunCdfEstimatorPlan(&kernel, opts);
-  if (!cdf.ok()) {
-    std::printf("plan failed: %s\n", cdf.status().ToString().c_str());
+  ProtectedTable root = ProtectedTable::Root(&kernel);
+
+  // Transformations (lines 2-4): each handle derives the next; a vector
+  // op on a table handle would not compile.
+  StatusOr<ProtectedTable> filtered = root.Where(males_30s);
+  if (!filtered.ok()) {
+    std::printf("Where failed: %s\n",
+                filtered.status().ToString().c_str());
     return 1;
   }
+  StatusOr<ProtectedTable> selected = filtered->Select({"salary"});
+  if (!selected.ok()) {
+    std::printf("Select failed: %s\n",
+                selected.status().ToString().c_str());
+    return 1;
+  }
+  StatusOr<ProtectedVector> x = selected->Vectorize();
+  if (!x.ok()) {
+    std::printf("Vectorize failed: %s\n", x.status().ToString().c_str());
+    return 1;
+  }
+
+  // The plan's allowance, split half for partition selection, half for
+  // measurement — no hand-rolled eps arithmetic.  Literal in-range
+  // fractions cannot fail to split.
+  BudgetScope scope(kernel.BudgetRemaining());
+  std::vector<BudgetScope> stages = scope.Split({0.5, 0.5}).value();
+  BudgetScope& s_select = stages[0];
+  BudgetScope& s_measure = stages[1];
+
+  // AHPpartition (line 5) + reduce (line 6) + Identity Laplace (7-8).
+  StatusOr<Partition> part =
+      AhpPartitionSelect(*x, s_select.remaining(), s_select);
+  if (!part.ok()) {
+    std::printf("AHPpartition failed: %s\n",
+                part.status().ToString().c_str());
+    return 1;
+  }
+  StatusOr<ProtectedVector> reduced = x->ReduceByPartition(*part);
+  if (!reduced.ok()) {
+    std::printf("reduce failed: %s\n",
+                reduced.status().ToString().c_str());
+    return 1;
+  }
+  StatusOr<Vec> y = reduced->Laplace(*MakeIdentityOp(part->num_groups()),
+                                     s_measure.remaining(), s_measure);
+  if (!y.ok()) {
+    std::printf("measurement failed: %s\n", y.status().ToString().c_str());
+    return 1;
+  }
+
+  // NNLS inference + prefix workload (lines 9-11): public post-processing.
+  MeasurementSet mset;
+  mset.Add(part->ReduceOp(), std::move(*y), 2.0 / eps);
+  Vec cdf = MakePrefixOp(x->size())->Apply(NnlsInference(mset));
 
   std::printf("DP CDF estimate of salary (males in their 30s), eps=%.3g\n",
               eps);
   std::printf("%-12s %12s %12s\n", "salary<=", "true CDF", "DP estimate");
   for (std::size_t b = 4; b < 50; b += 5) {
     std::printf("$%-11zu %12.0f %12.1f\n", (b + 1) * 15000, true_cdf[b],
-                (*cdf)[b]);
+                cdf[b]);
   }
   std::printf("\nbudget spent: %.4f of %.4f\n", kernel.BudgetConsumed(),
               kernel.eps_total());
   std::printf("scaled L2 error: %.4f\n",
-              Rmse(*cdf, true_cdf) / std::max(true_cdf.back(), 1.0));
+              Rmse(cdf, true_cdf) / std::max(true_cdf.back(), 1.0));
+
+  // ---- The same protected data through a registered catalog plan --------
+  // A second kernel (fresh budget) over the filtered salary histogram,
+  // answering through "HB" looked up by name.
+  ProtectedKernel kernel2(TableFromHistogram(true_hist, "salary"), eps, 8);
+  ProtectedTable root2 = ProtectedTable::Root(&kernel2);
+  StatusOr<ProtectedVector> x2 = root2.Vectorize();
+  const Plan* hb = PlanRegistry::Global().Find("HB");
+  if (!x2.ok() || hb == nullptr) return 1;
+  BudgetScope scope2(kernel2.BudgetRemaining());
+  PlanInput input;
+  input.dims = {x2->size()};
+  StatusOr<Vec> xhat = hb->Execute(*x2, scope2, input);
+  if (xhat.ok()) {
+    Vec hb_cdf = MakePrefixOp(50)->Apply(*xhat);
+    std::printf(
+        "\nregistry plan \"%s\" (%s) on the same histogram: scaled L2 "
+        "error %.4f (%zu plans in catalog)\n",
+        hb->name().c_str(), hb->signature().c_str(),
+        Rmse(hb_cdf, true_cdf) / std::max(true_cdf.back(), 1.0),
+        PlanRegistry::Global().size());
+  }
   return 0;
 }

@@ -48,33 +48,27 @@ int main(int argc, char** argv) {
               side, scale, eps);
   std::printf("%-14s %18s\n", "plan", "rect-query error");
   Vec agrid_estimate;
-  struct P {
-    const char* name;
-    StatusOr<Vec> (*run)(const PlanContext&);
-  };
-  auto quadtree = [](const PlanContext& c) { return RunQuadtreePlan(c); };
-  auto ugrid = [](const PlanContext& c) {
-    return RunUniformGridPlan(c, {});
-  };
-  auto agrid = [](const PlanContext& c) {
-    return RunAdaptiveGridPlan(c, {});
-  };
-  StatusOr<Vec> (*plans[])(const PlanContext&) = {quadtree, ugrid, agrid};
-  const char* names[] = {"Quadtree", "UniformGrid", "AdaptiveGrid"};
-  for (int k = 0; k < 3; ++k) {
-    ProtectedKernel kernel(table, eps, 40 + k);
-    auto x = kernel.TVectorize(kernel.root());
-    PlanContext ctx{.kernel = &kernel, .x = *x, .dims = {side, side},
-                    .eps = eps, .rng = &rng};
-    auto xhat = plans[k](ctx);
+  // Every registered 2D plan, straight from the catalog: a newly
+  // registered spatial plan shows up here with no code change.
+  int k = 0;
+  for (const Plan* plan : PlanRegistry::Global().Catalog()) {
+    if (plan->domain() != DomainKind::k2D) continue;
+    ProtectedKernel kernel(table, eps, 40 + k++);
+    ProtectedTable root = ProtectedTable::Root(&kernel);
+    StatusOr<ProtectedVector> x = root.Vectorize();
+    BudgetScope scope(kernel.BudgetRemaining());
+    PlanInput input;
+    input.dims = {side, side};
+    input.rng = &rng;
+    auto xhat = plan->Execute(*x, scope, input);
     if (!xhat.ok()) {
-      std::printf("%-14s failed: %s\n", names[k],
+      std::printf("%-14s failed: %s\n", plan->name().c_str(),
                   xhat.status().ToString().c_str());
       continue;
     }
-    std::printf("%-14s %18.4e\n", names[k],
+    std::printf("%-14s %18.4e\n", plan->name().c_str(),
                 Rmse(w->Apply(*xhat), w->Apply(hist)) / scale);
-    if (k == 2) agrid_estimate = std::move(*xhat);
+    if (plan->name() == "AdaptiveGrid") agrid_estimate = std::move(*xhat);
   }
 
   std::printf("\n");

@@ -1,6 +1,7 @@
 // Umbrella header: the public API of ektelo-cpp.
 //
-// A minimal client program:
+// The typed client API in three moves — protected handles, budget
+// scopes, registered plans:
 //
 //   #include "ektelo/ektelo.h"
 //   using namespace ektelo;
@@ -8,11 +9,28 @@
 //   Rng rng(7);
 //   Table t = MakeCensusLike(&rng);
 //   ProtectedKernel kernel(t, /*eps_total=*/1.0, /*seed=*/42);
-//   auto x = kernel.TVectorize(kernel.root());
-//   PlanContext ctx{.kernel = &kernel, .x = *x,
-//                   .dims = {t.schema().TotalDomainSize()},
-//                   .eps = 1.0, .rng = &rng};
-//   StatusOr<Vec> xhat = RunIdentityPlan(ctx);
+//
+//   // 1. Typed handles: table ops on tables, vector ops on vectors —
+//   //    misuse is a compile error, not a runtime kernel refusal.
+//   ProtectedTable root = ProtectedTable::Root(&kernel);
+//   StatusOr<ProtectedVector> x = root.Vectorize();
+//
+//   // 2. Budget scopes: explicit, checkable eps allocation.  Nested
+//   //    splits compose sequentially; SplitParallel mirrors parallel
+//   //    composition across partition children.
+//   BudgetScope scope(kernel.BudgetRemaining());
+//
+//   // 3. Plans by name from the registry (the whole Fig. 2 catalog).
+//   const Plan* plan = PlanRegistry::Global().Find("HB");
+//   PlanInput input;
+//   input.dims = {t.schema().TotalDomainSize()};
+//   StatusOr<Vec> xhat = plan->Execute(*x, scope, input);
+//
+// Custom algorithms compose the same pieces: pipelines from stages
+// (plans/pipeline.h) for select-measure-infer shapes, or a Plan subclass
+// over the typed handles for iterative/parallel control flow.  The old
+// Run*Plan free functions still compile but are deprecated shims over the
+// registry.
 //
 // See examples/ for complete programs.
 #ifndef EKTELO_EKTELO_H_
@@ -25,6 +43,8 @@
 #include "data/generators.h"
 #include "data/schema.h"
 #include "data/table.h"
+#include "kernel/budget.h"
+#include "kernel/handles.h"
 #include "kernel/kernel.h"
 #include "linalg/block.h"
 #include "linalg/csr.h"
@@ -47,9 +67,11 @@
 #include "ops/selection.h"
 #include "plans/case_studies.h"
 #include "plans/grid_plans.h"
+#include "plans/pipeline.h"
 #include "plans/plan.h"
 #include "plans/plans.h"
 #include "plans/reduction_wrapper.h"
+#include "plans/registry.h"
 #include "plans/striped_plans.h"
 #include "util/rng.h"
 #include "util/status.h"

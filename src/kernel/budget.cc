@@ -1,0 +1,96 @@
+#include "kernel/budget.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace ektelo {
+
+namespace {
+// Matches the kernel tracker's relative slack so a scope sized off
+// BudgetRemaining() admits exactly the requests the kernel admits.
+constexpr double kScopeSlack = 1e-9;
+}  // namespace
+
+BudgetScope::BudgetScope(double eps_total) : total_(eps_total) {
+  EK_CHECK_GE(eps_total, 0.0);
+}
+
+double BudgetScope::remaining() const {
+  return std::max(0.0, total_ - spent_);
+}
+
+bool BudgetScope::exhausted() const {
+  // "Spent, up to FP dust" — not the admission rule (CanCharge carries
+  // relative slack so an exactly-spent scope still admits zero-cost dust).
+  return remaining() <= (total_ + 1.0) * kScopeSlack;
+}
+
+bool BudgetScope::CanCharge(double eps) const {
+  if (eps < 0.0) return false;
+  return spent_ + eps <= total_ * (1.0 + kScopeSlack) + kScopeSlack;
+}
+
+Status BudgetScope::Charge(double eps) {
+  if (eps < 0.0) return Status::InvalidArgument("negative budget charge");
+  if (!CanCharge(eps)) {
+    return Status::BudgetExhausted(
+        "scope charge of " + std::to_string(eps) + " exceeds remaining " +
+        std::to_string(remaining()));
+  }
+  spent_ += eps;
+  return Status::Ok();
+}
+
+void BudgetScope::Refund(double eps) {
+  EK_CHECK_GE(eps, 0.0);
+  spent_ = std::max(0.0, spent_ - eps);
+}
+
+StatusOr<std::vector<BudgetScope>> BudgetScope::Split(
+    const std::vector<double>& fracs) {
+  if (fracs.empty())
+    return Status::InvalidArgument("Split needs at least one fraction");
+  double sum = 0.0;
+  for (double f : fracs) {
+    // NaN slips through ordered comparisons; catch it explicitly so an
+    // invalid fraction is a recoverable Status, not a CHECK-abort in the
+    // child constructor.
+    if (!std::isfinite(f) || f < 0.0)
+      return Status::InvalidArgument("split fraction must be in [0, 1]");
+    sum += f;
+  }
+  if (sum > 1.0 + kScopeSlack)
+    return Status::InvalidArgument("split fractions exceed the scope");
+  const double base = remaining();
+  std::vector<BudgetScope> children;
+  children.reserve(fracs.size());
+  double allocated = 0.0;
+  for (std::size_t i = 0; i < fracs.size(); ++i) {
+    // A fully-split scope must allocate *exactly* its remainder, so the
+    // last child takes base - sum(previous) rather than frac * base.
+    const bool absorbs_remainder =
+        (i + 1 == fracs.size()) && sum >= 1.0 - kScopeSlack;
+    const double share = absorbs_remainder
+                             ? std::max(0.0, base - allocated)
+                             : fracs[i] * base;
+    children.emplace_back(BudgetScope(share));
+    allocated += share;
+  }
+  spent_ += std::min(allocated, base);
+  return children;
+}
+
+StatusOr<std::vector<BudgetScope>> BudgetScope::SplitParallel(std::size_t k) {
+  std::vector<BudgetScope> children;
+  if (k == 0) return children;
+  const double base = remaining();
+  children.reserve(k);
+  for (std::size_t i = 0; i < k; ++i)
+    children.emplace_back(BudgetScope(base));
+  spent_ += base;  // reserved once: the kernel charges max over children
+  return children;
+}
+
+}  // namespace ektelo

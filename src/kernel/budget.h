@@ -1,0 +1,93 @@
+// BudgetScope: client-side privacy-budget arithmetic as a first-class
+// object.
+//
+// Plans used to hand-roll their eps splitting ("eps_part = eps * 0.25;
+// eps_meas = eps - eps_part") at every call site.  A BudgetScope makes the
+// allocation explicit and checkable: a scope is an allowance of eps that
+// can be charged, split into sequential sub-scopes, or split into parallel
+// sub-scopes (mirroring the kernel's Algorithm 2 composition rules on the
+// client side).  Exhaustion is detected against the *scope*, before the
+// request ever reaches the kernel — a plan that overspends its stage
+// allowance fails locally even if the kernel root still has budget left.
+//
+// The kernel remains the authority for the privacy proof: scopes are pure
+// public bookkeeping layered on top, and a kernel refusal still wins (the
+// typed handles refund the scope when the kernel says no).
+//
+// Composition rules:
+//   * Split({f1, .., fk})    — sequential composition: child i receives
+//     f_i * remaining(); the parent reserves the combined allowance
+//     immediately, so budget can never be allocated twice.  When the
+//     fractions sum to 1 the last child absorbs the exact floating-point
+//     remainder, so a fully-split scope spends *exactly* its allowance.
+//   * SplitParallel(k)       — parallel composition across the children
+//     of a VSplitByPartition: every child receives the full remaining
+//     allowance (the kernel charges only the max across partition
+//     children, Sec. 4.4), and the parent reserves that amount once.
+#ifndef EKTELO_KERNEL_BUDGET_H_
+#define EKTELO_KERNEL_BUDGET_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ektelo {
+
+class BudgetScope {
+ public:
+  /// A root scope with an allowance of eps_total.
+  explicit BudgetScope(double eps_total);
+
+  BudgetScope(BudgetScope&&) = default;
+  BudgetScope& operator=(BudgetScope&&) = default;
+  BudgetScope(const BudgetScope&) = delete;
+  BudgetScope& operator=(const BudgetScope&) = delete;
+
+  double total() const { return total_; }
+  double spent() const { return spent_; }
+  /// Unspent allowance, clamped at 0 (FP accumulation can overshoot by an
+  /// ulp; callers must never see a negative budget).
+  double remaining() const;
+  bool exhausted() const;
+
+  /// Whether Charge(eps) would succeed (same relative slack as the
+  /// kernel's tracker, so spending an allowance in k exact pieces works).
+  bool CanCharge(double eps) const;
+  /// Reserve eps from this scope; kBudgetExhausted if it does not fit.
+  Status Charge(double eps);
+  /// Return a previously charged amount (used when the kernel refuses a
+  /// request after the scope accepted it).
+  void Refund(double eps);
+
+  /// Sequential split: child i gets fracs[i] * remaining().  Requires
+  /// every fraction >= 0 and sum(fracs) <= 1 (+slack).  The parent
+  /// reserves the combined child allowance immediately.
+  StatusOr<std::vector<BudgetScope>> Split(const std::vector<double>& fracs);
+
+  /// Parallel split for partition children: k scopes, each with the full
+  /// remaining allowance, reserved from the parent once.  Safe because
+  /// the kernel charges the *max* across children of a partition.
+  StatusOr<std::vector<BudgetScope>> SplitParallel(std::size_t k);
+
+ private:
+  double total_;
+  double spent_ = 0.0;
+};
+
+/// Scope-first metering shared by every typed Private->Public operator:
+/// reserve eps from the scope (local refusal, nothing reaches the
+/// kernel), run the kernel request, and refund if the kernel — the
+/// authority for the privacy proof — refuses after all.
+template <typename Fn>
+auto ScopeMetered(BudgetScope& scope, double eps, Fn&& fn)
+    -> decltype(fn()) {
+  EK_RETURN_IF_ERROR(scope.Charge(eps));
+  auto result = fn();
+  if (!result.ok()) scope.Refund(eps);
+  return result;
+}
+
+}  // namespace ektelo
+
+#endif  // EKTELO_KERNEL_BUDGET_H_

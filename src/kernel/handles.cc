@@ -1,0 +1,135 @@
+#include "kernel/handles.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace ektelo {
+
+// ------------------------------------------------------- ProtectedVector
+
+StatusOr<ProtectedVector> ProtectedVector::Wrap(ProtectedKernel* kernel,
+                                                SourceId id) {
+  EK_CHECK(kernel != nullptr);
+  if (!kernel->IsVectorSource(id))
+    return Status::InvalidArgument("source is not a vector");
+  return ProtectedVector(kernel, id);
+}
+
+ProtectedVector::ProtectedVector(ProtectedKernel* kernel, SourceId id)
+    : kernel_(kernel), id_(id) {
+  EK_CHECK(kernel != nullptr);
+  EK_CHECK(kernel->IsVectorSource(id));
+}
+
+std::size_t ProtectedVector::size() const { return kernel_->VectorSize(id_); }
+
+double ProtectedVector::stability() const {
+  return kernel_->SourceStability(id_);
+}
+
+StatusOr<ProtectedVector> ProtectedVector::ReduceByPartition(
+    const Partition& p) const {
+  EK_ASSIGN_OR_RETURN(SourceId reduced,
+                      kernel_->VReduceByPartition(id_, p));
+  return ProtectedVector(kernel_, reduced);
+}
+
+StatusOr<ProtectedVector> ProtectedVector::Transform(LinOpPtr m) const {
+  EK_ASSIGN_OR_RETURN(SourceId out, kernel_->VTransform(id_, std::move(m)));
+  return ProtectedVector(kernel_, out);
+}
+
+StatusOr<std::vector<ProtectedVector>> ProtectedVector::SplitByPartition(
+    const Partition& p) const {
+  EK_ASSIGN_OR_RETURN(std::vector<SourceId> ids,
+                      kernel_->VSplitByPartition(id_, p));
+  std::vector<ProtectedVector> children;
+  children.reserve(ids.size());
+  for (SourceId c : ids) children.emplace_back(ProtectedVector(kernel_, c));
+  return children;
+}
+
+StatusOr<Vec> ProtectedVector::Laplace(const LinOp& m, double eps,
+                                       BudgetScope& scope) const {
+  return ScopeMetered(scope, eps,
+                      [&] { return kernel_->VectorLaplace(id_, m, eps); });
+}
+
+StatusOr<std::size_t> ProtectedVector::WorstApprox(
+    const LinOp& workload, const Vec& xhat, double eps, BudgetScope& scope,
+    double score_sensitivity) const {
+  return ScopeMetered(scope, eps, [&] {
+    return kernel_->WorstApprox(id_, workload, xhat, eps, score_sensitivity);
+  });
+}
+
+StatusOr<std::size_t> ProtectedVector::ChooseByScores(
+    const std::vector<std::function<double(const Vec&)>>& scorers, double eps,
+    double sensitivity, BudgetScope& scope) const {
+  return ScopeMetered(scope, eps, [&] {
+    return kernel_->ChooseByVectorScores(id_, scorers, eps, sensitivity);
+  });
+}
+
+// -------------------------------------------------------- ProtectedTable
+
+ProtectedTable ProtectedTable::Root(ProtectedKernel* kernel) {
+  EK_CHECK(kernel != nullptr);
+  return ProtectedTable(kernel, kernel->root());
+}
+
+StatusOr<ProtectedTable> ProtectedTable::Wrap(ProtectedKernel* kernel,
+                                              SourceId id) {
+  EK_CHECK(kernel != nullptr);
+  if (!kernel->IsTableSource(id))
+    return Status::InvalidArgument("source is not a table");
+  return ProtectedTable(kernel, id);
+}
+
+ProtectedTable::ProtectedTable(ProtectedKernel* kernel, SourceId id)
+    : kernel_(kernel), id_(id) {
+  EK_CHECK(kernel->IsTableSource(id));
+}
+
+const Schema& ProtectedTable::schema() const {
+  return kernel_->SourceSchema(id_);
+}
+
+StatusOr<ProtectedTable> ProtectedTable::Where(const Predicate& p) const {
+  EK_ASSIGN_OR_RETURN(SourceId out, kernel_->TWhere(id_, p));
+  return ProtectedTable(kernel_, out);
+}
+
+StatusOr<ProtectedTable> ProtectedTable::Select(
+    const std::vector<std::string>& attrs) const {
+  EK_ASSIGN_OR_RETURN(SourceId out, kernel_->TSelect(id_, attrs));
+  return ProtectedTable(kernel_, out);
+}
+
+StatusOr<ProtectedTable> ProtectedTable::GroupBy(
+    const std::vector<std::string>& attrs) const {
+  EK_ASSIGN_OR_RETURN(SourceId out, kernel_->TGroupBy(id_, attrs));
+  return ProtectedTable(kernel_, out);
+}
+
+StatusOr<ProtectedVector> ProtectedTable::Vectorize() const {
+  EK_ASSIGN_OR_RETURN(SourceId out, kernel_->TVectorize(id_));
+  return ProtectedVector(kernel_, out);
+}
+
+StatusOr<double> ProtectedTable::NoisyCount(double eps,
+                                            BudgetScope& scope) const {
+  return ScopeMetered(scope, eps,
+                      [&] { return kernel_->NoisyCount(id_, eps); });
+}
+
+StatusOr<std::size_t> ProtectedTable::ChooseByScores(
+    const std::vector<std::function<double(const Table&)>>& scorers,
+    double eps, double sensitivity, BudgetScope& scope) const {
+  return ScopeMetered(scope, eps, [&] {
+    return kernel_->ChooseByTableScores(id_, scorers, eps, sensitivity);
+  });
+}
+
+}  // namespace ektelo

@@ -1,0 +1,120 @@
+// Typed client handles over protected sources.
+//
+// The kernel's raw surface is SourceId — an opaque integer that can name a
+// table or a vector, with misuse (vector op on a table source) detected
+// only at run time inside the kernel.  ProtectedTable and ProtectedVector
+// are thin, move-only views (ProtectedKernel* + SourceId) that lift the
+// table/vector distinction to the type level: a ProtectedVector simply has
+// no Where(), so the whole class of CheckVector/CheckTable client errors
+// becomes a compile error.
+//
+// Handles own no private state — copies of the (kernel, id) pair — so
+// deriving a new source returns a new handle and leaves the parent usable.
+// They are move-only to keep data lineage explicit in client code.
+//
+// Measurements thread a BudgetScope: the scope is charged first (local,
+// public arithmetic — a plan stage that overspends its allowance fails
+// before touching the kernel), then the kernel request runs under
+// Algorithm 2; if the kernel refuses, the scope charge is refunded.
+#ifndef EKTELO_KERNEL_HANDLES_H_
+#define EKTELO_KERNEL_HANDLES_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "kernel/budget.h"
+#include "kernel/kernel.h"
+
+namespace ektelo {
+
+/// A protected count-vector source (the x of Sec. 4).
+class ProtectedVector {
+ public:
+  /// Wraps an existing vector source; InvalidArgument if `id` is not one.
+  static StatusOr<ProtectedVector> Wrap(ProtectedKernel* kernel, SourceId id);
+  /// Precondition: `id` is a vector source of `kernel` (checked).
+  ProtectedVector(ProtectedKernel* kernel, SourceId id);
+
+  ProtectedVector(ProtectedVector&&) = default;
+  ProtectedVector& operator=(ProtectedVector&&) = default;
+  ProtectedVector(const ProtectedVector&) = delete;
+  ProtectedVector& operator=(const ProtectedVector&) = delete;
+
+  ProtectedKernel* kernel() const { return kernel_; }
+  SourceId id() const { return id_; }
+  /// Length (public: derived from domain metadata).
+  std::size_t size() const;
+  /// Stability w.r.t. the parent source.
+  double stability() const;
+
+  // ---- Private operators: vector -> vector ----
+  StatusOr<ProtectedVector> ReduceByPartition(const Partition& p) const;
+  StatusOr<ProtectedVector> Transform(LinOpPtr m) const;
+  StatusOr<std::vector<ProtectedVector>> SplitByPartition(
+      const Partition& p) const;
+
+  // ---- Private -> Public operators (scope-metered measurements) ----
+  /// M x + Lap(sens(M)/eps)^rows, charging `eps` against `scope` and the
+  /// kernel's tracker.
+  StatusOr<Vec> Laplace(const LinOp& m, double eps, BudgetScope& scope) const;
+  /// Exponential mechanism over workload rows (MWEM's query selection).
+  StatusOr<std::size_t> WorstApprox(const LinOp& workload, const Vec& xhat,
+                                    double eps, BudgetScope& scope,
+                                    double score_sensitivity = 1.0) const;
+  /// Exponential mechanism over arbitrary vector scores.
+  StatusOr<std::size_t> ChooseByScores(
+      const std::vector<std::function<double(const Vec&)>>& scorers,
+      double eps, double sensitivity, BudgetScope& scope) const;
+
+ private:
+  ProtectedKernel* kernel_;
+  SourceId id_;
+};
+
+/// A protected relational-table source.
+class ProtectedTable {
+ public:
+  /// The kernel's root table.
+  static ProtectedTable Root(ProtectedKernel* kernel);
+  /// Wraps an existing table source; InvalidArgument if `id` is not one.
+  static StatusOr<ProtectedTable> Wrap(ProtectedKernel* kernel, SourceId id);
+
+  ProtectedTable(ProtectedTable&&) = default;
+  ProtectedTable& operator=(ProtectedTable&&) = default;
+  ProtectedTable(const ProtectedTable&) = delete;
+  ProtectedTable& operator=(const ProtectedTable&) = delete;
+
+  ProtectedKernel* kernel() const { return kernel_; }
+  SourceId id() const { return id_; }
+  /// Schema (public: domains are data-independent).
+  const Schema& schema() const;
+
+  // ---- Private operators: table -> table ----
+  StatusOr<ProtectedTable> Where(const Predicate& p) const;
+  StatusOr<ProtectedTable> Select(const std::vector<std::string>& attrs) const;
+  StatusOr<ProtectedTable> GroupBy(const std::vector<std::string>& attrs) const;
+
+  // ---- Private operators: table -> vector ----
+  /// T-Vectorize: count vector over the full domain.
+  StatusOr<ProtectedVector> Vectorize() const;
+
+  // ---- Private -> Public operators ----
+  /// |D| + Lap(1/eps), charging `eps` against `scope`.
+  StatusOr<double> NoisyCount(double eps, BudgetScope& scope) const;
+  /// Exponential mechanism over table scores (PrivBayes' structure
+  /// selection).
+  StatusOr<std::size_t> ChooseByScores(
+      const std::vector<std::function<double(const Table&)>>& scorers,
+      double eps, double sensitivity, BudgetScope& scope) const;
+
+ private:
+  ProtectedTable(ProtectedKernel* kernel, SourceId id);
+
+  ProtectedKernel* kernel_;
+  SourceId id_;
+};
+
+}  // namespace ektelo
+
+#endif  // EKTELO_KERNEL_HANDLES_H_

@@ -20,6 +20,7 @@
 #ifndef EKTELO_KERNEL_KERNEL_H_
 #define EKTELO_KERNEL_KERNEL_H_
 
+#include <algorithm>
 #include <functional>
 #include <optional>
 #include <string>
@@ -44,7 +45,12 @@ class ProtectedKernel {
   double eps_total() const { return eps_total_; }
   /// Budget consumed at the root so far (public bookkeeping).
   double BudgetConsumed() const { return nodes_[0].budget; }
-  double BudgetRemaining() const { return eps_total_ - nodes_[0].budget; }
+  /// Unspent root budget, clamped at 0: repeated charges that sum to
+  /// eps_total can overshoot by an ulp under the tracker's FP slack, and
+  /// callers must never observe a negative remainder.
+  double BudgetRemaining() const {
+    return std::max(0.0, eps_total_ - nodes_[0].budget);
+  }
 
   // ---- Public metadata (data-independent, safe to expose) ----
   bool IsTableSource(SourceId id) const;

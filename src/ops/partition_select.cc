@@ -190,4 +190,20 @@ StatusOr<Partition> DawaPartitionSelect(ProtectedKernel* kernel, SourceId src,
                                /*noise_scale=*/1.0 / eps);
 }
 
+StatusOr<Partition> AhpPartitionSelect(const ProtectedVector& x, double eps,
+                                       BudgetScope& scope,
+                                       const AhpOptions& opts) {
+  return ScopeMetered(scope, eps, [&] {
+    return AhpPartitionSelect(x.kernel(), x.id(), eps, opts);
+  });
+}
+
+StatusOr<Partition> DawaPartitionSelect(const ProtectedVector& x, double eps,
+                                        BudgetScope& scope,
+                                        const DawaOptions& opts) {
+  return ScopeMetered(scope, eps, [&] {
+    return DawaPartitionSelect(x.kernel(), x.id(), eps, opts);
+  });
+}
+
 }  // namespace ektelo

@@ -10,6 +10,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "kernel/budget.h"
+#include "kernel/handles.h"
 #include "kernel/kernel.h"
 #include "matrix/partition.h"
 #include "util/status.h"
@@ -73,6 +75,11 @@ StatusOr<Partition> AhpPartitionSelect(ProtectedKernel* kernel, SourceId src,
                                        double eps,
                                        const AhpOptions& opts = {});
 
+/// Typed-handle overload: meters `eps` through `scope` before the kernel.
+StatusOr<Partition> AhpPartitionSelect(const ProtectedVector& x, double eps,
+                                       BudgetScope& scope,
+                                       const AhpOptions& opts = {});
+
 struct DawaOptions {
   /// Bucket penalty as a multiple of 1/eps (the stage-2 noise the
   /// partition trades against).
@@ -87,6 +94,11 @@ struct DawaOptions {
 /// PD: DAWA stage-1 partition selection; spends `eps`.
 StatusOr<Partition> DawaPartitionSelect(ProtectedKernel* kernel, SourceId src,
                                         double eps,
+                                        const DawaOptions& opts = {});
+
+/// Typed-handle overload: meters `eps` through `scope` before the kernel.
+StatusOr<Partition> DawaPartitionSelect(const ProtectedVector& x, double eps,
+                                        BudgetScope& scope,
                                         const DawaOptions& opts = {});
 
 }  // namespace ektelo

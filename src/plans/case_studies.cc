@@ -10,24 +10,33 @@ namespace ektelo {
 
 StatusOr<Vec> RunCdfEstimatorPlan(ProtectedKernel* kernel,
                                   const CdfPlanOptions& opts) {
-  // Lines 2-4: transformations.
-  EK_ASSIGN_OR_RETURN(SourceId filtered,
-                      kernel->TWhere(kernel->root(), opts.filter));
-  EK_ASSIGN_OR_RETURN(SourceId selected,
-                      kernel->TSelect(filtered, {opts.value_attr}));
-  EK_ASSIGN_OR_RETURN(SourceId x, kernel->TVectorize(selected));
-  const std::size_t n = kernel->VectorSize(x);
+  // Lines 2-4: transformations, through the typed table handles — a
+  // vector op on a table source is now a compile error, not a kernel
+  // refusal.
+  ProtectedTable root = ProtectedTable::Root(kernel);
+  EK_ASSIGN_OR_RETURN(ProtectedTable filtered, root.Where(opts.filter));
+  EK_ASSIGN_OR_RETURN(ProtectedTable selected,
+                      filtered.Select({opts.value_attr}));
+  EK_ASSIGN_OR_RETURN(ProtectedVector x, selected.Vectorize());
+  const std::size_t n = x.size();
 
-  // Line 5: AHPpartition with eps/2.
-  EK_ASSIGN_OR_RETURN(Partition p, AhpPartitionSelect(kernel, x,
-                                                      opts.eps / 2.0,
-                                                      opts.ahp));
-  // Line 6: reduce.
-  EK_ASSIGN_OR_RETURN(SourceId reduced, kernel->VReduceByPartition(x, p));
-  // Lines 7-8: Identity selection + Vector Laplace with eps/2.
+  // The plan's allowance, split half for partition selection, half for
+  // measurement (Algorithm 1's eps/2 + eps/2).
+  BudgetScope scope(opts.eps);
+  EK_ASSIGN_OR_RETURN(std::vector<BudgetScope> stages,
+                      scope.Split({0.5, 0.5}));
+
+  // Line 5: AHPpartition with the selection share.
   EK_ASSIGN_OR_RETURN(
-      Vec y, kernel->VectorLaplace(reduced, *MakeIdentityOp(p.num_groups()),
-                                   opts.eps / 2.0));
+      Partition p,
+      AhpPartitionSelect(x, stages[0].remaining(), stages[0], opts.ahp));
+  // Line 6: reduce.
+  EK_ASSIGN_OR_RETURN(ProtectedVector reduced, x.ReduceByPartition(p));
+  // Lines 7-8: Identity selection + Vector Laplace with the measurement
+  // share.
+  EK_ASSIGN_OR_RETURN(
+      Vec y, reduced.Laplace(*MakeIdentityOp(p.num_groups()),
+                             stages[1].remaining(), stages[1]));
   // Line 9: NNLS(P, y) on the original salary domain.
   MeasurementSet mset;
   mset.Add(p.ReduceOp(), std::move(y), 2.0 / opts.eps);

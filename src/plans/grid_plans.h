@@ -1,14 +1,23 @@
 // 2D spatial plans (Fig. 2 #10-#12): Quadtree, UniformGrid, AdaptiveGrid.
-// All expect ctx.dims = {nx, ny}.
+// All expect dims = {nx, ny}.
+//
+// Registered in PlanRegistry as "QuadTree", "UniformGrid" and
+// "AdaptiveGrid"; the Run* functions are deprecated shims over the
+// registered plans.  AdaptiveGrid exercises the parallel-composition side
+// of the BudgetScope API: its level-2 refinement measures every block of a
+// VSplitByPartition under SplitParallel sub-scopes.
 #ifndef EKTELO_PLANS_GRID_PLANS_H_
 #define EKTELO_PLANS_GRID_PLANS_H_
 
+#include <memory>
+
 #include "plans/plan.h"
+#include "plans/registry.h"
 
 namespace ektelo {
 
 /// #10 Quadtree: SQ LM LS.
-StatusOr<Vec> RunQuadtreePlan(const PlanContext& ctx);
+std::unique_ptr<Plan> MakeQuadtreePlan();
 
 struct UGridOptions {
   /// Share of eps used to estimate N for the grid-size rule.
@@ -16,8 +25,7 @@ struct UGridOptions {
   double c = 10.0;  // Qardaji et al.'s constant
 };
 /// #11 UniformGrid: SU LM LS.
-StatusOr<Vec> RunUniformGridPlan(const PlanContext& ctx,
-                                 const UGridOptions& opts = {});
+std::unique_ptr<Plan> MakeUniformGridPlan(const UGridOptions& opts = {});
 
 struct AGridOptions {
   double total_frac = 0.05;
@@ -28,6 +36,12 @@ struct AGridOptions {
 /// #12 AdaptiveGrid: SU LM LS PU TP[ SA LM ] — coarse grid, then a
 /// per-cell second-level grid sized by the first level's noisy counts,
 /// measured in parallel across the partition, then global LS.
+std::unique_ptr<Plan> MakeAdaptiveGridPlan(const AGridOptions& opts = {});
+
+// Deprecated shims (see plans.h).
+StatusOr<Vec> RunQuadtreePlan(const PlanContext& ctx);
+StatusOr<Vec> RunUniformGridPlan(const PlanContext& ctx,
+                                 const UGridOptions& opts = {});
 StatusOr<Vec> RunAdaptiveGridPlan(const PlanContext& ctx,
                                   const AGridOptions& opts = {});
 

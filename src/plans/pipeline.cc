@@ -1,0 +1,144 @@
+#include "plans/pipeline.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "matrix/combinators.h"
+#include "ops/inference.h"
+#include "plans/plans.h"
+#include "util/check.h"
+
+namespace ektelo {
+
+Stage Select(SelectFn fn) {
+  return [fn = std::move(fn)](StageContext& sc) -> Status {
+    EK_ASSIGN_OR_RETURN(LinOpPtr op, fn(sc));
+    sc.strategy = ApplyMode(std::move(op), sc.mode);
+    return Status::Ok();
+  };
+}
+
+Stage Measure() {
+  return [](StageContext& sc) -> Status {
+    if (!sc.strategy)
+      return Status::FailedPrecondition("Measure before Select");
+    const double eps = sc.scope->remaining();
+    const double sens = sc.strategy->SensitivityL1();
+    EK_ASSIGN_OR_RETURN(Vec y,
+                        sc.data->Laplace(*sc.strategy, eps, *sc.scope));
+    sc.mset.Add(sc.strategy, std::move(y), sens / eps);
+    sc.mset_reduce.push_back(sc.reduce_op);
+    return Status::Ok();
+  };
+}
+
+Stage PartitionBy(PartitionFn fn, double frac, bool remap_ranges) {
+  return [fn = std::move(fn), frac, remap_ranges](StageContext& sc)
+             -> Status {
+    EK_ASSIGN_OR_RETURN(std::vector<BudgetScope> parts,
+                        sc.scope->Split({frac, 1.0 - frac}));
+    sc.scopes.push_back(std::move(parts[0]));
+    BudgetScope& selection = sc.scopes.back();
+    sc.scopes.push_back(std::move(parts[1]));
+    BudgetScope& rest = sc.scopes.back();
+
+    EK_ASSIGN_OR_RETURN(Partition p,
+                        fn(sc, selection.remaining(), selection));
+    EK_ASSIGN_OR_RETURN(ProtectedVector reduced,
+                        sc.data->ReduceByPartition(p));
+    sc.derived.push_back(std::move(reduced));
+    sc.data = &sc.derived.back();
+
+    LinOpPtr rop = ApplyMode(p.ReduceOp(), sc.mode);
+    sc.reduce_op =
+        sc.reduce_op ? MakeProduct(std::move(rop), sc.reduce_op) : rop;
+    if (remap_ranges)
+      sc.ranges = MapRangesToIntervalPartition(sc.ranges, p);
+    sc.dims = {p.num_groups()};
+    sc.partition = std::move(p);
+    sc.scope = &rest;
+    return Status::Ok();
+  };
+}
+
+namespace {
+
+/// Legacy DAWA volume-aware expansion: solve on the reduced domain, then
+/// spread each group's total proportionally to public cell volume
+/// (uniform *density* within a group, not uniform count).
+Vec VolumeExpand(const MeasurementSet& mset, const Partition& p,
+                 const Vec& volumes) {
+  Vec z = LeastSquaresInference(mset);
+  const std::size_t n = volumes.size();
+  Vec group_vol(p.num_groups(), 0.0);
+  for (std::size_t c = 0; c < n; ++c)
+    group_vol[p.group_of(c)] += std::max(volumes[c], 1.0);
+  Vec xhat(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    const uint32_t g = p.group_of(c);
+    xhat[c] = z[g] * std::max(volumes[c], 1.0) / group_vol[g];
+  }
+  return xhat;
+}
+
+}  // namespace
+
+Stage Infer(InferKind kind) {
+  return [kind](StageContext& sc) -> Status {
+    if (sc.mset.empty())
+      return Status::FailedPrecondition("Infer with no measurements");
+    if (kind == InferKind::kNone) {
+      sc.estimate = sc.mset.items().back().y;
+      return Status::Ok();
+    }
+    EK_CHECK_EQ(sc.mset.size(), sc.mset_reduce.size());
+    if (sc.reduce_op && !sc.cell_volumes.empty()) {
+      // Volume-aware expansion solves on the final reduced domain, which
+      // only makes sense if every measurement was taken there.
+      for (const LinOpPtr& r : sc.mset_reduce)
+        if (r != sc.reduce_op)
+          return Status::FailedPrecondition(
+              "volume-aware inference needs all measurements on the "
+              "final reduced domain");
+      EK_CHECK(sc.partition.has_value());
+      sc.estimate = VolumeExpand(sc.mset, *sc.partition, sc.cell_volumes);
+    } else if (sc.reduce_op) {
+      // Compose each measurement with the reductions in force when it
+      // was taken (later reductions do not apply to it), so inference
+      // runs once, globally, on the original domain.
+      MeasurementSet global;
+      const auto& items = sc.mset.items();
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        const LinOpPtr& reduce = sc.mset_reduce[i];
+        global.Add(reduce ? MakeProduct(items[i].m, reduce) : items[i].m,
+                   items[i].y, items[i].noise_scale);
+      }
+      sc.estimate = LeastSquaresInference(global);
+    } else {
+      sc.estimate = LeastSquaresInference(sc.mset);
+    }
+    if (kind == InferKind::kClampedLeastSquares)
+      for (double& v : sc.estimate) v = std::max(v, 0.0);
+    return Status::Ok();
+  };
+}
+
+PipelinePlan::PipelinePlan(std::string name, PlanTraits traits,
+                           std::vector<Stage> stages)
+    : Plan(std::move(name), std::move(traits)), stages_(std::move(stages)) {}
+
+StatusOr<Vec> PipelinePlan::Execute(const ProtectedVector& x,
+                                    BudgetScope& scope,
+                                    const PlanInput& in) const {
+  StageContext sc;
+  EK_ASSIGN_OR_RETURN(sc.dims, ResolveDims(x, in));
+  sc.in = &in;
+  sc.mode = in.mode;
+  sc.data = &x;
+  sc.scope = &scope;
+  sc.ranges = in.ranges;
+  for (const Stage& stage : stages_) EK_RETURN_IF_ERROR(stage(sc));
+  return std::move(sc.estimate);
+}
+
+}  // namespace ektelo

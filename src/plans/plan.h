@@ -31,6 +31,9 @@ const char* MatrixModeName(MatrixMode mode);
 /// (kImplicit is the identity conversion; the others materialize).
 LinOpPtr ApplyMode(LinOpPtr op, MatrixMode mode);
 
+/// DEPRECATED legacy execution context, kept for the Run*Plan shims: new
+/// code passes a typed ProtectedVector handle, a BudgetScope and a
+/// PlanInput to Plan::Execute instead (see plans/registry.h).
 struct PlanContext {
   ProtectedKernel* kernel = nullptr;
   SourceId x = 0;                  // protected vector source

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "linalg/haar.h"
 #include "matrix/combinators.h"
@@ -9,6 +10,7 @@
 #include "ops/hdmm.h"
 #include "ops/inference.h"
 #include "ops/selection.h"
+#include "plans/pipeline.h"
 #include "util/check.h"
 
 namespace ektelo {
@@ -16,70 +18,157 @@ namespace ektelo {
 namespace {
 
 /// Select-measure-infer: the shared backbone of plans #1-#6, #13 and the
-/// workload baselines.  Measures `strategy` at full eps, runs weighted LS.
-StatusOr<Vec> SelectMeasureLs(const PlanContext& ctx, LinOpPtr strategy) {
-  LinOpPtr m = ApplyMode(std::move(strategy), ctx.mode);
-  const double sens = m->SensitivityL1();
-  EK_ASSIGN_OR_RETURN(Vec y, ctx.kernel->VectorLaplace(ctx.x, *m, ctx.eps));
-  MeasurementSet mset;
-  mset.Add(m, std::move(y), sens / ctx.eps);
-  return LeastSquaresInference(mset);
+/// workload baselines, as a three-stage pipeline.
+std::unique_ptr<Plan> SelectMeasureLsPlan(std::string name,
+                                          std::string signature,
+                                          bool mode_sweep, SelectFn select) {
+  PlanTraits traits{std::move(signature), DomainKind::k1D, mode_sweep};
+  return std::make_unique<PipelinePlan>(
+      std::move(name), std::move(traits),
+      std::vector<Stage>{Select(std::move(select)), Measure(),
+                         Infer(InferKind::kLeastSquares)});
 }
 
 }  // namespace
 
-StatusOr<Vec> RunIdentityPlan(const PlanContext& ctx) {
+std::unique_ptr<Plan> MakeIdentityPlan() {
   // Identity needs no inference: the noisy counts are the estimate.
-  LinOpPtr m = ApplyMode(IdentitySelect(ctx.n()), ctx.mode);
-  return ctx.kernel->VectorLaplace(ctx.x, *m, ctx.eps);
+  return std::make_unique<PipelinePlan>(
+      "Identity", PlanTraits{"SI LM", DomainKind::k1D, true},
+      std::vector<Stage>{
+          Select([](const StageContext& sc) -> StatusOr<LinOpPtr> {
+            return IdentitySelect(sc.n());
+          }),
+          Measure(), Infer(InferKind::kNone)});
 }
 
-StatusOr<Vec> RunUniformPlan(const PlanContext& ctx) {
+std::unique_ptr<Plan> MakeUniformPlan() {
   // ST LM LS: measure the total; min-norm LS spreads it uniformly.
-  return SelectMeasureLs(ctx, TotalSelect(ctx.n()));
+  return SelectMeasureLsPlan(
+      "Uniform", "ST LM LS", true,
+      [](const StageContext& sc) -> StatusOr<LinOpPtr> {
+        return TotalSelect(sc.n());
+      });
 }
 
-StatusOr<Vec> RunPriveletPlan(const PlanContext& ctx) {
+std::unique_ptr<Plan> MakePriveletPlan() {
   // SP LM LS: per-dimension Haar wavelets composed by Kronecker.
-  std::vector<LinOpPtr> factors;
-  for (std::size_t d : ctx.dims) {
-    if (!IsPowerOfTwo(d))
-      return Status::InvalidArgument(
-          "Privelet requires power-of-two dimensions");
-    factors.push_back(MakeWaveletOp(d));
+  return SelectMeasureLsPlan(
+      "Privelet", "SP LM LS", true,
+      [](const StageContext& sc) -> StatusOr<LinOpPtr> {
+        std::vector<LinOpPtr> factors;
+        for (std::size_t d : sc.dims) {
+          if (!IsPowerOfTwo(d))
+            return Status::InvalidArgument(
+                "Privelet requires power-of-two dimensions");
+          factors.push_back(MakeWaveletOp(d));
+        }
+        return MakeKronecker(std::move(factors));
+      });
+}
+
+std::unique_ptr<Plan> MakeH2Plan() {
+  return SelectMeasureLsPlan(
+      "H2", "SH2 LM LS", true,
+      [](const StageContext& sc) -> StatusOr<LinOpPtr> {
+        return H2Select(sc.n());
+      });
+}
+
+std::unique_ptr<Plan> MakeHbPlan() {
+  return SelectMeasureLsPlan(
+      "HB", "SHB LM LS", true,
+      [](const StageContext& sc) -> StatusOr<LinOpPtr> {
+        return HbSelect(sc.n());
+      });
+}
+
+std::unique_ptr<Plan> MakeGreedyHPlan() {
+  return SelectMeasureLsPlan(
+      "Greedy-H", "SG LM LS", true,
+      [](const StageContext& sc) -> StatusOr<LinOpPtr> {
+        return GreedyHSelect(sc.ranges, sc.n());
+      });
+}
+
+std::unique_ptr<Plan> MakeHdmmPlan() {
+  return SelectMeasureLsPlan(
+      "HDMM", "SHD LM LS", false,
+      [](const StageContext& sc) -> StatusOr<LinOpPtr> {
+        if (sc.in->workload_factors.size() != sc.dims.size())
+          return Status::InvalidArgument(
+              "one workload factor per dimension");
+        return HdmmSelect(sc.in->workload_factors, sc.dims);
+      });
+}
+
+std::unique_ptr<Plan> MakeWorkloadPlan(bool ls_inference) {
+  // The two baselines share one pipeline; the raw-answer variant also
+  // reports the minimum-norm LS reconstruction so callers get an xhat
+  // (the Naive-Bayes "Workload" baseline reads marginals off it).
+  return SelectMeasureLsPlan(
+      ls_inference ? "WorkloadLS" : "Workload",
+      ls_inference ? "SW LM LS" : "SW LM", false,
+      [](const StageContext& sc) -> StatusOr<LinOpPtr> {
+        if (sc.in->workload) return sc.in->workload;
+        if (!sc.ranges.empty()) return RangeQueryOp(sc.ranges, sc.n());
+        return Status::InvalidArgument("Workload plan needs a workload");
+      });
+}
+
+// ------------------------------------------------------------------- AHP
+
+std::unique_ptr<Plan> MakeAhpPlan(const AhpPlanOptions& opts) {
+  // PA TR SI LM LS: AHP partition, reduce, identity on the groups, LS
+  // min-norm expansion (uniform within groups), clamped at zero.
+  return std::make_unique<PipelinePlan>(
+      "AHP", PlanTraits{"PA TR SI LM LS", DomainKind::k1D, false},
+      std::vector<Stage>{
+          PartitionBy(
+              [ahp = opts.ahp](StageContext& sc, double eps,
+                               BudgetScope& scope) {
+                return AhpPartitionSelect(*sc.data, eps, scope, ahp);
+              },
+              opts.partition_frac, /*remap_ranges=*/false),
+          Select([](const StageContext& sc) -> StatusOr<LinOpPtr> {
+            return IdentitySelect(sc.n());
+          }),
+          Measure(), Infer(InferKind::kClampedLeastSquares)});
+}
+
+// ------------------------------------------------------------------ DAWA
+
+std::vector<RangeQuery> MapRangesToIntervalPartition(
+    const std::vector<RangeQuery>& ranges, const Partition& p) {
+  std::vector<RangeQuery> out;
+  out.reserve(ranges.size());
+  for (const auto& r : ranges) {
+    const std::size_t glo = p.group_of(r.lo);
+    const std::size_t ghi = p.group_of(r.hi);
+    EK_CHECK_LE(glo, ghi);
+    out.push_back({glo, ghi});
   }
-  return SelectMeasureLs(ctx, MakeKronecker(std::move(factors)));
+  return out;
 }
 
-StatusOr<Vec> RunH2Plan(const PlanContext& ctx) {
-  return SelectMeasureLs(ctx, H2Select(ctx.n()));
-}
-
-StatusOr<Vec> RunHbPlan(const PlanContext& ctx) {
-  return SelectMeasureLs(ctx, HbSelect(ctx.n()));
-}
-
-StatusOr<Vec> RunGreedyHPlan(const PlanContext& ctx,
-                             const std::vector<RangeQuery>& workload) {
-  return SelectMeasureLs(ctx, GreedyHSelect(workload, ctx.n()));
-}
-
-StatusOr<Vec> RunWorkloadPlan(const PlanContext& ctx, LinOpPtr workload,
-                              bool ls_inference) {
-  if (!ls_inference) {
-    // Raw noisy answers, reconstructed at minimum norm so callers get an
-    // xhat; the Naive-Bayes "Workload" baseline reads marginals off it.
-    return SelectMeasureLs(ctx, std::move(workload));
-  }
-  return SelectMeasureLs(ctx, std::move(workload));
-}
-
-StatusOr<Vec> RunHdmmPlan(const PlanContext& ctx,
-                          const std::vector<LinOpPtr>& workload_factors) {
-  if (workload_factors.size() != ctx.dims.size())
-    return Status::InvalidArgument("one workload factor per dimension");
-  LinOpPtr strategy = HdmmSelect(workload_factors, ctx.dims);
-  return SelectMeasureLs(ctx, std::move(strategy));
+std::unique_ptr<Plan> MakeDawaPlan(const DawaPlanOptions& opts) {
+  // PD TR SG LM LS: DAWA stage-1 partition, reduce, Greedy-H on the
+  // remapped workload, LS (volume-aware when public cell volumes exist).
+  return std::make_unique<PipelinePlan>(
+      "DAWA", PlanTraits{"PD TR SG LM LS", DomainKind::k1D, false},
+      std::vector<Stage>{
+          PartitionBy(
+              [dawa = opts.dawa](StageContext& sc, double eps,
+                                 BudgetScope& scope) {
+                if (!dawa.cell_volumes.empty())
+                  sc.cell_volumes = dawa.cell_volumes;
+                return DawaPartitionSelect(*sc.data, eps, scope, dawa);
+              },
+              opts.partition_frac, /*remap_ranges=*/true),
+          Select([](const StageContext& sc) -> StatusOr<LinOpPtr> {
+            return GreedyHSelect(sc.ranges, sc.n());
+          }),
+          Measure(), Infer(InferKind::kLeastSquares)});
 }
 
 // ------------------------------------------------------------------ MWEM
@@ -103,127 +192,184 @@ std::vector<RangeQuery> AugmentDisjoint(const RangeQuery& q, std::size_t n,
   return extra;
 }
 
+/// The four MWEM variants as one parameterized loop plan (#7, #18-#20):
+/// round = exponential-mechanism selection, Laplace measurement
+/// (optionally augmented with disjoint hierarchical queries), then either
+/// multiplicative weights or warm-started NNLS inference.
+class MwemLoopPlan final : public Plan {
+ public:
+  explicit MwemLoopPlan(const MwemOptions& opts)
+      : Plan(NameFor(opts),
+             PlanTraits{SignatureFor(opts), DomainKind::k1D, false}),
+        opts_(opts) {}
+
+  StatusOr<Vec> Execute(const ProtectedVector& x, BudgetScope& scope,
+                        const PlanInput& in) const override {
+    EK_RETURN_IF_ERROR(ResolveDims(x, in).status());
+    const std::size_t n = x.size();
+    if (opts_.rounds == 0)
+      return Status::InvalidArgument("rounds must be > 0");
+    const double total =
+        in.known_total > 0.0 ? in.known_total : opts_.known_total;
+    if (total <= 0.0)
+      return Status::InvalidArgument(
+          "MWEM requires a positive known total");
+    if (in.ranges.empty())
+      return Status::InvalidArgument("MWEM needs a range workload");
+    LinOpPtr w_op = ApplyMode(RangeQueryOp(in.ranges, n), in.mode);
+
+    const double eps = scope.remaining();
+    const double eps_round = eps / double(opts_.rounds);
+    const double eps_select = eps_round / 2.0;
+    const double eps_measure = eps_round / 2.0;
+
+    Vec xhat(n, total / double(n));
+    MeasurementSet mset;
+    for (std::size_t round = 1; round <= opts_.rounds; ++round) {
+      EK_ASSIGN_OR_RETURN(
+          std::size_t pick, x.WorstApprox(*w_op, xhat, eps_select, scope));
+      std::vector<RangeQuery> to_measure = {in.ranges[pick]};
+      if (opts_.augment_h2) {
+        auto extra = AugmentDisjoint(in.ranges[pick], n, round);
+        to_measure.insert(to_measure.end(), extra.begin(), extra.end());
+      }
+      LinOpPtr m = ApplyMode(RangeQueryOp(to_measure, n), in.mode);
+      // Disjoint ranges: sensitivity 1 whether or not we augmented.
+      EK_ASSIGN_OR_RETURN(Vec y, x.Laplace(*m, eps_measure, scope));
+      mset.Add(m, std::move(y), 1.0 / eps_measure);
+
+      if (opts_.nnls_inference) {
+        // Warm-start from the previous round's estimate: faster and keeps
+        // the uniform prior in yet-unmeasured directions, like MW.
+        xhat = NnlsInference(mset, total, {.max_iters = 300, .x0 = xhat});
+      } else {
+        xhat = MultWeightsStep(mset, std::move(xhat),
+                               {.iterations = opts_.mw_iterations});
+      }
+    }
+    return xhat;
+  }
+
+ private:
+  static std::string NameFor(const MwemOptions& o) {
+    if (o.augment_h2 && o.nnls_inference) return "MWEM variant d";
+    if (o.augment_h2) return "MWEM variant b";
+    if (o.nnls_inference) return "MWEM variant c";
+    return "MWEM";
+  }
+  static std::string SignatureFor(const MwemOptions& o) {
+    if (o.augment_h2 && o.nnls_inference) return "I:( SW SH2 LM NLS )";
+    if (o.augment_h2) return "I:( SW SH2 LM MW )";
+    if (o.nnls_inference) return "I:( SW LM NLS )";
+    return "I:( SW LM MW )";
+  }
+
+  MwemOptions opts_;
+};
+
 }  // namespace
+
+std::unique_ptr<Plan> MakeMwemPlan(const MwemOptions& opts) {
+  return std::make_unique<MwemLoopPlan>(opts);
+}
+
+// ------------------------------------------------------ registration
+
+namespace plan_registration {
+
+void RegisterCatalogPlans(PlanRegistry& registry) {
+  registry.MustRegister(MakeIdentityPlan());
+  registry.MustRegister(MakePriveletPlan());
+  registry.MustRegister(MakeH2Plan());
+  registry.MustRegister(MakeHbPlan());
+  registry.MustRegister(MakeGreedyHPlan());
+  registry.MustRegister(MakeUniformPlan());
+  registry.MustRegister(MakeMwemPlan({}));
+  registry.MustRegister(MakeAhpPlan({}));
+  registry.MustRegister(MakeDawaPlan({}));
+  registry.MustRegister(MakeHdmmPlan());
+  registry.MustRegister(MakeMwemPlan({.augment_h2 = true}));
+  registry.MustRegister(MakeMwemPlan({.nnls_inference = true}));
+  registry.MustRegister(
+      MakeMwemPlan({.augment_h2 = true, .nnls_inference = true}));
+  registry.MustRegister(MakeWorkloadPlan(/*ls_inference=*/false));
+  registry.MustRegister(MakeWorkloadPlan(/*ls_inference=*/true));
+}
+
+}  // namespace plan_registration
+
+// ------------------------------------------------- deprecated Run* shims
+
+namespace {
+
+const Plan& RegisteredPlan(const char* name) {
+  return PlanRegistry::Global().MustFind(name);
+}
+
+}  // namespace
+
+StatusOr<Vec> RunIdentityPlan(const PlanContext& ctx) {
+  return ExecuteWithContext(RegisteredPlan("Identity"), ctx);
+}
+
+StatusOr<Vec> RunUniformPlan(const PlanContext& ctx) {
+  return ExecuteWithContext(RegisteredPlan("Uniform"), ctx);
+}
+
+StatusOr<Vec> RunPriveletPlan(const PlanContext& ctx) {
+  return ExecuteWithContext(RegisteredPlan("Privelet"), ctx);
+}
+
+StatusOr<Vec> RunH2Plan(const PlanContext& ctx) {
+  return ExecuteWithContext(RegisteredPlan("H2"), ctx);
+}
+
+StatusOr<Vec> RunHbPlan(const PlanContext& ctx) {
+  return ExecuteWithContext(RegisteredPlan("HB"), ctx);
+}
+
+StatusOr<Vec> RunGreedyHPlan(const PlanContext& ctx,
+                             const std::vector<RangeQuery>& workload) {
+  PlanInput in;
+  in.ranges = workload;
+  return ExecuteWithContext(RegisteredPlan("Greedy-H"), ctx, std::move(in));
+}
 
 StatusOr<Vec> RunMwemPlan(const PlanContext& ctx,
                           const std::vector<RangeQuery>& workload,
                           const MwemOptions& opts) {
-  const std::size_t n = ctx.n();
-  if (opts.rounds == 0) return Status::InvalidArgument("rounds must be > 0");
-  if (opts.known_total <= 0.0)
-    return Status::InvalidArgument("MWEM requires a positive known total");
-  LinOpPtr w_op = ApplyMode(RangeQueryOp(workload, n), ctx.mode);
-
-  const double eps_round = ctx.eps / double(opts.rounds);
-  const double eps_select = eps_round / 2.0;
-  const double eps_measure = eps_round / 2.0;
-
-  Vec xhat(n, opts.known_total / double(n));
-  MeasurementSet mset;
-  for (std::size_t round = 1; round <= opts.rounds; ++round) {
-    EK_ASSIGN_OR_RETURN(std::size_t pick,
-                        ctx.kernel->WorstApprox(ctx.x, *w_op, xhat,
-                                                eps_select));
-    std::vector<RangeQuery> to_measure = {workload[pick]};
-    if (opts.augment_h2) {
-      auto extra = AugmentDisjoint(workload[pick], n, round);
-      to_measure.insert(to_measure.end(), extra.begin(), extra.end());
-    }
-    LinOpPtr m = ApplyMode(RangeQueryOp(to_measure, n), ctx.mode);
-    // Disjoint ranges: sensitivity 1 whether or not we augmented.
-    EK_ASSIGN_OR_RETURN(Vec y,
-                        ctx.kernel->VectorLaplace(ctx.x, *m, eps_measure));
-    mset.Add(m, std::move(y), 1.0 / eps_measure);
-
-    if (opts.nnls_inference) {
-      // Warm-start from the previous round's estimate: faster and keeps
-      // the uniform prior in yet-unmeasured directions, like MW.
-      xhat = NnlsInference(mset, opts.known_total,
-                           {.max_iters = 300, .x0 = xhat});
-    } else {
-      xhat = MultWeightsStep(mset, std::move(xhat),
-                             {.iterations = opts.mw_iterations});
-    }
-  }
-  return xhat;
+  PlanInput in;
+  in.ranges = workload;
+  in.known_total = opts.known_total;
+  return ExecuteWithContext(*MakeMwemPlan(opts), ctx, std::move(in));
 }
-
-// ------------------------------------------------------------------- AHP
 
 StatusOr<Vec> RunAhpPlan(const PlanContext& ctx, const AhpPlanOptions& opts) {
-  const double eps_part = ctx.eps * opts.partition_frac;
-  const double eps_meas = ctx.eps - eps_part;
-  EK_ASSIGN_OR_RETURN(
-      Partition p, AhpPartitionSelect(ctx.kernel, ctx.x, eps_part, opts.ahp));
-  EK_ASSIGN_OR_RETURN(SourceId reduced,
-                      ctx.kernel->VReduceByPartition(ctx.x, p));
-  LinOpPtr reduce_op = ApplyMode(p.ReduceOp(), ctx.mode);
-  LinOpPtr ident = ApplyMode(IdentitySelect(p.num_groups()), ctx.mode);
-  EK_ASSIGN_OR_RETURN(Vec y,
-                      ctx.kernel->VectorLaplace(reduced, *ident, eps_meas));
-  MeasurementSet mset;
-  // Identity on the reduced domain == the partition matrix on the
-  // original domain; LS min-norm expands uniformly within groups.
-  mset.Add(reduce_op, std::move(y), 1.0 / eps_meas);
-  Vec xhat = LeastSquaresInference(mset);
-  for (double& v : xhat) v = std::max(v, 0.0);
-  return xhat;
-}
-
-// ------------------------------------------------------------------ DAWA
-
-std::vector<RangeQuery> MapRangesToIntervalPartition(
-    const std::vector<RangeQuery>& ranges, const Partition& p) {
-  std::vector<RangeQuery> out;
-  out.reserve(ranges.size());
-  for (const auto& r : ranges) {
-    const std::size_t glo = p.group_of(r.lo);
-    const std::size_t ghi = p.group_of(r.hi);
-    EK_CHECK_LE(glo, ghi);
-    out.push_back({glo, ghi});
-  }
-  return out;
+  return ExecuteWithContext(*MakeAhpPlan(opts), ctx);
 }
 
 StatusOr<Vec> RunDawaPlan(const PlanContext& ctx,
                           const std::vector<RangeQuery>& workload,
                           const DawaPlanOptions& opts) {
-  const double eps_part = ctx.eps * opts.partition_frac;
-  const double eps_meas = ctx.eps - eps_part;
-  EK_ASSIGN_OR_RETURN(
-      Partition p,
-      DawaPartitionSelect(ctx.kernel, ctx.x, eps_part, opts.dawa));
-  EK_ASSIGN_OR_RETURN(SourceId reduced,
-                      ctx.kernel->VReduceByPartition(ctx.x, p));
-  auto reduced_workload = MapRangesToIntervalPartition(workload, p);
-  LinOpPtr strategy =
-      ApplyMode(GreedyHSelect(reduced_workload, p.num_groups()), ctx.mode);
-  const double sens = strategy->SensitivityL1();
-  EK_ASSIGN_OR_RETURN(
-      Vec y, ctx.kernel->VectorLaplace(reduced, *strategy, eps_meas));
-  if (!opts.dawa.cell_volumes.empty()) {
-    // Cells are pre-merged groups with public volumes: solve on the
-    // reduced domain and expand each group's total proportionally to
-    // volume (uniform *density* within a group, not uniform count).
-    MeasurementSet mset;
-    mset.Add(strategy, std::move(y), sens / eps_meas);
-    Vec z = LeastSquaresInference(mset);
-    const std::size_t n = ctx.n();
-    Vec group_vol(p.num_groups(), 0.0);
-    for (std::size_t c = 0; c < n; ++c)
-      group_vol[p.group_of(c)] += std::max(opts.dawa.cell_volumes[c], 1.0);
-    Vec xhat(n);
-    for (std::size_t c = 0; c < n; ++c) {
-      const uint32_t g = p.group_of(c);
-      xhat[c] = z[g] * std::max(opts.dawa.cell_volumes[c], 1.0) /
-                group_vol[g];
-    }
-    return xhat;
-  }
-  MeasurementSet mset;
-  mset.Add(MakeProduct(strategy, ApplyMode(p.ReduceOp(), ctx.mode)),
-           std::move(y), sens / eps_meas);
-  return LeastSquaresInference(mset);
+  PlanInput in;
+  in.ranges = workload;
+  return ExecuteWithContext(*MakeDawaPlan(opts), ctx, std::move(in));
+}
+
+StatusOr<Vec> RunHdmmPlan(const PlanContext& ctx,
+                          const std::vector<LinOpPtr>& workload_factors) {
+  PlanInput in;
+  in.workload_factors = workload_factors;
+  return ExecuteWithContext(RegisteredPlan("HDMM"), ctx, std::move(in));
+}
+
+StatusOr<Vec> RunWorkloadPlan(const PlanContext& ctx, LinOpPtr workload,
+                              bool ls_inference) {
+  PlanInput in;
+  in.workload = std::move(workload);
+  return ExecuteWithContext(
+      RegisteredPlan(ls_inference ? "WorkloadLS" : "Workload"), ctx,
+      std::move(in));
 }
 
 }  // namespace ektelo

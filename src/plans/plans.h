@@ -16,27 +16,46 @@
 //   #20 MWEM variant d  I:( SW SH2 LM NLS )
 // plus the Workload / WorkloadLS baselines of the Naive-Bayes case study.
 //
-// Every plan implicitly starts with T-Vectorize (the PlanContext already
-// points at a vector source) and returns an estimate of the full data
-// vector.
+// Every plan is a registered `Plan` (see plans/registry.h): the single-shot
+// plans are declarative pipelines (PartitionBy / Select / Measure / Infer,
+// see plans/pipeline.h) and the four MWEM variants are one parameterized
+// loop plan.  `Make*Plan` builds an instance with explicit options; the
+// default-option instances live in PlanRegistry::Global() under their
+// catalog names ("Identity", "DAWA", "MWEM variant b", ...).
+//
+// The `Run*Plan` free functions below are DEPRECATED shims kept for source
+// compatibility: each is a one-liner that wraps the PlanContext into a
+// typed ProtectedVector handle plus a BudgetScope and delegates to the
+// corresponding registered plan.  New code should use
+// `PlanRegistry::Global().Find(name)->Execute(x, scope, input)` or a
+// `Make*Plan` factory directly.
 #ifndef EKTELO_PLANS_PLANS_H_
 #define EKTELO_PLANS_PLANS_H_
 
+#include <memory>
 #include <vector>
 
 #include "ops/partition_select.h"
 #include "plans/plan.h"
+#include "plans/registry.h"
 #include "workload/workloads.h"
 
 namespace ektelo {
 
-StatusOr<Vec> RunIdentityPlan(const PlanContext& ctx);
-StatusOr<Vec> RunUniformPlan(const PlanContext& ctx);
-StatusOr<Vec> RunPriveletPlan(const PlanContext& ctx);
-StatusOr<Vec> RunH2Plan(const PlanContext& ctx);
-StatusOr<Vec> RunHbPlan(const PlanContext& ctx);
-StatusOr<Vec> RunGreedyHPlan(const PlanContext& ctx,
-                             const std::vector<RangeQuery>& workload);
+// ------------------------------------------------------- plan factories
+
+std::unique_ptr<Plan> MakeIdentityPlan();
+std::unique_ptr<Plan> MakeUniformPlan();
+std::unique_ptr<Plan> MakePriveletPlan();
+std::unique_ptr<Plan> MakeH2Plan();
+std::unique_ptr<Plan> MakeHbPlan();
+/// Workload comes from PlanInput::ranges.
+std::unique_ptr<Plan> MakeGreedyHPlan();
+/// Workload factors come from PlanInput::workload_factors.
+std::unique_ptr<Plan> MakeHdmmPlan();
+/// Measures PlanInput::workload (or RangeQueryOp of PlanInput::ranges)
+/// directly with Vector Laplace + least squares.
+std::unique_ptr<Plan> MakeWorkloadPlan(bool ls_inference);
 
 struct MwemOptions {
   std::size_t rounds = 10;
@@ -46,34 +65,52 @@ struct MwemOptions {
   /// Variant c/d: replace multiplicative-weights inference with NNLS plus
   /// the (assumed known) total.
   bool nnls_inference = false;
-  /// The record total MWEM assumes known.
+  /// The record total MWEM assumes known (PlanInput::known_total wins
+  /// when positive).
   double known_total = 0.0;
   std::size_t mw_iterations = 40;
 };
 
-StatusOr<Vec> RunMwemPlan(const PlanContext& ctx,
-                          const std::vector<RangeQuery>& workload,
-                          const MwemOptions& opts);
+/// The four MWEM variants are this one loop plan: flags pick the
+/// selection augmentation and the inference operator, per the paper's
+/// claim that variants differ only in which operators are swapped.
+std::unique_ptr<Plan> MakeMwemPlan(const MwemOptions& opts = {});
 
 struct AhpPlanOptions {
   double partition_frac = 0.5;  // eps share for AHPpartition
   AhpOptions ahp;
 };
-StatusOr<Vec> RunAhpPlan(const PlanContext& ctx,
-                         const AhpPlanOptions& opts = {});
+std::unique_ptr<Plan> MakeAhpPlan(const AhpPlanOptions& opts = {});
 
 struct DawaPlanOptions {
   double partition_frac = 0.25;  // DAWA's rho
   DawaOptions dawa;
 };
+std::unique_ptr<Plan> MakeDawaPlan(const DawaPlanOptions& opts = {});
+
+// ------------------------------------------------- deprecated Run* shims
+//
+// One-line wrappers over the registered plans; kept so pre-registry call
+// sites compile unchanged.  Prefer Plan::Execute with typed handles.
+
+StatusOr<Vec> RunIdentityPlan(const PlanContext& ctx);
+StatusOr<Vec> RunUniformPlan(const PlanContext& ctx);
+StatusOr<Vec> RunPriveletPlan(const PlanContext& ctx);
+StatusOr<Vec> RunH2Plan(const PlanContext& ctx);
+StatusOr<Vec> RunHbPlan(const PlanContext& ctx);
+StatusOr<Vec> RunGreedyHPlan(const PlanContext& ctx,
+                             const std::vector<RangeQuery>& workload);
+StatusOr<Vec> RunMwemPlan(const PlanContext& ctx,
+                          const std::vector<RangeQuery>& workload,
+                          const MwemOptions& opts);
+StatusOr<Vec> RunAhpPlan(const PlanContext& ctx,
+                         const AhpPlanOptions& opts = {});
 StatusOr<Vec> RunDawaPlan(const PlanContext& ctx,
                           const std::vector<RangeQuery>& workload,
                           const DawaPlanOptions& opts = {});
-
 /// HDMM: workload given per-dimension (Kronecker factors).
 StatusOr<Vec> RunHdmmPlan(const PlanContext& ctx,
                           const std::vector<LinOpPtr>& workload_factors);
-
 /// Measure the workload directly with Vector Laplace; if ls_inference,
 /// follow with least squares (WorkloadLS), else return the minimum-norm
 /// reconstruction of the raw noisy answers.

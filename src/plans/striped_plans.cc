@@ -1,6 +1,7 @@
 #include "plans/striped_plans.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "matrix/combinators.h"
 #include "matrix/implicit_ops.h"
@@ -14,108 +15,210 @@ namespace ektelo {
 
 namespace {
 
-Status CheckStripe(const PlanContext& ctx, std::size_t stripe_dim) {
-  if (ctx.dims.size() < 2)
-    return Status::InvalidArgument("striped plans need >= 2 dimensions");
-  if (stripe_dim >= ctx.dims.size())
+Status CheckStripe(const std::vector<std::size_t>& dims,
+                   std::size_t stripe_dim) {
+  if (stripe_dim >= dims.size())
     return Status::InvalidArgument("stripe_dim out of range");
   return Status::Ok();
+}
+
+class HbStripedPlan final : public Plan {
+ public:
+  HbStripedPlan()
+      : Plan("HB-Striped",
+             PlanTraits{"PS TP[ SHB LM ] LS", DomainKind::kMultiDim,
+                        false}) {}
+
+  StatusOr<Vec> Execute(const ProtectedVector& x, BudgetScope& scope,
+                        const PlanInput& in) const override {
+    EK_ASSIGN_OR_RETURN(std::vector<std::size_t> dims, ResolveDims(x, in));
+    EK_RETURN_IF_ERROR(CheckStripe(dims, in.stripe_dim));
+    const std::size_t ns = dims[in.stripe_dim];
+    const double eps = scope.remaining();
+    Partition stripes = StripePartition(dims, in.stripe_dim);
+    EK_ASSIGN_OR_RETURN(std::vector<ProtectedVector> children,
+                        x.SplitByPartition(stripes));
+    EK_ASSIGN_OR_RETURN(std::vector<BudgetScope> child_scopes,
+                        scope.SplitParallel(children.size()));
+    auto groups = stripes.Groups();
+
+    // HB selection is data-independent: one strategy shared by all
+    // stripes.
+    LinOpPtr hb = ApplyMode(HbSelect(ns), in.mode);
+    const double sens = hb->SensitivityL1();
+
+    Vec xhat(x.size(), 0.0);
+    for (std::size_t s = 0; s < children.size(); ++s) {
+      // Full eps per stripe: parallel composition makes the kernel (and
+      // scope) charge the max across stripes, not the sum.
+      EK_ASSIGN_OR_RETURN(Vec y,
+                          children[s].Laplace(*hb, eps, child_scopes[s]));
+      // Per-stripe LS (equivalent to the global solve: measurements do
+      // not cross stripes).
+      MeasurementSet mset;
+      mset.Add(hb, std::move(y), sens / eps);
+      Vec local = LeastSquaresInference(mset);
+      const auto& cells = groups[s];
+      EK_CHECK_EQ(local.size(), cells.size());
+      for (std::size_t k = 0; k < cells.size(); ++k)
+        xhat[cells[k]] = local[k];
+    }
+    return xhat;
+  }
+};
+
+class HbStripedKronPlan final : public Plan {
+ public:
+  explicit HbStripedKronPlan(bool materialize_full)
+      : Plan(materialize_full ? "HB-Striped_kron_flat" : "HB-Striped_kron",
+             PlanTraits{"SS LM LS", DomainKind::kMultiDim, false}),
+        materialize_full_(materialize_full) {}
+
+  StatusOr<Vec> Execute(const ProtectedVector& x, BudgetScope& scope,
+                        const PlanInput& in) const override {
+    EK_ASSIGN_OR_RETURN(std::vector<std::size_t> dims, ResolveDims(x, in));
+    EK_RETURN_IF_ERROR(CheckStripe(dims, in.stripe_dim));
+    // Convert the factors per mode but keep the Kronecker structure; the
+    // "basic sparse" ablation flattens the whole product instead.
+    std::vector<LinOpPtr> factors;
+    for (std::size_t d = 0; d < dims.size(); ++d) {
+      LinOpPtr f = (d == in.stripe_dim) ? HbSelect(dims[d])
+                                        : MakeIdentityOp(dims[d]);
+      factors.push_back(ApplyMode(std::move(f), in.mode));
+    }
+    LinOpPtr m = MakeKronecker(std::move(factors));
+    if (materialize_full_) m = MakeSparse(m->MaterializeSparse());
+    const double sens = m->SensitivityL1();
+    const double eps = scope.remaining();
+    EK_ASSIGN_OR_RETURN(Vec y, x.Laplace(*m, eps, scope));
+    MeasurementSet mset;
+    mset.Add(m, std::move(y), sens / eps);
+    return LeastSquaresInference(mset);
+  }
+
+ private:
+  bool materialize_full_;
+};
+
+class DawaStripedPlan final : public Plan {
+ public:
+  explicit DawaStripedPlan(const DawaStripedOptions& opts)
+      : Plan("DAWA-Striped",
+             PlanTraits{"PS TP[ PD TR SG LM ] LS", DomainKind::kMultiDim,
+                        false}),
+        opts_(opts) {}
+
+  StatusOr<Vec> Execute(const ProtectedVector& x, BudgetScope& scope,
+                        const PlanInput& in) const override {
+    EK_ASSIGN_OR_RETURN(std::vector<std::size_t> dims, ResolveDims(x, in));
+    EK_RETURN_IF_ERROR(CheckStripe(dims, in.stripe_dim));
+    const std::size_t ns = dims[in.stripe_dim];
+    Partition stripes = StripePartition(dims, in.stripe_dim);
+    EK_ASSIGN_OR_RETURN(std::vector<ProtectedVector> children,
+                        x.SplitByPartition(stripes));
+    EK_ASSIGN_OR_RETURN(std::vector<BudgetScope> child_scopes,
+                        scope.SplitParallel(children.size()));
+    auto groups = stripes.Groups();
+
+    // The subplan workload: all prefix ranges along the stripe (the
+    // income ranges the census workload asks for).
+    std::vector<RangeQuery> stripe_workload;
+    stripe_workload.reserve(ns);
+    for (std::size_t i = 0; i < ns; ++i) stripe_workload.push_back({0, i});
+
+    Vec xhat(x.size(), 0.0);
+    for (std::size_t s = 0; s < children.size(); ++s) {
+      // Each stripe runs the full DAWA pipeline on its own parallel
+      // sub-scope: partition share, then measurement share.
+      EK_ASSIGN_OR_RETURN(
+          std::vector<BudgetScope> stages,
+          child_scopes[s].Split(
+              {opts_.partition_frac, 1.0 - opts_.partition_frac}));
+      const double eps1 = stages[0].remaining();
+      const double eps2 = stages[1].remaining();
+      // PD: data-adaptive partition of this stripe.
+      EK_ASSIGN_OR_RETURN(Partition p,
+                          DawaPartitionSelect(children[s], eps1, stages[0],
+                                              opts_.dawa));
+      EK_ASSIGN_OR_RETURN(ProtectedVector reduced,
+                          children[s].ReduceByPartition(p));
+      auto reduced_workload =
+          MapRangesToIntervalPartition(stripe_workload, p);
+      LinOpPtr strategy = ApplyMode(
+          GreedyHSelect(reduced_workload, p.num_groups()), in.mode);
+      const double sens = strategy->SensitivityL1();
+      EK_ASSIGN_OR_RETURN(Vec y,
+                          reduced.Laplace(*strategy, eps2, stages[1]));
+      MeasurementSet mset;
+      mset.Add(MakeProduct(strategy, p.ReduceOp()), std::move(y),
+               sens / eps2);
+      Vec local = LeastSquaresInference(mset);
+      const auto& cells = groups[s];
+      EK_CHECK_EQ(local.size(), cells.size());
+      for (std::size_t k = 0; k < cells.size(); ++k)
+        xhat[cells[k]] = local[k];
+    }
+    return xhat;
+  }
+
+ private:
+  DawaStripedOptions opts_;
+};
+
+}  // namespace
+
+std::unique_ptr<Plan> MakeHbStripedPlan() {
+  return std::make_unique<HbStripedPlan>();
+}
+
+std::unique_ptr<Plan> MakeHbStripedKronPlan(bool materialize_full) {
+  return std::make_unique<HbStripedKronPlan>(materialize_full);
+}
+
+std::unique_ptr<Plan> MakeDawaStripedPlan(const DawaStripedOptions& opts) {
+  return std::make_unique<DawaStripedPlan>(opts);
+}
+
+namespace plan_registration {
+
+void RegisterStripedPlans(PlanRegistry& registry) {
+  registry.MustRegister(MakeDawaStripedPlan({}));
+  registry.MustRegister(MakeHbStripedPlan());
+  registry.MustRegister(MakeHbStripedKronPlan(/*materialize_full=*/false));
+}
+
+}  // namespace plan_registration
+
+// ------------------------------------------------- deprecated Run* shims
+
+namespace {
+
+PlanInput StripeInput(std::size_t stripe_dim) {
+  PlanInput in;
+  in.stripe_dim = stripe_dim;
+  return in;
 }
 
 }  // namespace
 
 StatusOr<Vec> RunHbStripedPlan(const PlanContext& ctx,
                                std::size_t stripe_dim) {
-  EK_RETURN_IF_ERROR(CheckStripe(ctx, stripe_dim));
-  const std::size_t ns = ctx.dims[stripe_dim];
-  Partition stripes = StripePartition(ctx.dims, stripe_dim);
-  EK_ASSIGN_OR_RETURN(std::vector<SourceId> children,
-                      ctx.kernel->VSplitByPartition(ctx.x, stripes));
-  auto groups = stripes.Groups();
-
-  // HB selection is data-independent: one strategy shared by all stripes.
-  LinOpPtr hb = ApplyMode(HbSelect(ns), ctx.mode);
-  const double sens = hb->SensitivityL1();
-
-  Vec xhat(ctx.n(), 0.0);
-  for (std::size_t s = 0; s < children.size(); ++s) {
-    EK_ASSIGN_OR_RETURN(Vec y,
-                        ctx.kernel->VectorLaplace(children[s], *hb, ctx.eps));
-    // Per-stripe LS (equivalent to the global solve: measurements do not
-    // cross stripes).
-    MeasurementSet mset;
-    mset.Add(hb, std::move(y), sens / ctx.eps);
-    Vec local = LeastSquaresInference(mset);
-    const auto& cells = groups[s];
-    EK_CHECK_EQ(local.size(), cells.size());
-    for (std::size_t k = 0; k < cells.size(); ++k) xhat[cells[k]] = local[k];
-  }
-  return xhat;
+  return ExecuteWithContext(PlanRegistry::Global().MustFind("HB-Striped"),
+                            ctx, StripeInput(stripe_dim));
 }
 
 StatusOr<Vec> RunHbStripedKronPlan(const PlanContext& ctx,
                                    std::size_t stripe_dim,
                                    bool materialize_full) {
-  EK_RETURN_IF_ERROR(CheckStripe(ctx, stripe_dim));
-  // Convert the factors per mode but keep the Kronecker structure; the
-  // "basic sparse" ablation flattens the whole product instead.
-  std::vector<LinOpPtr> factors;
-  for (std::size_t d = 0; d < ctx.dims.size(); ++d) {
-    LinOpPtr f = (d == stripe_dim) ? HbSelect(ctx.dims[d])
-                                   : MakeIdentityOp(ctx.dims[d]);
-    factors.push_back(ApplyMode(std::move(f), ctx.mode));
-  }
-  LinOpPtr m = MakeKronecker(std::move(factors));
-  if (materialize_full) m = MakeSparse(m->MaterializeSparse());
-  const double sens = m->SensitivityL1();
-  EK_ASSIGN_OR_RETURN(Vec y, ctx.kernel->VectorLaplace(ctx.x, *m, ctx.eps));
-  MeasurementSet mset;
-  mset.Add(m, std::move(y), sens / ctx.eps);
-  return LeastSquaresInference(mset);
+  return ExecuteWithContext(*MakeHbStripedKronPlan(materialize_full), ctx,
+                            StripeInput(stripe_dim));
 }
 
 StatusOr<Vec> RunDawaStripedPlan(const PlanContext& ctx,
                                  std::size_t stripe_dim,
                                  const DawaStripedOptions& opts) {
-  EK_RETURN_IF_ERROR(CheckStripe(ctx, stripe_dim));
-  const std::size_t ns = ctx.dims[stripe_dim];
-  Partition stripes = StripePartition(ctx.dims, stripe_dim);
-  EK_ASSIGN_OR_RETURN(std::vector<SourceId> children,
-                      ctx.kernel->VSplitByPartition(ctx.x, stripes));
-  auto groups = stripes.Groups();
-
-  // The subplan workload: all prefix ranges along the stripe (the income
-  // ranges the census workload asks for).
-  std::vector<RangeQuery> stripe_workload;
-  stripe_workload.reserve(ns);
-  for (std::size_t i = 0; i < ns; ++i) stripe_workload.push_back({0, i});
-
-  const double eps1 = ctx.eps * opts.partition_frac;
-  const double eps2 = ctx.eps - eps1;
-
-  Vec xhat(ctx.n(), 0.0);
-  for (std::size_t s = 0; s < children.size(); ++s) {
-    // PD: data-adaptive partition of this stripe.
-    EK_ASSIGN_OR_RETURN(
-        Partition p,
-        DawaPartitionSelect(ctx.kernel, children[s], eps1, opts.dawa));
-    EK_ASSIGN_OR_RETURN(SourceId reduced,
-                        ctx.kernel->VReduceByPartition(children[s], p));
-    auto reduced_workload =
-        MapRangesToIntervalPartition(stripe_workload, p);
-    LinOpPtr strategy =
-        ApplyMode(GreedyHSelect(reduced_workload, p.num_groups()), ctx.mode);
-    const double sens = strategy->SensitivityL1();
-    EK_ASSIGN_OR_RETURN(Vec y,
-                        ctx.kernel->VectorLaplace(reduced, *strategy, eps2));
-    MeasurementSet mset;
-    mset.Add(MakeProduct(strategy, p.ReduceOp()), std::move(y), sens / eps2);
-    Vec local = LeastSquaresInference(mset);
-    const auto& cells = groups[s];
-    EK_CHECK_EQ(local.size(), cells.size());
-    for (std::size_t k = 0; k < cells.size(); ++k) xhat[cells[k]] = local[k];
-  }
-  return xhat;
+  return ExecuteWithContext(*MakeDawaStripedPlan(opts), ctx,
+                            StripeInput(stripe_dim));
 }
 
 }  // namespace ektelo

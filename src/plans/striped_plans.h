@@ -1,8 +1,10 @@
 // High-dimensional "striped" plans (Sec. 9.2, Fig. 2 #14-#16).
 //
-// The domain is partitioned into 1D stripes along `stripe_dim` (one stripe
-// per combination of the remaining attributes); a 1D subplan runs on every
-// stripe under parallel composition; inference is global least squares.
+// The domain is partitioned into 1D stripes along PlanInput::stripe_dim
+// (one stripe per combination of the remaining attributes); a 1D subplan
+// runs on every stripe under parallel composition (each stripe's
+// measurements ride a SplitParallel sub-scope, mirroring the kernel's
+// max-across-children charge); inference is global least squares.
 // Because no measurement crosses stripes, the global LS decomposes into
 // per-stripe solves, which these implementations exploit (the result is
 // identical to solving the stacked system).
@@ -11,25 +13,28 @@
 // single Kronecker product Identity ⊗ ... ⊗ HB ⊗ ... ⊗ Identity and
 // measures it in one Vector Laplace call — the non-iterative alternative
 // whose scalability Fig. 4b compares.
+//
+// Registered as "HB-Striped", "HB-Striped_kron" and "DAWA-Striped"; the
+// Run* functions are deprecated shims over the registered plans.
 #ifndef EKTELO_PLANS_STRIPED_PLANS_H_
 #define EKTELO_PLANS_STRIPED_PLANS_H_
 
+#include <memory>
+
 #include "ops/partition_select.h"
 #include "plans/plan.h"
+#include "plans/registry.h"
 
 namespace ektelo {
 
 /// #15 HB-Striped: PS TP[ SHB LM ] LS.
-StatusOr<Vec> RunHbStripedPlan(const PlanContext& ctx,
-                               std::size_t stripe_dim);
+std::unique_ptr<Plan> MakeHbStripedPlan();
 
-/// #16 HB-Striped_kron: SS LM LS.  ctx.mode selects the representation of
-/// the Kronecker *factors* (the Kronecker structure itself is kept);
-/// materialize_full instead expands the whole product into one flat sparse
-/// matrix — the "Basic sparse" ablation of Fig. 4b.
-StatusOr<Vec> RunHbStripedKronPlan(const PlanContext& ctx,
-                                   std::size_t stripe_dim,
-                                   bool materialize_full = false);
+/// #16 HB-Striped_kron: SS LM LS.  PlanInput::mode selects the
+/// representation of the Kronecker *factors* (the Kronecker structure
+/// itself is kept); materialize_full instead expands the whole product
+/// into one flat sparse matrix — the "Basic sparse" ablation of Fig. 4b.
+std::unique_ptr<Plan> MakeHbStripedKronPlan(bool materialize_full = false);
 
 struct DawaStripedOptions {
   double partition_frac = 0.25;  // rho, as in the paper (0.25)
@@ -37,6 +42,15 @@ struct DawaStripedOptions {
 };
 
 /// #14 DAWA-Striped: PS TP[ PD TR SG LM ] LS.
+std::unique_ptr<Plan> MakeDawaStripedPlan(
+    const DawaStripedOptions& opts = {});
+
+// Deprecated shims (see plans.h).
+StatusOr<Vec> RunHbStripedPlan(const PlanContext& ctx,
+                               std::size_t stripe_dim);
+StatusOr<Vec> RunHbStripedKronPlan(const PlanContext& ctx,
+                                   std::size_t stripe_dim,
+                                   bool materialize_full = false);
 StatusOr<Vec> RunDawaStripedPlan(const PlanContext& ctx,
                                  std::size_t stripe_dim,
                                  const DawaStripedOptions& opts = {});

@@ -1,0 +1,202 @@
+// Budget composition through the typed client API: nested BudgetScope
+// splits sum to the parent, scope-level exhaustion fires before the
+// kernel, parallel composition across VSplitByPartition children via
+// typed handles, and transcript entries carry the scope-effective eps.
+#include <cmath>
+
+#include "data/generators.h"
+#include "gtest/gtest.h"
+#include "kernel/budget.h"
+#include "kernel/handles.h"
+#include "matrix/implicit_ops.h"
+
+namespace ektelo {
+namespace {
+
+Table UniformTable(std::size_t domain, std::size_t per_cell) {
+  Table t(Schema({{"v", domain}}));
+  for (std::size_t i = 0; i < domain; ++i)
+    for (std::size_t c = 0; c < per_cell; ++c)
+      t.AppendRow({static_cast<uint32_t>(i)});
+  return t;
+}
+
+TEST(BudgetScopeTest, SplitSharesSumToParent) {
+  BudgetScope scope(1.0);
+  auto parts = scope.Split({0.25, 0.75});
+  ASSERT_TRUE(parts.ok());
+  ASSERT_EQ(parts->size(), 2u);
+  EXPECT_DOUBLE_EQ((*parts)[0].total(), 0.25);
+  EXPECT_DOUBLE_EQ((*parts)[1].total(), 0.75);
+  EXPECT_DOUBLE_EQ((*parts)[0].total() + (*parts)[1].total(), 1.0);
+  // A fully split scope has reserved everything.
+  EXPECT_DOUBLE_EQ(scope.remaining(), 0.0);
+}
+
+TEST(BudgetScopeTest, NestedSplitsSumToParent) {
+  BudgetScope scope(0.8);
+  auto outer = scope.Split({0.5, 0.5});
+  ASSERT_TRUE(outer.ok());
+  auto inner = (*outer)[1].Split({0.3, 0.7});
+  ASSERT_TRUE(inner.ok());
+  // Inner children sum to exactly the parent's allowance, even with
+  // fractions that do not divide evenly in binary.
+  EXPECT_DOUBLE_EQ((*inner)[0].total() + (*inner)[1].total(),
+                   (*outer)[1].total());
+  EXPECT_DOUBLE_EQ((*outer)[1].remaining(), 0.0);
+}
+
+TEST(BudgetScopeTest, PartialSplitLeavesRemainder) {
+  BudgetScope scope(1.0);
+  auto parts = scope.Split({0.25});
+  ASSERT_TRUE(parts.ok());
+  EXPECT_DOUBLE_EQ((*parts)[0].total(), 0.25);
+  EXPECT_DOUBLE_EQ(scope.remaining(), 0.75);
+}
+
+TEST(BudgetScopeTest, InvalidSplitsRejected) {
+  BudgetScope scope(1.0);
+  EXPECT_FALSE(scope.Split({}).ok());
+  EXPECT_FALSE(scope.Split({-0.1, 0.5}).ok());
+  EXPECT_FALSE(scope.Split({0.7, 0.7}).ok());
+  // Nothing was reserved by the failed attempts.
+  EXPECT_DOUBLE_EQ(scope.remaining(), 1.0);
+}
+
+TEST(BudgetScopeTest, ChargeInExactPiecesSpendsExactly) {
+  BudgetScope scope(1.0);
+  for (int i = 0; i < 16; ++i)
+    ASSERT_TRUE(scope.Charge(1.0 / 16.0).ok()) << i;
+  EXPECT_TRUE(scope.exhausted());
+  EXPECT_FALSE(scope.Charge(0.01).ok());
+  EXPECT_GE(scope.remaining(), 0.0);
+}
+
+TEST(BudgetScopeTest, ScopeExhaustionFiresBeforeKernel) {
+  // The kernel has plenty of budget; the plan's scope does not.  The
+  // refusal must be scope-local: no kernel charge, no transcript entry.
+  ProtectedKernel kernel(UniformTable(8, 2), 1.0, 1);
+  ProtectedTable root = ProtectedTable::Root(&kernel);
+  auto x = root.Vectorize();
+  ASSERT_TRUE(x.ok());
+  BudgetScope scope(0.2);
+  auto denied = x->Laplace(*MakeIdentityOp(8), 0.3, scope);
+  ASSERT_FALSE(denied.ok());
+  EXPECT_EQ(denied.status().code(), StatusCode::kBudgetExhausted);
+  EXPECT_DOUBLE_EQ(kernel.BudgetConsumed(), 0.0);
+  EXPECT_TRUE(kernel.transcript().empty());
+  // The scope itself is untouched by the refused request.
+  EXPECT_DOUBLE_EQ(scope.remaining(), 0.2);
+}
+
+TEST(BudgetScopeTest, KernelRefusalRefundsScope) {
+  // A scope sized beyond the kernel's real budget: the kernel's verdict
+  // wins and the scope charge is rolled back.
+  ProtectedKernel kernel(UniformTable(4, 1), 0.1, 2);
+  ProtectedTable root = ProtectedTable::Root(&kernel);
+  auto x = root.Vectorize();
+  ASSERT_TRUE(x.ok());
+  BudgetScope scope(1.0);
+  auto denied = x->Laplace(*MakeTotalOp(4), 0.5, scope);
+  ASSERT_FALSE(denied.ok());
+  EXPECT_EQ(denied.status().code(), StatusCode::kBudgetExhausted);
+  EXPECT_DOUBLE_EQ(scope.spent(), 0.0);
+}
+
+TEST(BudgetScopeTest, ParallelCompositionAcrossSplitChildren) {
+  // VSplitByPartition children measured under SplitParallel sub-scopes:
+  // every child may spend the full reserved allowance, and the kernel
+  // root is charged the max, not the sum.
+  ProtectedKernel kernel(UniformTable(8, 3), 1.0, 3);
+  ProtectedTable root = ProtectedTable::Root(&kernel);
+  auto x = root.Vectorize();
+  ASSERT_TRUE(x.ok());
+  auto children = x->SplitByPartition(Partition::FromIntervals({0, 4}, 8));
+  ASSERT_TRUE(children.ok());
+  ASSERT_EQ(children->size(), 2u);
+
+  BudgetScope scope(1.0);
+  auto branch = scope.Split({0.4, 0.6});
+  ASSERT_TRUE(branch.ok());
+  auto child_scopes = (*branch)[0].SplitParallel(children->size());
+  ASSERT_TRUE(child_scopes.ok());
+  for (std::size_t c = 0; c < children->size(); ++c) {
+    auto y = (*children)[c].Laplace(*MakeIdentityOp(4), 0.4,
+                                    (*child_scopes)[c]);
+    ASSERT_TRUE(y.ok()) << c;
+  }
+  // Parallel composition: both children spent 0.4, the root saw 0.4.
+  EXPECT_NEAR(kernel.BudgetConsumed(), 0.4, 1e-12);
+  // The reserved branch is spent regardless; the sibling branch is
+  // untouched and still spendable.
+  auto y = x->Laplace(*MakeIdentityOp(8), 0.6, (*branch)[1]);
+  ASSERT_TRUE(y.ok());
+  EXPECT_NEAR(kernel.BudgetConsumed(), 1.0, 1e-9);
+}
+
+TEST(BudgetScopeTest, TranscriptCarriesScopeEffectiveEps) {
+  // Nested splits 1.0 -> {0.25, 0.75} -> second into {0.5, 0.5}: each
+  // measurement must appear in the public transcript with exactly the eps
+  // its scope derived (0.25, 0.375, 0.375), summing to the root total.
+  ProtectedKernel kernel(UniformTable(8, 2), 1.0, 4);
+  ProtectedTable root = ProtectedTable::Root(&kernel);
+  auto x = root.Vectorize();
+  ASSERT_TRUE(x.ok());
+
+  BudgetScope scope(kernel.BudgetRemaining());
+  auto outer = scope.Split({0.25, 0.75});
+  ASSERT_TRUE(outer.ok());
+  auto inner = (*outer)[1].Split({0.5, 0.5});
+  ASSERT_TRUE(inner.ok());
+
+  BudgetScope* stages[3] = {&(*outer)[0], &(*inner)[0], &(*inner)[1]};
+  const double expected_eps[3] = {0.25, 0.375, 0.375};
+  for (int s = 0; s < 3; ++s) {
+    auto y = x->Laplace(*MakeTotalOp(8), stages[s]->remaining(), *stages[s]);
+    ASSERT_TRUE(y.ok()) << s;
+  }
+  ASSERT_EQ(kernel.transcript().size(), 3u);
+  for (int s = 0; s < 3; ++s) {
+    EXPECT_DOUBLE_EQ(kernel.transcript()[s].eps, expected_eps[s]) << s;
+    EXPECT_TRUE(stages[s]->exhausted()) << s;
+  }
+  EXPECT_NEAR(kernel.BudgetConsumed(), 1.0, 1e-9);
+}
+
+TEST(BudgetScopeTest, TypedWrapRejectsKindMismatch) {
+  ProtectedKernel kernel(UniformTable(4, 1), 1.0, 5);
+  auto bad_vec = ProtectedVector::Wrap(&kernel, kernel.root());
+  EXPECT_FALSE(bad_vec.ok());
+  ProtectedTable root = ProtectedTable::Root(&kernel);
+  auto x = root.Vectorize();
+  ASSERT_TRUE(x.ok());
+  EXPECT_EQ(x->size(), 4u);
+  auto bad_table = ProtectedTable::Wrap(&kernel, x->id());
+  EXPECT_FALSE(bad_table.ok());
+}
+
+TEST(BudgetScopeTest, TableHandleChainMirrorsKernelOps) {
+  Rng rng(6);
+  Table t(Schema({{"a", 4}, {"b", 2}}));
+  for (int i = 0; i < 64; ++i)
+    t.AppendRow({static_cast<uint32_t>(rng.UniformInt(0, 3)),
+                 static_cast<uint32_t>(rng.UniformInt(0, 1))});
+  ProtectedKernel kernel(t, 1.0, 6);
+  ProtectedTable root = ProtectedTable::Root(&kernel);
+  auto filtered = root.Where(Predicate::True().And("b", CmpOp::kEq, 1));
+  ASSERT_TRUE(filtered.ok());
+  auto selected = filtered->Select({"a"});
+  ASSERT_TRUE(selected.ok());
+  EXPECT_EQ(selected->schema().TotalDomainSize(), 4u);
+  auto x = selected->Vectorize();
+  ASSERT_TRUE(x.ok());
+  EXPECT_EQ(x->size(), 4u);
+  BudgetScope scope(1.0);
+  auto count = filtered->NoisyCount(0.5, scope);
+  ASSERT_TRUE(count.ok());
+  EXPECT_NEAR(scope.spent(), 0.5, 1e-12);
+  EXPECT_NEAR(kernel.BudgetConsumed(), 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace ektelo

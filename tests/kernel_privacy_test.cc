@@ -143,6 +143,24 @@ TEST(KernelPrivacyTest, WorstApproxRefusedWhenBroke) {
   EXPECT_EQ(denied.status().code(), StatusCode::kBudgetExhausted);
 }
 
+TEST(KernelPrivacyTest, BudgetRemainingClampedAtExactlySpentBudget) {
+  // 3 x 0.1 FP-accumulates to slightly more than 0.3 (admitted under the
+  // tracker's relative slack), which used to make BudgetRemaining() return
+  // a tiny negative value.  At exactly-spent budget the remainder must
+  // read 0 and a real follow-up request must be refused.
+  ProtectedKernel k(UniformTable(4, 1), 0.3, 14);
+  auto x = k.TVectorize(k.root());
+  for (int i = 0; i < 3; ++i)
+    ASSERT_TRUE(k.VectorLaplace(*x, *MakeTotalOp(4), 0.1).ok()) << i;
+  EXPECT_GE(k.BudgetRemaining(), 0.0);
+  EXPECT_LT(k.BudgetRemaining(), 1e-12);
+  auto denied = k.VectorLaplace(*x, *MakeTotalOp(4), 0.05);
+  ASSERT_FALSE(denied.ok());
+  EXPECT_EQ(denied.status().code(), StatusCode::kBudgetExhausted);
+  // The refusal did not disturb the clamp.
+  EXPECT_GE(k.BudgetRemaining(), 0.0);
+}
+
 TEST(KernelPrivacyTest, ManySmallRequestsEqualOneBig) {
   // 100 x eps/100 charges exactly eps (no drift that could be exploited).
   ProtectedKernel k(UniformTable(4, 1), 1.0, 10);

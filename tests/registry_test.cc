@@ -1,0 +1,207 @@
+// PlanRegistry catalog tests: every Fig. 2 catalog plan is registered,
+// executable by name through Plan::Execute(ProtectedVector, BudgetScope),
+// and — driven from the registry, not a hand-maintained list — produces
+// output identical (same seed) to its legacy Run*Plan shim.
+#include <functional>
+#include <map>
+#include <string>
+
+#include "data/generators.h"
+#include "gtest/gtest.h"
+#include "plans/grid_plans.h"
+#include "plans/plans.h"
+#include "plans/registry.h"
+#include "plans/striped_plans.h"
+#include "workload/workloads.h"
+
+namespace ektelo {
+namespace {
+
+struct Env {
+  ProtectedKernel kernel;
+  PlanContext ctx;
+
+  Env(const Vec& hist, std::vector<std::size_t> dims, double eps,
+      uint64_t seed, Rng* client_rng)
+      : kernel(TableFromHistogram(hist, "v"), eps, seed) {
+    auto x = kernel.TVectorize(kernel.root());
+    EXPECT_TRUE(x.ok());
+    ctx.kernel = &kernel;
+    ctx.x = *x;
+    ctx.dims = std::move(dims);
+    ctx.eps = eps;
+    ctx.rng = client_rng;
+  }
+};
+
+TEST(RegistryTest, CatalogContainsAllFig2Plans) {
+  auto& registry = PlanRegistry::Global();
+  for (const char* name :
+       {"Identity", "Privelet", "H2", "HB", "Greedy-H", "Uniform", "MWEM",
+        "MWEM variant b", "MWEM variant c", "MWEM variant d", "AHP", "DAWA",
+        "HDMM", "Workload", "WorkloadLS", "QuadTree", "UniformGrid",
+        "AdaptiveGrid", "DAWA-Striped", "HB-Striped", "HB-Striped_kron"}) {
+    const Plan* plan = registry.Find(name);
+    ASSERT_NE(plan, nullptr) << name;
+    EXPECT_EQ(plan->name(), name);
+    EXPECT_FALSE(plan->signature().empty()) << name;
+  }
+  EXPECT_EQ(registry.Find("NoSuchPlan"), nullptr);
+}
+
+TEST(RegistryTest, DuplicateRegistrationRejected) {
+  auto& registry = PlanRegistry::Global();
+  Status st = registry.Register(MakeIdentityPlan());
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RegistryTest, EveryCatalogPlanMatchesItsLegacyShim) {
+  Rng rng(42);
+  const double eps = 0.5;
+
+  // 1D environment.
+  const std::size_t n = 256;
+  Vec hist1d = MakeHistogram1D(Shape1D::kGaussianMix, n, 2e4, &rng);
+  auto ranges = RandomRanges(60, n, 64, &rng);
+  LinOpPtr w_op = RangeQueryOp(ranges, n);
+  const double total = Sum(hist1d);
+
+  // 2D environment.
+  const std::size_t side = 16;
+  Vec hist2d = MakeHistogram2D(side, side, 2e4, &rng);
+
+  // Multi-dim (striped) environment.
+  const std::vector<std::size_t> dims3 = {32, 4, 2};
+  Vec hist3 = MakeHistogram1D(Shape1D::kStep, 32 * 8, 2e4, &rng);
+
+  // The legacy shim for each catalog plan.  Every registered plan must
+  // have an entry: a plan added without equivalence coverage fails below.
+  using Shim = std::function<StatusOr<Vec>(const PlanContext&)>;
+  const std::map<std::string, Shim> shims = {
+      {"Identity", [](const PlanContext& c) { return RunIdentityPlan(c); }},
+      {"Privelet", [](const PlanContext& c) { return RunPriveletPlan(c); }},
+      {"H2", [](const PlanContext& c) { return RunH2Plan(c); }},
+      {"HB", [](const PlanContext& c) { return RunHbPlan(c); }},
+      {"Greedy-H",
+       [&](const PlanContext& c) { return RunGreedyHPlan(c, ranges); }},
+      {"Uniform", [](const PlanContext& c) { return RunUniformPlan(c); }},
+      {"MWEM",
+       [&](const PlanContext& c) {
+         return RunMwemPlan(c, ranges, {.known_total = total});
+       }},
+      {"MWEM variant b",
+       [&](const PlanContext& c) {
+         return RunMwemPlan(c, ranges,
+                            {.augment_h2 = true, .known_total = total});
+       }},
+      {"MWEM variant c",
+       [&](const PlanContext& c) {
+         return RunMwemPlan(c, ranges,
+                            {.nnls_inference = true, .known_total = total});
+       }},
+      {"MWEM variant d",
+       [&](const PlanContext& c) {
+         return RunMwemPlan(c, ranges,
+                            {.augment_h2 = true, .nnls_inference = true,
+                             .known_total = total});
+       }},
+      {"AHP", [](const PlanContext& c) { return RunAhpPlan(c); }},
+      {"DAWA",
+       [&](const PlanContext& c) { return RunDawaPlan(c, ranges); }},
+      {"HDMM",
+       [&](const PlanContext& c) { return RunHdmmPlan(c, {w_op}); }},
+      {"Workload",
+       [&](const PlanContext& c) { return RunWorkloadPlan(c, w_op, false); }},
+      {"WorkloadLS",
+       [&](const PlanContext& c) { return RunWorkloadPlan(c, w_op, true); }},
+      {"QuadTree", [](const PlanContext& c) { return RunQuadtreePlan(c); }},
+      {"UniformGrid",
+       [](const PlanContext& c) { return RunUniformGridPlan(c); }},
+      {"AdaptiveGrid",
+       [](const PlanContext& c) { return RunAdaptiveGridPlan(c); }},
+      {"DAWA-Striped",
+       [](const PlanContext& c) { return RunDawaStripedPlan(c, 0); }},
+      {"HB-Striped",
+       [](const PlanContext& c) { return RunHbStripedPlan(c, 0); }},
+      {"HB-Striped_kron",
+       [](const PlanContext& c) { return RunHbStripedKronPlan(c, 0); }},
+  };
+
+  uint64_t seed = 9000;
+  for (const Plan* plan : PlanRegistry::Global().Catalog()) {
+    SCOPED_TRACE(plan->name());
+    ASSERT_TRUE(shims.count(plan->name()))
+        << "registered plan has no equivalence shim: " << plan->name();
+    const Vec* hist = &hist1d;
+    std::vector<std::size_t> dims = {n};
+    switch (plan->domain()) {
+      case DomainKind::k1D:
+        break;
+      case DomainKind::k2D:
+        hist = &hist2d;
+        dims = {side, side};
+        break;
+      case DomainKind::kMultiDim:
+        hist = &hist3;
+        dims = dims3;
+        break;
+    }
+    ++seed;
+
+    // Registry route: typed handle + scope + PlanInput.
+    Env env_new(*hist, dims, eps, seed, &rng);
+    ProtectedVector x(&env_new.kernel, env_new.ctx.x);
+    BudgetScope scope(eps);
+    PlanInput in;
+    in.dims = dims;
+    in.rng = &rng;
+    in.ranges = ranges;
+    in.workload = w_op;
+    in.workload_factors = {w_op};
+    in.known_total = total;
+    in.stripe_dim = 0;
+    StatusOr<Vec> via_registry = plan->Execute(x, scope, in);
+    ASSERT_TRUE(via_registry.ok()) << via_registry.status().ToString();
+
+    // Legacy route: same kernel seed, the deprecated Run*Plan shim.
+    Env env_old(*hist, dims, eps, seed, &rng);
+    StatusOr<Vec> via_shim = shims.at(plan->name())(env_old.ctx);
+    ASSERT_TRUE(via_shim.ok()) << via_shim.status().ToString();
+
+    // Same seed => identical kernel noise => identical output, and both
+    // routes spend identical budget.
+    ASSERT_EQ(via_registry->size(), via_shim->size());
+    for (std::size_t i = 0; i < via_registry->size(); ++i)
+      ASSERT_DOUBLE_EQ((*via_registry)[i], (*via_shim)[i]) << i;
+    EXPECT_DOUBLE_EQ(env_new.kernel.BudgetConsumed(),
+                     env_old.kernel.BudgetConsumed());
+    // All catalog plans spend at most eps; AdaptiveGrid may spend less
+    // when sparse blocks skip their level-2 refinement.
+    EXPECT_LE(env_new.kernel.BudgetConsumed(), eps + 1e-9);
+    EXPECT_GT(env_new.kernel.BudgetConsumed(), 0.0);
+  }
+}
+
+TEST(RegistryTest, ExecuteByNameRejectsShapeMismatch) {
+  Rng rng(43);
+  Vec hist(32, 2.0);
+  Env env(hist, {32}, 1.0, 77, &rng);
+  ProtectedVector x(&env.kernel, env.ctx.x);
+  const Plan* quadtree = PlanRegistry::Global().Find("QuadTree");
+  ASSERT_NE(quadtree, nullptr);
+  BudgetScope scope(1.0);
+  PlanInput in;
+  in.dims = {32};  // 1D shape for a 2D plan
+  EXPECT_FALSE(quadtree->Execute(x, scope, in).ok());
+  // dims that do not multiply out to the vector size are rejected too.
+  const Plan* identity = PlanRegistry::Global().Find("Identity");
+  PlanInput bad;
+  bad.dims = {16};
+  EXPECT_FALSE(identity->Execute(x, scope, bad).ok());
+  // And nothing was charged by the refused executions.
+  EXPECT_DOUBLE_EQ(env.kernel.BudgetConsumed(), 0.0);
+}
+
+}  // namespace
+}  // namespace ektelo
