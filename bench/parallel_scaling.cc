@@ -1,0 +1,159 @@
+// Parallel scaling of the deterministic execution engine.
+//
+// Runs a subset of the Fig. 2 catalog (the embarrassingly parallel
+// SplitParallel plans plus representative dense solves) and the blocked
+// materialization fallback at 1/2/4/8 threads, reporting wall time and
+// speedup over the single-worker run.  Because every parallel path is
+// bitwise-identical to serial, the output vectors double as a correctness
+// check here: any cross-thread-count mismatch fails the run.
+//
+// Writes BENCH_parallel_scaling.json: one record per (workload, threads)
+// with seconds and speedup, so CI tracks the scaling trajectory per
+// commit.  Note speedups are hardware-relative — on a single-core
+// container every configuration degenerates to ~1x; the interesting
+// numbers come from multi-core runners.
+#include <cstring>
+
+#include "bench_util.h"
+#include "util/thread_pool.h"
+
+using namespace ektelo;
+using namespace ektelo::bench;
+
+namespace {
+
+/// Hides structured materialization so the generic blocked identity-panel
+/// fallback (the parallelized path) is what gets measured.
+class OpaqueOp final : public LinOp {
+ public:
+  explicit OpaqueOp(LinOpPtr inner)
+      : LinOp(inner->rows(), inner->cols()), inner_(std::move(inner)) {}
+  void ApplyRaw(const double* x, double* y) const override {
+    inner_->ApplyRaw(x, y);
+  }
+  void ApplyTRaw(const double* x, double* y) const override {
+    inner_->ApplyTRaw(x, y);
+  }
+  void ApplyBlockRaw(const double* x, double* y,
+                     std::size_t k) const override {
+    inner_->ApplyBlockRaw(x, y, k);
+  }
+  void ApplyTBlockRaw(const double* x, double* y,
+                      std::size_t k) const override {
+    inner_->ApplyTBlockRaw(x, y, k);
+  }
+  std::string DebugName() const override { return "Opaque"; }
+
+ private:
+  LinOpPtr inner_;
+};
+
+struct Workload {
+  std::string name;
+  std::function<Vec()> run;  // returns a result vector for cross-checks
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  const double eps = 0.5;
+  Rng rng(2);
+
+  // Environments sized so each run takes a measurable fraction of a
+  // second at one thread.
+  const std::size_t n1 = quick ? 1024 : 4096;
+  Vec hist1d = MakeHistogram1D(Shape1D::kGaussianMix, n1, 1e5, &rng);
+  auto ranges = RandomRanges(quick ? 50 : 200, n1, 256, &rng);
+
+  const std::size_t side = quick ? 32 : 64;
+  Vec hist2d = MakeHistogram2D(side, side, 1e5, &rng);
+
+  const std::size_t stripe = quick ? 128 : 512;
+  const std::vector<std::size_t> dims3 = {stripe, 4, 4};
+  Vec hist3 = MakeHistogram1D(Shape1D::kStep, stripe * 16, 1e5, &rng);
+
+  auto run_plan = [&](const char* plan_name, const Vec& hist,
+                      std::vector<std::size_t> dims,
+                      std::size_t stripe_dim) -> Vec {
+    const Plan& plan = PlanRegistry::Global().MustFind(plan_name);
+    ProtectedKernel kernel(TableFromHistogram(hist, "v"), eps, 7001);
+    ProtectedTable root = ProtectedTable::Root(&kernel);
+    auto x = root.Vectorize();
+    EK_CHECK(x.ok());
+    BudgetScope scope(eps);
+    PlanInput in;
+    in.dims = std::move(dims);
+    in.ranges = ranges;
+    in.known_total = Sum(hist);
+    in.stripe_dim = stripe_dim;
+    auto xhat = plan.Execute(*x, scope, in);
+    EK_CHECK(xhat.ok());
+    return std::move(*xhat);
+  };
+
+  std::vector<Workload> workloads;
+  workloads.push_back(
+      {"HB-Striped", [&] { return run_plan("HB-Striped", hist3, dims3, 0); }});
+  workloads.push_back({"DAWA-Striped", [&] {
+                         return run_plan("DAWA-Striped", hist3, dims3, 0);
+                       }});
+  workloads.push_back({"AdaptiveGrid", [&] {
+                         return run_plan("AdaptiveGrid", hist2d,
+                                         {side, side}, 0);
+                       }});
+  workloads.push_back({"Identity", [&] {
+                         return run_plan("Identity", hist1d, {n1}, 0);
+                       }});
+  // The blocked identity-panel materialization fallback: the engine's
+  // flagship data-parallel kernel (panels shard across the pool).
+  workloads.push_back({"materialize_fallback", [&] {
+                         auto op = std::make_shared<OpaqueOp>(
+                             MakeKronecker(MakePrefixOp(quick ? 128 : 256),
+                                           MakeWaveletOp(16)));
+                         CsrMatrix m = op->MaterializeSparse();
+                         return Vec{static_cast<double>(m.nnz())};
+                       }});
+
+  JsonRecords json;
+  std::printf("Parallel scaling (speedup vs 1 thread; %zu hw threads)\n\n",
+              static_cast<std::size_t>(std::thread::hardware_concurrency()));
+  std::printf("%-22s %8s %10s %9s\n", "workload", "threads", "secs",
+              "speedup");
+
+  for (const Workload& w : workloads) {
+    double base_secs = 0.0;
+    Vec base_result;
+    for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+      ThreadPool::Global().Resize(threads);
+      WallTimer timer;
+      Vec result = w.run();
+      const double secs = timer.Elapsed();
+      if (threads == 1) {
+        base_secs = secs;
+        base_result = result;
+      } else if (result != base_result) {
+        // Bitwise determinism is part of the contract being benchmarked.
+        std::printf("FATAL: %s result differs at %zu threads\n",
+                    w.name.c_str(), threads);
+        return 1;
+      }
+      const double speedup = secs > 0.0 ? base_secs / secs : 0.0;
+      std::printf("%-22s %8zu %10.4f %8.2fx\n", w.name.c_str(), threads,
+                  secs, speedup);
+      json.StartRecord();
+      json.Field("workload", w.name);
+      json.Field("threads", static_cast<double>(threads));
+      json.Field("seconds", secs);
+      json.Field("speedup", speedup);
+    }
+  }
+  ThreadPool::Global().Resize(ThreadPool::DefaultThreadCount());
+
+  if (!json.WriteFile("BENCH_parallel_scaling.json")) {
+    std::printf("failed to write BENCH_parallel_scaling.json\n");
+    return 1;
+  }
+  std::printf("\nwrote BENCH_parallel_scaling.json\n");
+  return 0;
+}

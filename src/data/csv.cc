@@ -8,18 +8,52 @@ namespace ektelo {
 
 namespace {
 
-std::vector<std::string> SplitCsvLine(const std::string& line) {
+/// RFC 4180 field splitting: fields are comma-separated; a field that
+/// starts with a double quote runs to the matching closing quote and may
+/// contain literal commas, with "" inside quotes encoding one quote
+/// character.  Malformed quoting (unterminated field, trailing garbage
+/// after a closing quote) is an error rather than a silent guess.
+StatusOr<std::vector<std::string>> SplitCsvLine(const std::string& line) {
   std::vector<std::string> fields;
   std::string cur;
-  for (char ch : line) {
-    if (ch == ',') {
-      fields.push_back(cur);
-      cur.clear();
-    } else if (ch != '\r') {
-      cur.push_back(ch);
+  std::size_t i = 0;
+  const std::size_t n = line.size();
+  for (;;) {
+    cur.clear();
+    if (i < n && line[i] == '"') {
+      // Quoted field: consume up to the closing quote.
+      ++i;
+      bool closed = false;
+      while (i < n) {
+        if (line[i] == '"') {
+          if (i + 1 < n && line[i + 1] == '"') {  // escaped quote
+            cur.push_back('"');
+            i += 2;
+            continue;
+          }
+          ++i;
+          closed = true;
+          break;
+        }
+        cur.push_back(line[i]);
+        ++i;
+      }
+      if (!closed)
+        return Status::InvalidArgument("unterminated quoted CSV field");
+      while (i < n && line[i] == '\r') ++i;
+      if (i < n && line[i] != ',')
+        return Status::InvalidArgument(
+            "unexpected character after closing quote in CSV field");
+    } else {
+      while (i < n && line[i] != ',') {
+        if (line[i] != '\r') cur.push_back(line[i]);
+        ++i;
+      }
     }
+    fields.push_back(cur);
+    if (i >= n) break;
+    ++i;  // skip the comma
   }
-  fields.push_back(cur);
   return fields;
 }
 
@@ -28,6 +62,22 @@ std::string Trim(const std::string& s) {
   if (b == std::string::npos) return "";
   std::size_t e = s.find_last_not_of(" \t");
   return s.substr(b, e - b + 1);
+}
+
+/// Quote a header cell when it needs it (embedded comma, quote or CR/LF).
+/// Surrounding whitespace is NOT protected: the reader trims every header
+/// cell after unquoting, so names with leading/trailing spaces cannot
+/// round-trip regardless.
+std::string CsvQuote(const std::string& s) {
+  const bool needs = s.find_first_of(",\"\r\n") != std::string::npos;
+  if (!needs) return s;
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"') out.push_back('"');
+    out.push_back(ch);
+  }
+  out.push_back('"');
+  return out;
 }
 
 }  // namespace
@@ -40,7 +90,7 @@ StatusOr<Table> TableFromCsv(const std::string& csv_text,
     return Status::InvalidArgument("empty CSV input");
 
   // Header: map each column position to an attribute index.
-  std::vector<std::string> header = SplitCsvLine(line);
+  EK_ASSIGN_OR_RETURN(std::vector<std::string> header, SplitCsvLine(line));
   std::vector<std::size_t> attr_of_col;
   std::vector<bool> seen(schema.num_attrs(), false);
   for (const auto& raw : header) {
@@ -65,15 +115,26 @@ StatusOr<Table> TableFromCsv(const std::string& csv_text,
   while (std::getline(in, line)) {
     ++line_no;
     if (Trim(line).empty()) continue;
-    std::vector<std::string> fields = SplitCsvLine(line);
+    StatusOr<std::vector<std::string>> split = SplitCsvLine(line);
+    if (!split.ok())
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": " + split.status().message());
+    const std::vector<std::string>& fields = *split;
     if (fields.size() != attr_of_col.size())
       return Status::InvalidArgument("line " + std::to_string(line_no) +
                                      ": wrong field count");
     for (std::size_t c = 0; c < fields.size(); ++c) {
       const std::string f = Trim(fields[c]);
+      // strtoul happily parses a leading sign ("-1" wraps to ULONG_MAX and
+      // surfaces as a baffling out-of-domain error — or sneaks through on
+      // a huge domain), so reject signed input explicitly.
+      if (f.empty() || f[0] == '-' || f[0] == '+')
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": bad code '" + f +
+                                       "' (codes are unsigned integers)");
       char* end = nullptr;
       const unsigned long code = std::strtoul(f.c_str(), &end, 10);
-      if (f.empty() || end == nullptr || *end != '\0')
+      if (end == nullptr || *end != '\0')
         return Status::InvalidArgument("line " + std::to_string(line_no) +
                                        ": bad code '" + f + "'");
       const std::size_t a = attr_of_col[c];
@@ -101,7 +162,7 @@ std::string TableToCsv(const Table& table) {
   const Schema& schema = table.schema();
   for (std::size_t a = 0; a < schema.num_attrs(); ++a) {
     if (a) out << ',';
-    out << schema.attr(a).name;
+    out << CsvQuote(schema.attr(a).name);
   }
   out << '\n';
   for (std::size_t r = 0; r < table.NumRows(); ++r) {

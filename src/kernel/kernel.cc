@@ -11,44 +11,80 @@ namespace {
 // Relative slack for floating-point budget comparisons: a plan that spends
 // exactly eps_total in k pieces must not be rejected for rounding error.
 constexpr double kBudgetSlack = 1e-9;
+
+// Domain-separation salt between "seed used for this source's own noise
+// draws" and "seed used to derive children": a source that both answers
+// measurements and spawns children must not correlate the two.
+constexpr uint64_t kNoiseSalt = 0xD1B54A32D192ED03ull;
+
+uint64_t NoiseSeed(uint64_t stream_seed) {
+  return SplitMix64(stream_seed ^ kNoiseSalt);
+}
+
+uint64_t ChildSeed(uint64_t parent_seed, uint64_t child_index) {
+  // SplitMix64 over the golden-ratio-strided (parent, index) pair — the
+  // keyed-fork derivation of Rng::Fork(key), inlined on raw seeds so a
+  // child's lineage seed is a pure function of the path from the root.
+  return SplitMix64(parent_seed +
+                    0x9E3779B97F4A7C15ull * (child_index + 1));
+}
 }  // namespace
 
 ProtectedKernel::ProtectedKernel(Table table, double eps_total, uint64_t seed)
-    : eps_total_(eps_total), rng_(seed) {
+    : eps_total_(eps_total) {
   EK_CHECK_GT(eps_total, 0.0);
   Node root;
   root.is_table = true;
   root.table = std::move(table);
   root.stability = 1.0;
-  AddNode(std::move(root));
+  root.stream_seed = SplitMix64(seed);
+  root.stream = std::make_unique<NoiseStream>(NoiseSeed(root.stream_seed));
+  nodes_.push_back(std::move(root));
 }
 
-SourceId ProtectedKernel::AddNode(Node n) {
+SourceId ProtectedKernel::AddChild(SourceId parent, Node n) {
+  Node& p = nodes_[parent];
+  n.parent = parent;
+  n.stream_seed = ChildSeed(p.stream_seed, p.child_seq++);
+  n.stream = std::make_unique<NoiseStream>(NoiseSeed(n.stream_seed));
   nodes_.push_back(std::move(n));
   return nodes_.size() - 1;
 }
 
-bool ProtectedKernel::IsTableSource(SourceId id) const {
+bool ProtectedKernel::IsTableSourceLocked(SourceId id) const {
   EK_CHECK_LT(id, nodes_.size());
   return nodes_[id].is_table && !nodes_[id].is_partition_dummy;
 }
 
-bool ProtectedKernel::IsVectorSource(SourceId id) const {
+bool ProtectedKernel::IsVectorSourceLocked(SourceId id) const {
   EK_CHECK_LT(id, nodes_.size());
   return !nodes_[id].is_table && !nodes_[id].is_partition_dummy;
 }
 
+bool ProtectedKernel::IsTableSource(SourceId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return IsTableSourceLocked(id);
+}
+
+bool ProtectedKernel::IsVectorSource(SourceId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return IsVectorSourceLocked(id);
+}
+
 const Schema& ProtectedKernel::SourceSchema(SourceId id) const {
-  EK_CHECK(IsTableSource(id));
+  std::lock_guard<std::mutex> lock(mu_);
+  EK_CHECK(IsTableSourceLocked(id));
   return nodes_[id].table->schema();
 }
 
 std::size_t ProtectedKernel::VectorSize(SourceId id) const {
-  EK_CHECK(IsVectorSource(id));
+  std::lock_guard<std::mutex> lock(mu_);
+  EK_CHECK(IsVectorSourceLocked(id));
   return nodes_[id].vector.size();
 }
 
 double ProtectedKernel::SourceStability(SourceId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   EK_CHECK_LT(id, nodes_.size());
   return nodes_[id].stability;
 }
@@ -56,7 +92,7 @@ double ProtectedKernel::SourceStability(SourceId id) const {
 Status ProtectedKernel::CheckVector(SourceId id) const {
   if (id >= nodes_.size())
     return Status::NotFound("unknown source id");
-  if (!IsVectorSource(id))
+  if (!IsVectorSourceLocked(id))
     return Status::InvalidArgument("source is not a vector");
   return Status::Ok();
 }
@@ -64,7 +100,7 @@ Status ProtectedKernel::CheckVector(SourceId id) const {
 Status ProtectedKernel::CheckTable(SourceId id) const {
   if (id >= nodes_.size())
     return Status::NotFound("unknown source id");
-  if (!IsTableSource(id))
+  if (!IsTableSourceLocked(id))
     return Status::InvalidArgument("source is not a table");
   return Status::Ok();
 }
@@ -74,7 +110,10 @@ Status ProtectedKernel::CheckTable(SourceId id) const {
 Status ProtectedKernel::Request(SourceId sv, double eps) {
   if (eps < 0.0) return Status::InvalidArgument("negative budget request");
   // RequestImpl only mutates budgets after the root check has passed, so a
-  // failed request leaves all bookkeeping untouched.
+  // failed request leaves all bookkeeping untouched.  The caller holds
+  // mu_ across the whole walk, which is what makes the charge atomic
+  // under concurrency: no other request can interleave between the root
+  // admission check and the downstream budget commits.
   return RequestImpl(sv, eps);
 }
 
@@ -111,106 +150,148 @@ Status ProtectedKernel::RequestImpl(SourceId sv, double eps) {
 
 // ------------------------------------------------ table transformations
 
+// Transformations stage the derived table/vector *outside* the kernel
+// lock: existing nodes are immutable and the deque keeps their references
+// stable, so only the validity check and the final AddChild need mu_.
+
 StatusOr<SourceId> ProtectedKernel::TWhere(SourceId src, const Predicate& p) {
-  EK_RETURN_IF_ERROR(CheckTable(src));
+  const Node* parent = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    EK_RETURN_IF_ERROR(CheckTable(src));
+    parent = &nodes_[src];
+  }
   Node n;
   n.is_table = true;
-  n.parent = src;
   n.stability = 1.0;
-  n.table = nodes_[src].table->Where(p);
-  return AddNode(std::move(n));
+  n.table = parent->table->Where(p);
+  std::lock_guard<std::mutex> lock(mu_);
+  return AddChild(src, std::move(n));
 }
 
 StatusOr<SourceId> ProtectedKernel::TSelect(
     SourceId src, const std::vector<std::string>& attrs) {
-  EK_RETURN_IF_ERROR(CheckTable(src));
-  for (const auto& a : attrs) {
-    if (!nodes_[src].table->schema().HasAttr(a))
-      return Status::InvalidArgument("unknown attribute: " + a);
+  const Node* parent = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    EK_RETURN_IF_ERROR(CheckTable(src));
+    for (const auto& a : attrs) {
+      if (!nodes_[src].table->schema().HasAttr(a))
+        return Status::InvalidArgument("unknown attribute: " + a);
+    }
+    parent = &nodes_[src];
   }
   Node n;
   n.is_table = true;
-  n.parent = src;
   n.stability = 1.0;
-  n.table = nodes_[src].table->Select(attrs);
-  return AddNode(std::move(n));
+  n.table = parent->table->Select(attrs);
+  std::lock_guard<std::mutex> lock(mu_);
+  return AddChild(src, std::move(n));
 }
 
 StatusOr<SourceId> ProtectedKernel::TGroupBy(
     SourceId src, const std::vector<std::string>& attrs) {
-  EK_RETURN_IF_ERROR(CheckTable(src));
+  const Node* parent = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    EK_RETURN_IF_ERROR(CheckTable(src));
+    parent = &nodes_[src];
+  }
   Node n;
   n.is_table = true;
-  n.parent = src;
   n.stability = 2.0;  // PINQ: one record moves at most two groups
-  n.table = nodes_[src].table->GroupBy(attrs);
-  return AddNode(std::move(n));
+  n.table = parent->table->GroupBy(attrs);
+  std::lock_guard<std::mutex> lock(mu_);
+  return AddChild(src, std::move(n));
 }
 
 StatusOr<SourceId> ProtectedKernel::TVectorize(SourceId src) {
-  EK_RETURN_IF_ERROR(CheckTable(src));
+  const Node* parent = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    EK_RETURN_IF_ERROR(CheckTable(src));
+    parent = &nodes_[src];
+  }
   Node n;
   n.is_table = false;
-  n.parent = src;
   n.stability = 1.0;
-  n.vector = nodes_[src].table->Vectorize();
-  return AddNode(std::move(n));
+  n.vector = parent->table->Vectorize();
+  std::lock_guard<std::mutex> lock(mu_);
+  return AddChild(src, std::move(n));
 }
 
 // ----------------------------------------------- vector transformations
 
 StatusOr<SourceId> ProtectedKernel::VReduceByPartition(SourceId src,
                                                        const Partition& p) {
-  EK_RETURN_IF_ERROR(CheckVector(src));
-  if (p.num_cells() != nodes_[src].vector.size())
-    return Status::InvalidArgument("partition size mismatch");
+  const Node* parent = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    EK_RETURN_IF_ERROR(CheckVector(src));
+    if (p.num_cells() != nodes_[src].vector.size())
+      return Status::InvalidArgument("partition size mismatch");
+    parent = &nodes_[src];
+  }
   Node n;
   n.is_table = false;
-  n.parent = src;
   n.stability = 1.0;  // P is 0/1 with exactly one 1 per column
-  n.vector = p.ReduceMatrix().Matvec(nodes_[src].vector);
-  return AddNode(std::move(n));
+  n.vector = p.ReduceMatrix().Matvec(parent->vector);
+  std::lock_guard<std::mutex> lock(mu_);
+  return AddChild(src, std::move(n));
 }
 
 StatusOr<SourceId> ProtectedKernel::VTransform(SourceId src, LinOpPtr m) {
-  EK_RETURN_IF_ERROR(CheckVector(src));
-  if (m->cols() != nodes_[src].vector.size())
-    return Status::InvalidArgument("transform shape mismatch");
+  const Node* parent = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    EK_RETURN_IF_ERROR(CheckVector(src));
+    if (m->cols() != nodes_[src].vector.size())
+      return Status::InvalidArgument("transform shape mismatch");
+    parent = &nodes_[src];
+  }
   Node n;
   n.is_table = false;
-  n.parent = src;
   n.stability = m->SensitivityL1();  // L1->L1 operator norm
-  n.vector = m->Apply(nodes_[src].vector);
-  return AddNode(std::move(n));
+  n.vector = m->Apply(parent->vector);
+  std::lock_guard<std::mutex> lock(mu_);
+  return AddChild(src, std::move(n));
 }
 
 StatusOr<std::vector<SourceId>> ProtectedKernel::VSplitByPartition(
     SourceId src, const Partition& p) {
-  EK_RETURN_IF_ERROR(CheckVector(src));
-  if (p.num_cells() != nodes_[src].vector.size())
-    return Status::InvalidArgument("partition size mismatch");
-  // The dummy partition variable of Sec. 4.4.
-  Node dummy;
-  dummy.is_table = false;
-  dummy.is_partition_dummy = true;
-  dummy.parent = src;
-  dummy.stability = 1.0;
-  SourceId dummy_id = AddNode(std::move(dummy));
-
-  // Copy: AddNode below may reallocate nodes_ and invalidate references.
-  const Vec x = nodes_[src].vector;
+  const Node* parent = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    EK_RETURN_IF_ERROR(CheckVector(src));
+    if (p.num_cells() != nodes_[src].vector.size())
+      return Status::InvalidArgument("partition size mismatch");
+    parent = &nodes_[src];
+  }
+  const Vec& x = parent->vector;
   auto groups = p.Groups();
-  std::vector<SourceId> children;
-  children.reserve(groups.size());
+  std::vector<Node> staged;
+  staged.reserve(groups.size());
   for (const auto& cells : groups) {
     Node child;
     child.is_table = false;
-    child.parent = dummy_id;
     child.stability = 1.0;
     child.vector.reserve(cells.size());
     for (std::size_t c : cells) child.vector.push_back(x[c]);
-    children.push_back(AddNode(std::move(child)));
+    staged.push_back(std::move(child));
   }
+  // One lock for the whole family: the dummy partition variable of
+  // Sec. 4.4 plus all children, so their lineage indices are contiguous
+  // and the split is atomic in the source table.
+  std::lock_guard<std::mutex> lock(mu_);
+  Node dummy;
+  dummy.is_table = false;
+  dummy.is_partition_dummy = true;
+  dummy.stability = 1.0;
+  SourceId dummy_id = AddChild(src, std::move(dummy));
+  std::vector<SourceId> children;
+  children.reserve(staged.size());
+  for (Node& child : staged)
+    children.push_back(AddChild(dummy_id, std::move(child)));
   return children;
 }
 
@@ -218,32 +299,46 @@ StatusOr<std::vector<SourceId>> ProtectedKernel::VSplitByPartition(
 
 StatusOr<Vec> ProtectedKernel::VectorLaplace(SourceId src, const LinOp& m,
                                              double eps) {
-  EK_RETURN_IF_ERROR(CheckVector(src));
   if (eps <= 0.0) return Status::InvalidArgument("eps must be positive");
-  if (m.cols() != nodes_[src].vector.size())
-    return Status::InvalidArgument("measurement shape mismatch");
   // Sensitivity is computed from the query matrix; Algorithm 2 applies the
-  // upstream transformation stabilities on top.
+  // upstream transformation stabilities on top.  Computed before taking
+  // the kernel lock — it can trigger a materialization of m.
   const double sens = m.SensitivityL1();
-  EK_RETURN_IF_ERROR(Request(src, eps));
-  Vec y = m.Apply(nodes_[src].vector);
   const double scale = sens / eps;
-  if (scale > 0.0) {
-    for (double& v : y) v += rng_.Laplace(scale);
+  Node* node = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    EK_RETURN_IF_ERROR(CheckVector(src));
+    if (m.cols() != nodes_[src].vector.size())
+      return Status::InvalidArgument("measurement shape mismatch");
+    EK_RETURN_IF_ERROR(Request(src, eps));
+    transcript_.push_back({src, "VectorLaplace[" + m.DebugName() + "]", eps,
+                           scale});
+    node = &nodes_[src];
   }
-  transcript_.push_back({src, "VectorLaplace[" + m.DebugName() + "]", eps,
-                         scale});
+  // The heavy apply runs unlocked: node data is immutable and the deque
+  // keeps `node` stable while other branches derive sources.
+  Vec y = m.Apply(node->vector);
+  if (scale > 0.0) {
+    std::lock_guard<std::mutex> lock(node->stream->mu);
+    for (double& v : y) v += node->stream->rng.Laplace(scale);
+  }
   return y;
 }
 
 StatusOr<double> ProtectedKernel::NoisyCount(SourceId src, double eps) {
-  EK_RETURN_IF_ERROR(CheckTable(src));
   if (eps <= 0.0) return Status::InvalidArgument("eps must be positive");
-  EK_RETURN_IF_ERROR(Request(src, eps));
-  double y = static_cast<double>(nodes_[src].table->NumRows()) +
-             rng_.Laplace(1.0 / eps);
-  transcript_.push_back({src, "NoisyCount", eps, 1.0 / eps});
-  return y;
+  Node* node = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    EK_RETURN_IF_ERROR(CheckTable(src));
+    EK_RETURN_IF_ERROR(Request(src, eps));
+    transcript_.push_back({src, "NoisyCount", eps, 1.0 / eps});
+    node = &nodes_[src];
+  }
+  std::lock_guard<std::mutex> lock(node->stream->mu);
+  return static_cast<double>(node->table->NumRows()) +
+         node->stream->rng.Laplace(1.0 / eps);
 }
 
 StatusOr<std::size_t> ProtectedKernel::WorstApprox(SourceId src,
@@ -251,54 +346,69 @@ StatusOr<std::size_t> ProtectedKernel::WorstApprox(SourceId src,
                                                    const Vec& xhat,
                                                    double eps,
                                                    double score_sensitivity) {
-  EK_RETURN_IF_ERROR(CheckVector(src));
   if (eps <= 0.0) return Status::InvalidArgument("eps must be positive");
-  if (workload.cols() != nodes_[src].vector.size() ||
-      xhat.size() != nodes_[src].vector.size())
-    return Status::InvalidArgument("workload/estimate shape mismatch");
   if (score_sensitivity <= 0.0)
     return Status::InvalidArgument("score sensitivity must be positive");
-  EK_RETURN_IF_ERROR(Request(src, eps));
-  Vec truth = workload.Apply(nodes_[src].vector);
+  Node* node = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    EK_RETURN_IF_ERROR(CheckVector(src));
+    if (workload.cols() != nodes_[src].vector.size() ||
+        xhat.size() != nodes_[src].vector.size())
+      return Status::InvalidArgument("workload/estimate shape mismatch");
+    EK_RETURN_IF_ERROR(Request(src, eps));
+    transcript_.push_back({src, "WorstApprox", eps, 0.0});
+    node = &nodes_[src];
+  }
+  Vec truth = workload.Apply(node->vector);
   Vec approx = workload.Apply(xhat);
   std::vector<double> scores(truth.size());
   for (std::size_t i = 0; i < truth.size(); ++i)
     scores[i] = std::abs(truth[i] - approx[i]) / score_sensitivity;
-  std::size_t pick = rng_.ExponentialMechanism(scores, eps);
-  transcript_.push_back({src, "WorstApprox", eps, 0.0});
-  return pick;
+  std::lock_guard<std::mutex> lock(node->stream->mu);
+  return node->stream->rng.ExponentialMechanism(scores, eps);
 }
 
 StatusOr<std::size_t> ProtectedKernel::ChooseByVectorScores(
     SourceId src, const std::vector<std::function<double(const Vec&)>>& f,
     double eps, double sensitivity) {
-  EK_RETURN_IF_ERROR(CheckVector(src));
   if (eps <= 0.0 || sensitivity <= 0.0)
     return Status::InvalidArgument("eps and sensitivity must be positive");
   if (f.empty()) return Status::InvalidArgument("no candidates");
-  EK_RETURN_IF_ERROR(Request(src, eps));
+  Node* node = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    EK_RETURN_IF_ERROR(CheckVector(src));
+    EK_RETURN_IF_ERROR(Request(src, eps));
+    transcript_.push_back({src, "ChooseByVectorScores", eps, 0.0});
+    node = &nodes_[src];
+  }
   std::vector<double> scores(f.size());
   for (std::size_t i = 0; i < f.size(); ++i)
-    scores[i] = f[i](nodes_[src].vector) / sensitivity;
-  std::size_t pick = rng_.ExponentialMechanism(scores, eps);
-  transcript_.push_back({src, "ChooseByVectorScores", eps, 0.0});
-  return pick;
+    scores[i] = f[i](node->vector) / sensitivity;
+  std::lock_guard<std::mutex> lock(node->stream->mu);
+  return node->stream->rng.ExponentialMechanism(scores, eps);
 }
 
 StatusOr<std::size_t> ProtectedKernel::ChooseByTableScores(
     SourceId src, const std::vector<std::function<double(const Table&)>>& f,
     double eps, double sensitivity) {
-  EK_RETURN_IF_ERROR(CheckTable(src));
   if (eps <= 0.0 || sensitivity <= 0.0)
     return Status::InvalidArgument("eps and sensitivity must be positive");
   if (f.empty()) return Status::InvalidArgument("no candidates");
-  EK_RETURN_IF_ERROR(Request(src, eps));
+  Node* node = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    EK_RETURN_IF_ERROR(CheckTable(src));
+    EK_RETURN_IF_ERROR(Request(src, eps));
+    transcript_.push_back({src, "ChooseByTableScores", eps, 0.0});
+    node = &nodes_[src];
+  }
   std::vector<double> scores(f.size());
   for (std::size_t i = 0; i < f.size(); ++i)
-    scores[i] = f[i](*nodes_[src].table) / sensitivity;
-  std::size_t pick = rng_.ExponentialMechanism(scores, eps);
-  transcript_.push_back({src, "ChooseByTableScores", eps, 0.0});
-  return pick;
+    scores[i] = f[i](*node->table) / sensitivity;
+  std::lock_guard<std::mutex> lock(node->stream->mu);
+  return node->stream->rng.ExponentialMechanism(scores, eps);
 }
 
 }  // namespace ektelo

@@ -17,11 +17,40 @@
 // Budget exhaustion returns Status::kBudgetExhausted; the decision is a
 // deterministic function of public bookkeeping state, so the failure path
 // leaks nothing about the data (Sec. 4.3).
+//
+// ---- Thread-safety contract ----
+//
+// The kernel is safe to call from concurrent plan branches.  The budget
+// tracker (Algorithm 2's Request walk), the source-node table and the
+// transcript are guarded by one kernel mutex: charges are atomic — a
+// refused request changes no bookkeeping, and two racing requests can
+// never jointly overspend, because each walk holds the lock from leaf
+// check to root commit.  Source nodes are immutable after creation (only
+// budgets, child counters and noise streams change, each under a lock),
+// and the node table is a deque, so measurements read their source's data
+// without locking while other branches derive new sources.
+//
+// Determinism: noise is NOT drawn from one shared generator (whose draw
+// order would depend on thread scheduling) but from a per-source stream
+// seeded as a pure function of the source's lineage — SplitMix64-mixed
+// (parent seed, child index) pairs rooted at the kernel seed, the keyed
+// Rng::Fork discipline.  A measurement's noise therefore depends only on
+// (kernel seed, source lineage, per-source draw order), making parallel
+// plan execution bitwise-identical to serial as long as concurrent
+// branches touch disjoint sources (the Sec. 4.4 partition-children
+// discipline; measurements on the *same* source still serialize on that
+// source's stream lock and keep their program order).  The transcript
+// records entries in charge order, which under parallel branches is a
+// scheduling-dependent interleaving of the per-branch orders — compare it
+// order-normalized.
 #ifndef EKTELO_KERNEL_KERNEL_H_
 #define EKTELO_KERNEL_KERNEL_H_
 
 #include <algorithm>
+#include <deque>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -44,11 +73,15 @@ class ProtectedKernel {
   SourceId root() const { return 0; }
   double eps_total() const { return eps_total_; }
   /// Budget consumed at the root so far (public bookkeeping).
-  double BudgetConsumed() const { return nodes_[0].budget; }
+  double BudgetConsumed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return nodes_[0].budget;
+  }
   /// Unspent root budget, clamped at 0: repeated charges that sum to
   /// eps_total can overshoot by an ulp under the tracker's FP slack, and
   /// callers must never observe a negative remainder.
   double BudgetRemaining() const {
+    std::lock_guard<std::mutex> lock(mu_);
     return std::max(0.0, eps_total_ - nodes_[0].budget);
   }
 
@@ -112,11 +145,25 @@ class ProtectedKernel {
     double eps;
     double noise_scale;
   };
+  /// Entries appear in charge order.  Only inspect while no kernel calls
+  /// are in flight; under parallel branches the interleaving (and the
+  /// SourceId values of concurrently derived sources) is
+  /// scheduling-dependent, so compare transcripts order-normalized on
+  /// (op, eps, noise_scale).
   const std::vector<TranscriptEntry>& transcript() const {
     return transcript_;
   }
 
  private:
+  /// A source's private noise stream plus the lock that serializes draws
+  /// on it.  Separately allocated so Node stays movable and stream locks
+  /// are per-source (disjoint branches never contend).
+  struct NoiseStream {
+    explicit NoiseStream(uint64_t seed) : rng(seed) {}
+    std::mutex mu;
+    Rng rng;
+  };
+
   struct Node {
     bool is_table = false;
     bool is_partition_dummy = false;
@@ -125,21 +172,37 @@ class ProtectedKernel {
     double budget = 0.0;     // B(sv)
     std::optional<Table> table;
     Vec vector;
+    /// Lineage seed: a pure function of (kernel seed, path of child
+    /// indices from the root), from which both this source's noise stream
+    /// and its children's seeds derive.
+    uint64_t stream_seed = 0;
+    /// Children derived from this source so far; the next child's seed
+    /// mixes this index.  Guarded by mu_.
+    uint64_t child_seq = 0;
+    std::unique_ptr<NoiseStream> stream;
   };
 
   /// Algorithm 2.  Charges eps at `sv` and propagates to the root,
   /// multiplying by stabilities and taking the max across partition
-  /// children.  Atomic: on failure no budget state changes.
+  /// children.  Atomic: on failure no budget state changes.  Caller holds
+  /// mu_.
   Status Request(SourceId sv, double eps);
   Status RequestImpl(SourceId sv, double eps);
 
-  SourceId AddNode(Node n);
+  /// Appends a child of `parent`, deriving its deterministic stream seed
+  /// from the parent's seed and child index.  Caller holds mu_.
+  SourceId AddChild(SourceId parent, Node n);
+  /// Caller holds mu_.
   Status CheckVector(SourceId id) const;
   Status CheckTable(SourceId id) const;
+  bool IsTableSourceLocked(SourceId id) const;
+  bool IsVectorSourceLocked(SourceId id) const;
 
   double eps_total_;
-  Rng rng_;
-  std::vector<Node> nodes_;
+  mutable std::mutex mu_;  // guards nodes_ structure, budgets, transcript
+  // Deque: references to existing nodes stay valid while new sources are
+  // appended, so measurements read immutable node data without the lock.
+  std::deque<Node> nodes_;
   std::vector<TranscriptEntry> transcript_;
 };
 

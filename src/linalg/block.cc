@@ -3,8 +3,24 @@
 #include <algorithm>
 
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace ektelo {
+
+namespace {
+
+// Pick a ParallelFor grain so each chunk performs at least ~64K inner
+// multiply-adds: below that the enqueue/wakeup overhead beats the win.
+// The grain only shapes the schedule — shards own disjoint outputs, so
+// results are bitwise-identical at every thread count.
+std::size_t GrainFor(std::size_t work_per_index) {
+  constexpr std::size_t kMinChunkWork = 1 << 16;
+  return std::max<std::size_t>(1,
+                               kMinChunkWork / std::max<std::size_t>(
+                                                   work_per_index, 1));
+}
+
+}  // namespace
 
 Block Block::IdentityPanel(std::size_t n, std::size_t first, std::size_t k) {
   EK_CHECK_LE(first + k, n);
@@ -38,8 +54,11 @@ void DenseMatmat(const DenseMatrix& a, const double* x, double* y,
   // four columns at a time: the four accumulators are independent, so the
   // dot products pipeline instead of serializing on FMA latency (a plain
   // per-column mat-vec is latency-bound on its single running sum), and
-  // each row element loads once per four columns.
-  for (std::size_t i = 0; i < m; ++i) {
+  // each row element loads once per four columns.  Rows shard across the
+  // pool: every output y[i, c] lives entirely in one shard, with the same
+  // accumulation order as the serial sweep.
+  ParallelFor(m, GrainFor(n * k), [&](std::size_t i0, std::size_t i1) {
+  for (std::size_t i = i0; i < i1; ++i) {
     const double* row = a.RowPtr(i);
     std::size_t c = 0;
     for (; c + 4 <= k; c += 4) {
@@ -67,21 +86,30 @@ void DenseMatmat(const DenseMatrix& a, const double* x, double* y,
       y[c * m + i] = s;
     }
   }
+  });
 }
 
 void DenseRmatMat(const DenseMatrix& a, const double* x, double* y,
                   std::size_t k) {
   const std::size_t m = a.rows(), n = a.cols();
-  std::fill(y, y + n * k, 0.0);
-  for (std::size_t i = 0; i < m; ++i) {
-    const double* row = a.RowPtr(i);
-    for (std::size_t c = 0; c < k; ++c) {
-      const double xi = x[c * m + i];
-      if (xi == 0.0) continue;
-      double* yc = y + c * n;
-      for (std::size_t j = 0; j < n; ++j) yc[j] += xi * row[j];
+  // A^T X accumulates over the rows of A, so row-sharding would need a
+  // cross-shard reduction (and a different FP summation order).  Shard
+  // over output *rows* j instead: each shard sweeps all of A but owns
+  // y[c, j0..j1), accumulating every output element over i in exactly the
+  // serial order.
+  ParallelFor(n, GrainFor(m * k), [&](std::size_t j0, std::size_t j1) {
+    for (std::size_t c = 0; c < k; ++c)
+      std::fill(y + c * n + j0, y + c * n + j1, 0.0);
+    for (std::size_t i = 0; i < m; ++i) {
+      const double* row = a.RowPtr(i);
+      for (std::size_t c = 0; c < k; ++c) {
+        const double xi = x[c * m + i];
+        if (xi == 0.0) continue;
+        double* yc = y + c * n;
+        for (std::size_t j = j0; j < j1; ++j) yc[j] += xi * row[j];
+      }
     }
-  }
+  });
 }
 
 namespace {
@@ -122,14 +150,20 @@ void CsrMatmat(const CsrMatrix& a, const double* x, double* y,
   // unit-stride fused multiply-add.
   std::vector<double> xr = PackRowMajor(x, n, k);
   std::vector<double> yr(m * k, 0.0);
-  for (std::size_t i = 0; i < m; ++i) {
-    double* yrow = &yr[i * k];
-    for (std::size_t p = indptr[i]; p < indptr[i + 1]; ++p) {
-      const double* xrow = &xr[indices[p] * k];
-      const double v = values[p];
-      for (std::size_t c = 0; c < k; ++c) yrow[c] += v * xrow[c];
+  // Output rows shard across the pool: row i's nonzeros are a contiguous
+  // indptr slice, and yr[i * k ..] belongs to exactly one shard.
+  const std::size_t nnz_per_row = a.nnz() / std::max<std::size_t>(m, 1);
+  ParallelFor(m, GrainFor((nnz_per_row + 1) * k),
+              [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      double* yrow = &yr[i * k];
+      for (std::size_t p = indptr[i]; p < indptr[i + 1]; ++p) {
+        const double* xrow = &xr[indices[p] * k];
+        const double v = values[p];
+        for (std::size_t c = 0; c < k; ++c) yrow[c] += v * xrow[c];
+      }
     }
-  }
+  });
   UnpackRowMajor(yr, y, m, k);
 }
 
@@ -141,14 +175,22 @@ void CsrRmatMat(const CsrMatrix& a, const double* x, double* y,
   const auto& values = a.values();
   std::vector<double> xr = PackRowMajor(x, m, k);
   std::vector<double> yr(n * k, 0.0);
-  for (std::size_t i = 0; i < m; ++i) {
-    const double* xrow = &xr[i * k];
-    for (std::size_t p = indptr[i]; p < indptr[i + 1]; ++p) {
-      double* yrow = &yr[indices[p] * k];
-      const double v = values[p];
-      for (std::size_t c = 0; c < k; ++c) yrow[c] += v * xrow[c];
+  // The transposed sweep scatters into yr rows, so output-row sharding is
+  // not contiguous in the CSR structure.  Shard over the k RHS columns
+  // instead: each shard replays the full nonzero sweep but only updates
+  // its own packed column range, preserving the serial accumulation order
+  // per element.  (k == 1 runs serially — single-vector CSR transposed
+  // applies stay on the calling thread.)
+  ParallelFor(k, GrainFor(a.nnz()), [&](std::size_t c0, std::size_t c1) {
+    for (std::size_t i = 0; i < m; ++i) {
+      const double* xrow = &xr[i * k];
+      for (std::size_t p = indptr[i]; p < indptr[i + 1]; ++p) {
+        double* yrow = &yr[indices[p] * k];
+        const double v = values[p];
+        for (std::size_t c = c0; c < c1; ++c) yrow[c] += v * xrow[c];
+      }
     }
-  }
+  });
   UnpackRowMajor(yr, y, n, k);
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace ektelo {
 
@@ -69,9 +70,20 @@ void HaarSynthesis(const double* x, double* y, std::size_t n) {
   std::copy(cur.begin(), cur.end(), y);
 }
 
-void HaarAnalysisBlock(const double* x, double* y, std::size_t n,
-                       std::size_t k) {
-  EK_CHECK(IsPowerOfTwo(n));
+namespace {
+
+// Each transformed column is independent of the others, so the blocked
+// wavelet kernels shard the panel over contiguous column ranges: a shard
+// runs the serial fold on its own sub-panel (columns are contiguous in
+// column-major storage), which keeps every column's FP sequence identical
+// to the serial call at any thread count.
+std::size_t HaarGrain(std::size_t n) {
+  return std::max<std::size_t>(1, std::size_t{32768} / std::max<std::size_t>(
+                                                           n, 1));
+}
+
+void HaarAnalysisBlockSerial(const double* x, double* y, std::size_t n,
+                             std::size_t k) {
   if (n == 1) {
     for (std::size_t c = 0; c < k; ++c) y[c] = x[c];
     return;
@@ -99,9 +111,8 @@ void HaarAnalysisBlock(const double* x, double* y, std::size_t n,
   for (std::size_t c = 0; c < k; ++c) y[c * n] = cur[c];
 }
 
-void HaarSynthesisBlock(const double* x, double* y, std::size_t n,
-                        std::size_t k) {
-  EK_CHECK(IsPowerOfTwo(n));
+void HaarSynthesisBlockSerial(const double* x, double* y, std::size_t n,
+                              std::size_t k) {
   const std::size_t levels = Log2(n);
   std::vector<double> cur(k), nxt;
   for (std::size_t c = 0; c < k; ++c) cur[c] = x[c * n];
@@ -122,6 +133,24 @@ void HaarSynthesisBlock(const double* x, double* y, std::size_t n,
   }
   for (std::size_t i = 0; i < n; ++i)
     for (std::size_t c = 0; c < k; ++c) y[c * n + i] = cur[i * k + c];
+}
+
+}  // namespace
+
+void HaarAnalysisBlock(const double* x, double* y, std::size_t n,
+                       std::size_t k) {
+  EK_CHECK(IsPowerOfTwo(n));
+  ParallelFor(k, HaarGrain(n), [&](std::size_t c0, std::size_t c1) {
+    HaarAnalysisBlockSerial(x + c0 * n, y + c0 * n, n, c1 - c0);
+  });
+}
+
+void HaarSynthesisBlock(const double* x, double* y, std::size_t n,
+                        std::size_t k) {
+  EK_CHECK(IsPowerOfTwo(n));
+  ParallelFor(k, HaarGrain(n), [&](std::size_t c0, std::size_t c1) {
+    HaarSynthesisBlockSerial(x + c0 * n, y + c0 * n, n, c1 - c0);
+  });
 }
 
 CsrMatrix HaarMatrixSparse(std::size_t n) {

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace ektelo {
 
@@ -44,6 +45,17 @@ CgResult CgSpd(const LinOp& g, const Vec& b, const CgOptions& opts) {
   }
   result.normal_residual_norm = std::sqrt(rs);
   return result;
+}
+
+std::vector<CgResult> CgSpdMulti(const LinOp& g, const Block& rhs,
+                                 const CgOptions& opts) {
+  EK_CHECK_EQ(rhs.rows(), g.cols());
+  std::vector<CgResult> results(rhs.cols());
+  ParallelFor(rhs.cols(), 1, [&](std::size_t c0, std::size_t c1) {
+    for (std::size_t c = c0; c < c1; ++c)
+      results[c] = CgSpd(g, rhs.Col(c), opts);
+  });
+  return results;
 }
 
 CgResult CgLeastSquares(const LinOp& a, const Vec& b, const CgOptions& opts) {

@@ -33,6 +33,13 @@ struct CgResult {
 /// normal_residual_norm reports ||G x - b|| on exit.
 CgResult CgSpd(const LinOp& g, const Vec& b, const CgOptions& opts = {});
 
+/// Solve G X = B column by column for a panel of right-hand sides.  The
+/// columns shard across the thread pool (each solve is independent), and
+/// every column reproduces the single-RHS CgSpd bitwise at any thread
+/// count.
+std::vector<CgResult> CgSpdMulti(const LinOp& g, const Block& rhs,
+                                 const CgOptions& opts = {});
+
 /// Solve argmin_x ||A x - b||_2 via CG on A^T A x = A^T b, driven through
 /// A.Gram() (never materializes A or A^T A unless the operator already is).
 CgResult CgLeastSquares(const LinOp& a, const Vec& b,

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace ektelo {
 
@@ -21,16 +22,36 @@ Vec LinOp::ApplyT(const Vec& x) const {
   return y;
 }
 
+namespace {
+
+// Shard grain for per-column fan-out: with no structural cost model for
+// an arbitrary operator, approximate one apply as rows+cols work and
+// keep at least ~16K units per chunk so tiny operators stay serial.
+std::size_t ColumnGrain(std::size_t rows, std::size_t cols) {
+  const std::size_t per_col = rows + cols + 1;
+  return std::max<std::size_t>(1, std::size_t{1 << 14} / per_col);
+}
+
+}  // namespace
+
 void LinOp::ApplyBlockRaw(const double* x, double* y, std::size_t k) const {
   // Fallback: k independent mat-vecs.  Columns are contiguous, so each
-  // column is handed to the single-vector kernel directly.
-  for (std::size_t c = 0; c < k; ++c)
-    ApplyRaw(x + c * cols(), y + c * rows());
+  // column is handed to the single-vector kernel directly; columns shard
+  // across the pool (a column is computed by exactly one shard, so the
+  // result is bitwise-identical at any thread count).
+  ParallelFor(k, ColumnGrain(rows(), cols()),
+              [&](std::size_t c0, std::size_t c1) {
+    for (std::size_t c = c0; c < c1; ++c)
+      ApplyRaw(x + c * cols(), y + c * rows());
+  });
 }
 
 void LinOp::ApplyTBlockRaw(const double* x, double* y, std::size_t k) const {
-  for (std::size_t c = 0; c < k; ++c)
-    ApplyTRaw(x + c * rows(), y + c * cols());
+  ParallelFor(k, ColumnGrain(rows(), cols()),
+              [&](std::size_t c0, std::size_t c1) {
+    for (std::size_t c = c0; c < c1; ++c)
+      ApplyTRaw(x + c * rows(), y + c * cols());
+  });
 }
 
 Block LinOp::ApplyBlock(const Block& x) const {
@@ -68,19 +89,37 @@ CsrMatrix LinOp::MaterializeSparse() const {
   // Fallback: stream identity panels of bounded width through the blocked
   // apply.  Each panel is one blocked traversal of the operator instead of
   // kMaterializePanel scalar mat-vecs; exact zeros are dropped on assembly.
-  std::vector<Triplet> t;
+  //
+  // Panels are independent, so they evaluate concurrently into per-panel
+  // triplet buffers which are then concatenated in panel order — the
+  // stream the counting-sort assembly sees is identical to the serial
+  // one.  Panel geometry is fixed (kMaterializePanel), not derived from
+  // the thread count, so each column's arithmetic never changes.
   const std::size_t n = cols();
-  Block out(rows(), std::min(n, kMaterializePanel));
-  for (std::size_t j0 = 0; j0 < n; j0 += kMaterializePanel) {
-    const std::size_t k = std::min(kMaterializePanel, n - j0);
-    Block panel = Block::IdentityPanel(n, j0, k);
-    ApplyBlockRaw(panel.data(), out.data(), k);
-    for (std::size_t c = 0; c < k; ++c) {
-      const double* col = out.ColPtr(c);
-      for (std::size_t i = 0; i < rows(); ++i)
-        if (col[i] != 0.0) t.push_back({i, j0 + c, col[i]});
+  const std::size_t num_panels =
+      (n + kMaterializePanel - 1) / kMaterializePanel;
+  std::vector<std::vector<Triplet>> panel_triplets(num_panels);
+  ParallelFor(num_panels, 1, [&](std::size_t p0, std::size_t p1) {
+    for (std::size_t p = p0; p < p1; ++p) {
+      const std::size_t j0 = p * kMaterializePanel;
+      const std::size_t k = std::min(kMaterializePanel, n - j0);
+      Block panel = Block::IdentityPanel(n, j0, k);
+      Block out(rows(), k);
+      ApplyBlockRaw(panel.data(), out.data(), k);
+      std::vector<Triplet>& t = panel_triplets[p];
+      for (std::size_t c = 0; c < k; ++c) {
+        const double* col = out.ColPtr(c);
+        for (std::size_t i = 0; i < rows(); ++i)
+          if (col[i] != 0.0) t.push_back({i, j0 + c, col[i]});
+      }
     }
-  }
+  });
+  std::size_t nnz = 0;
+  for (const auto& pt : panel_triplets) nnz += pt.size();
+  std::vector<Triplet> t;
+  t.reserve(nnz);
+  for (const auto& pt : panel_triplets)
+    t.insert(t.end(), pt.begin(), pt.end());
   // Panels emit column-grouped entries, so CSR assembly is a counting
   // sort — no comparison sort over the nnz.
   return CsrMatrix::FromColumnStream(rows(), cols(), t);
@@ -90,13 +129,31 @@ DenseMatrix LinOp::MaterializeDense() const {
   return MaterializeSparse().ToDense();
 }
 
+// Double-checked caching: the compute runs OUTSIDE the lock because
+// Compute* implementations may re-enter the cached accessors — on the
+// same object (RangeSetOp derives L2 from its own L1) or on children.
+// Racing threads at worst compute the same deterministic value twice;
+// the first store wins.
+
 double LinOp::SensitivityL1() const {
-  if (!sens_l1_) sens_l1_ = ComputeSensitivityL1();
+  {
+    std::lock_guard<std::mutex> lock(sens_mu_);
+    if (sens_l1_) return *sens_l1_;
+  }
+  const double v = ComputeSensitivityL1();
+  std::lock_guard<std::mutex> lock(sens_mu_);
+  if (!sens_l1_) sens_l1_ = v;
   return *sens_l1_;
 }
 
 double LinOp::SensitivityL2() const {
-  if (!sens_l2_) sens_l2_ = ComputeSensitivityL2();
+  {
+    std::lock_guard<std::mutex> lock(sens_mu_);
+    if (sens_l2_) return *sens_l2_;
+  }
+  const double v = ComputeSensitivityL2();
+  std::lock_guard<std::mutex> lock(sens_mu_);
+  if (!sens_l2_) sens_l2_ = v;
   return *sens_l2_;
 }
 

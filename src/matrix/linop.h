@@ -34,6 +34,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -128,6 +129,11 @@ class LinOp : public std::enable_shared_from_this<LinOp> {
  private:
   std::size_t rows_, cols_;
   mutable bool nonneg_binary_ = false;
+  // The lazy sensitivity caches are the only mutable state a const LinOp
+  // carries, so this mutex is what makes shared operators safe to use
+  // from concurrent plan branches (note the resulting operator
+  // non-copyability; operators live behind LinOpPtr anyway).
+  mutable std::mutex sens_mu_;
   mutable std::optional<double> sens_l1_, sens_l2_;
 };
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace ektelo {
 
@@ -206,10 +207,14 @@ std::vector<LsmrResult> LsmrMulti(const LinOp& a, const Block& rhs,
   // have one entry point that can later be swapped for a block-Krylov
   // method without touching callers.
   EK_CHECK_EQ(rhs.rows(), a.rows());
-  std::vector<LsmrResult> results;
-  results.reserve(rhs.cols());
-  for (std::size_t c = 0; c < rhs.cols(); ++c)
-    results.push_back(Lsmr(a, rhs.Col(c), opts));
+  // Each column's Krylov recurrence is already serial-per-RHS, so the
+  // columns shard across the thread pool: solve c writes only results[c],
+  // and its FP sequence is independent of which thread runs it.
+  std::vector<LsmrResult> results(rhs.cols());
+  ParallelFor(rhs.cols(), 1, [&](std::size_t c0, std::size_t c1) {
+    for (std::size_t c = c0; c < c1; ++c)
+      results[c] = Lsmr(a, rhs.Col(c), opts);
+  });
   return results;
 }
 

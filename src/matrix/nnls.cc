@@ -9,6 +9,10 @@ namespace ektelo {
 
 double EstimateSpectralNormSqGram(const LinOp& gram, std::size_t iters) {
   const std::size_t n = gram.cols();
+  // iters == 0 would return the uninitialized placeholder estimate (1.0)
+  // regardless of the operator; always run at least one power step so the
+  // result reflects the Gram.
+  iters = std::max<std::size_t>(iters, 1);
   // Deterministic pseudo-random start vector (no RNG dependency here).
   Vec v(n);
   double seed = 0.5;
@@ -22,9 +26,15 @@ double EstimateSpectralNormSqGram(const LinOp& gram, std::size_t iters) {
   Vec w(n);
   for (std::size_t it = 0; it < iters; ++it) {
     gram.ApplyRaw(v.data(), w.data());
-    lambda = Norm2(w);
-    if (lambda == 0.0) return 0.0;
-    Scale(1.0 / lambda, &w);
+    // Pre-scale by the max magnitude before taking the norm: on Grams
+    // with huge spectral norm (~1e200 and up) the sum of squares inside
+    // Norm2 overflows to inf even though the norm itself is
+    // representable, and the iterate would collapse to zeros/NaNs.
+    const double m = MaxAbs(w);
+    if (m == 0.0) return 0.0;
+    Scale(1.0 / m, &w);
+    lambda = m * Norm2(w);
+    Scale(m / lambda, &w);
     v.swap(w);
   }
   return lambda;
@@ -66,6 +76,7 @@ NnlsResult Nnls(const LinOp& a, const Vec& b, const NnlsOptions& opts) {
 
   Vec grad(n), x_new(n), gx_new(n);
   std::size_t it = 0;
+  std::size_t restarts = 0;
   for (; it < opts.max_iters; ++it) {
     // grad = A^T (A y - b) = G y - A^T b.
     for (std::size_t j = 0; j < n; ++j) grad[j] = gyk[j] - atb[j];
@@ -77,12 +88,15 @@ NnlsResult Nnls(const LinOp& a, const Vec& b, const NnlsOptions& opts) {
     // 0.5||A z - b||^2 = 0.5 z^T G z - z^T A^T b + 0.5 ||b||^2.
     const double obj =
         0.5 * Dot(x_new, gx_new) - Dot(x_new, atb) + 0.5 * btb;
-    // Monotone restart: if the objective went up, drop momentum.
+    // Monotone restart: if the objective went up, drop momentum.  The
+    // `continue` already routes through the for-loop's increment; bumping
+    // `it` here too would double-count the pass (over-reported iteration
+    // totals and a silently halved max_iters on restart-heavy problems).
     if (obj > prev_obj) {
       t = 1.0;
       yk = x;
       gyk = gx;
-      ++it;
+      ++restarts;
       continue;
     }
     prev_obj = obj;
@@ -113,6 +127,7 @@ NnlsResult Nnls(const LinOp& a, const Vec& b, const NnlsOptions& opts) {
   result.residual_norm = Norm2(r);
   result.x = std::move(x);
   result.iterations = it;
+  result.restarts = restarts;
   return result;
 }
 

@@ -29,7 +29,14 @@ struct NnlsOptions {
 
 struct NnlsResult {
   Vec x;
+  /// Loop passes actually executed (each costs one Gram apply), counting
+  /// monotone-restart passes exactly once — restarts used to
+  /// double-increment the counter, over-reporting iterations and
+  /// silently shrinking the max_iters budget on restart-heavy problems.
   std::size_t iterations = 0;
+  /// Monotone restarts taken (momentum dropped because the objective
+  /// increased).
+  std::size_t restarts = 0;
   double residual_norm = 0.0;
 };
 

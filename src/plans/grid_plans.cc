@@ -11,6 +11,7 @@
 #include "ops/selection.h"
 #include "plans/pipeline.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace ektelo {
 
@@ -113,10 +114,20 @@ class AdaptiveGridPlan final : public Plan {
     EK_CHECK_EQ(children.size(), groups.size());
     EK_CHECK_EQ(children.size(), y1.size());
 
-    std::vector<Triplet> level2_triplets;
-    Vec level2_y;
-    std::size_t row = 0;
-    for (std::size_t b = 0; b < children.size(); ++b) {
+    // Level 2: every grid block refines independently — its own protected
+    // child, its own parallel sub-scope, its own noise stream — so the
+    // branches run concurrently through the pool.  Each branch stages its
+    // measurement rows locally; the serial-order assembly below
+    // renumbers them, so the stacked level-2 measurement (and therefore
+    // the inference input) is bitwise-identical at any thread count.
+    struct Level2Branch {
+      std::vector<Triplet> triplets;  // {branch-local row, global cell, 1}
+      std::size_t rows = 0;
+      Vec y;
+    };
+    std::vector<Level2Branch> branches(children.size());
+    Status branch_st = ParallelBranches(
+        children.size(), [&](std::size_t b) -> Status {
       const auto& cells = groups[b];
       // Second-level side from this block's noisy count (public: y1 is
       // DP).
@@ -129,7 +140,8 @@ class AdaptiveGridPlan final : public Plan {
       const std::size_t width = j_hi - j_lo + 1;
       std::size_t g2 = UniformGridSide(block_count, eps2,
                                        std::max(height, width), opts_.c2);
-      if (g2 <= 1) continue;  // sparse block: level-1 count suffices
+      if (g2 <= 1)
+        return Status::Ok();  // sparse block: level-1 count suffices
 
       // Partition the block's cells into (at most) g2 x g2 sub-blocks.
       std::map<std::size_t, std::vector<std::size_t>> sub;  // id -> cells
@@ -141,23 +153,35 @@ class AdaptiveGridPlan final : public Plan {
         sub[si * g2 + sj].push_back(k);
       }
       // Local measurement: one indicator row per sub-block.
+      Level2Branch& out = branches[b];
       std::vector<Triplet> local;
       std::size_t lrow = 0;
       for (const auto& [sid, ks] : sub) {
         for (std::size_t k : ks) {
           local.push_back({lrow, k, 1.0});
-          level2_triplets.push_back({row, cells[k], 1.0});
+          out.triplets.push_back({lrow, cells[k], 1.0});
         }
         ++lrow;
-        ++row;
       }
+      out.rows = lrow;
       auto local_m = ApplyMode(
           MakeSparse(CsrMatrix::FromTriplets(lrow, cells.size(),
                                              std::move(local))),
           in.mode);
       EK_ASSIGN_OR_RETURN(
-          Vec y2, children[b].Laplace(*local_m, eps2, child_scopes[b]));
-      level2_y.insert(level2_y.end(), y2.begin(), y2.end());
+          out.y, children[b].Laplace(*local_m, eps2, child_scopes[b]));
+      return Status::Ok();
+    });
+    EK_RETURN_IF_ERROR(branch_st);
+
+    std::vector<Triplet> level2_triplets;
+    Vec level2_y;
+    std::size_t row = 0;
+    for (const Level2Branch& br : branches) {
+      for (const Triplet& t : br.triplets)
+        level2_triplets.push_back({row + t.row, t.col, t.value});
+      level2_y.insert(level2_y.end(), br.y.begin(), br.y.end());
+      row += br.rows;
     }
     if (row > 0) {
       auto global2 = MakeSparse(

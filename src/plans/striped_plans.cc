@@ -10,6 +10,7 @@
 #include "ops/selection.h"
 #include "plans/plans.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace ektelo {
 
@@ -47,22 +48,29 @@ class HbStripedPlan final : public Plan {
     LinOpPtr hb = ApplyMode(HbSelect(ns), in.mode);
     const double sens = hb->SensitivityL1();
 
+    // Stripes are partition children under a SplitParallel scope:
+    // disjoint sources, disjoint sub-scopes, disjoint output cells.  They
+    // run concurrently through the pool; per-stripe noise comes from each
+    // child's own lineage-seeded stream, so the result is
+    // bitwise-identical to the serial stripe loop at any thread count.
     Vec xhat(x.size(), 0.0);
-    for (std::size_t s = 0; s < children.size(); ++s) {
-      // Full eps per stripe: parallel composition makes the kernel (and
-      // scope) charge the max across stripes, not the sum.
-      EK_ASSIGN_OR_RETURN(Vec y,
-                          children[s].Laplace(*hb, eps, child_scopes[s]));
-      // Per-stripe LS (equivalent to the global solve: measurements do
-      // not cross stripes).
-      MeasurementSet mset;
-      mset.Add(hb, std::move(y), sens / eps);
-      Vec local = LeastSquaresInference(mset);
-      const auto& cells = groups[s];
-      EK_CHECK_EQ(local.size(), cells.size());
-      for (std::size_t k = 0; k < cells.size(); ++k)
-        xhat[cells[k]] = local[k];
-    }
+    EK_RETURN_IF_ERROR(ParallelBranches(
+        children.size(), [&](std::size_t s) -> Status {
+          // Full eps per stripe: parallel composition makes the kernel
+          // (and scope) charge the max across stripes, not the sum.
+          EK_ASSIGN_OR_RETURN(
+              Vec y, children[s].Laplace(*hb, eps, child_scopes[s]));
+          // Per-stripe LS (equivalent to the global solve: measurements
+          // do not cross stripes).
+          MeasurementSet mset;
+          mset.Add(hb, std::move(y), sens / eps);
+          Vec local = LeastSquaresInference(mset);
+          const auto& cells = groups[s];
+          EK_CHECK_EQ(local.size(), cells.size());
+          for (std::size_t k = 0; k < cells.size(); ++k)
+            xhat[cells[k]] = local[k];
+          return Status::Ok();
+        }));
     return xhat;
   }
 };
@@ -126,38 +134,45 @@ class DawaStripedPlan final : public Plan {
     stripe_workload.reserve(ns);
     for (std::size_t i = 0; i < ns; ++i) stripe_workload.push_back({0, i});
 
+    // Each stripe runs the whole data-adaptive DAWA pipeline — partition
+    // selection, reduction, GreedyH, measurement, local LS — as an
+    // independent branch: every kernel interaction stays inside the
+    // stripe's own subtree (its partition child and sources derived from
+    // it), so branches never share a noise stream and the concurrent run
+    // reproduces the serial one bitwise.
     Vec xhat(x.size(), 0.0);
-    for (std::size_t s = 0; s < children.size(); ++s) {
-      // Each stripe runs the full DAWA pipeline on its own parallel
-      // sub-scope: partition share, then measurement share.
-      EK_ASSIGN_OR_RETURN(
-          std::vector<BudgetScope> stages,
-          child_scopes[s].Split(
-              {opts_.partition_frac, 1.0 - opts_.partition_frac}));
-      const double eps1 = stages[0].remaining();
-      const double eps2 = stages[1].remaining();
-      // PD: data-adaptive partition of this stripe.
-      EK_ASSIGN_OR_RETURN(Partition p,
-                          DawaPartitionSelect(children[s], eps1, stages[0],
-                                              opts_.dawa));
-      EK_ASSIGN_OR_RETURN(ProtectedVector reduced,
-                          children[s].ReduceByPartition(p));
-      auto reduced_workload =
-          MapRangesToIntervalPartition(stripe_workload, p);
-      LinOpPtr strategy = ApplyMode(
-          GreedyHSelect(reduced_workload, p.num_groups()), in.mode);
-      const double sens = strategy->SensitivityL1();
-      EK_ASSIGN_OR_RETURN(Vec y,
-                          reduced.Laplace(*strategy, eps2, stages[1]));
-      MeasurementSet mset;
-      mset.Add(MakeProduct(strategy, p.ReduceOp()), std::move(y),
-               sens / eps2);
-      Vec local = LeastSquaresInference(mset);
-      const auto& cells = groups[s];
-      EK_CHECK_EQ(local.size(), cells.size());
-      for (std::size_t k = 0; k < cells.size(); ++k)
-        xhat[cells[k]] = local[k];
-    }
+    EK_RETURN_IF_ERROR(ParallelBranches(
+        children.size(), [&](std::size_t s) -> Status {
+          // Parallel sub-scope: partition share, then measurement share.
+          EK_ASSIGN_OR_RETURN(
+              std::vector<BudgetScope> stages,
+              child_scopes[s].Split(
+                  {opts_.partition_frac, 1.0 - opts_.partition_frac}));
+          const double eps1 = stages[0].remaining();
+          const double eps2 = stages[1].remaining();
+          // PD: data-adaptive partition of this stripe.
+          EK_ASSIGN_OR_RETURN(
+              Partition p,
+              DawaPartitionSelect(children[s], eps1, stages[0], opts_.dawa));
+          EK_ASSIGN_OR_RETURN(ProtectedVector reduced,
+                              children[s].ReduceByPartition(p));
+          auto reduced_workload =
+              MapRangesToIntervalPartition(stripe_workload, p);
+          LinOpPtr strategy = ApplyMode(
+              GreedyHSelect(reduced_workload, p.num_groups()), in.mode);
+          const double sens = strategy->SensitivityL1();
+          EK_ASSIGN_OR_RETURN(Vec y,
+                              reduced.Laplace(*strategy, eps2, stages[1]));
+          MeasurementSet mset;
+          mset.Add(MakeProduct(strategy, p.ReduceOp()), std::move(y),
+                   sens / eps2);
+          Vec local = LeastSquaresInference(mset);
+          const auto& cells = groups[s];
+          EK_CHECK_EQ(local.size(), cells.size());
+          for (std::size_t k = 0; k < cells.size(); ++k)
+            xhat[cells[k]] = local[k];
+          return Status::Ok();
+        }));
     return xhat;
   }
 

@@ -80,4 +80,15 @@ std::size_t Rng::Categorical(const std::vector<double>& weights) {
 
 Rng Rng::Fork() { return Rng(gen_()); }
 
+Rng Rng::Fork(uint64_t key) {
+  return Rng(SplitMix64(gen_() ^ SplitMix64(key)));
+}
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
 }  // namespace ektelo

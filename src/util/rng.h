@@ -57,11 +57,27 @@ class Rng {
   /// Fresh child generator (for deterministic fan-out).
   Rng Fork();
 
+  /// Keyed fork: a child generator whose seed is a SplitMix64 mix of a
+  /// draw from this stream and `key`.  Unlike Fork(), two forks with
+  /// distinct keys from the *same* parent state yield unrelated streams,
+  /// which is what the kernel's per-source noise streams need: a source's
+  /// stream depends only on its lineage (root seed + path of child
+  /// indices), never on how many draws other sources made.
+  Rng Fork(uint64_t key);
+
   std::mt19937_64& raw() { return gen_; }
 
  private:
   std::mt19937_64 gen_;
 };
+
+/// SplitMix64 finalizer (Steele et al., "Fast Splittable Pseudorandom
+/// Number Generators"): a cheap, high-quality bijective mix used to derive
+/// statistically independent child seeds from (parent seed, child index)
+/// pairs.  Deterministic seed derivation is what keeps parallel noise
+/// bitwise-reproducible: the stream a source draws from is a pure function
+/// of its lineage, not of thread scheduling.
+uint64_t SplitMix64(uint64_t x);
 
 }  // namespace ektelo
 

@@ -1,0 +1,190 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace ektelo {
+
+namespace {
+// Set while a pool worker is running a task: ParallelFor/ParallelBranches
+// issued from inside a worker execute inline, so nested parallel sections
+// can never deadlock on a saturated queue or oversubscribe the machine.
+thread_local bool t_in_pool_worker = false;
+}  // namespace
+
+// Shared state of one ParallelFor call.  Helpers (and the caller) pull
+// chunk indices from `next`; the caller waits until `done` reaches
+// `chunks`.  Completion is published under `mu`, which also gives the
+// caller a happens-before edge over every chunk's writes.
+struct ThreadPool::ForState {
+  std::size_t n = 0;
+  std::size_t chunk_size = 0;
+  std::size_t chunks = 0;
+  const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+  std::atomic<std::size_t> next{0};
+  std::size_t done = 0;
+  std::mutex mu;
+  std::condition_variable cv;
+
+  // Run chunks until none are left; returns how many this thread ran.
+  std::size_t Drain() {
+    std::size_t ran = 0;
+    for (;;) {
+      const std::size_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= chunks) break;
+      const std::size_t begin = c * chunk_size;
+      const std::size_t end = std::min(n, begin + chunk_size);
+      (*fn)(begin, end);
+      ++ran;
+    }
+    return ran;
+  }
+
+  void Finish(std::size_t ran) {
+    if (ran == 0) return;
+    std::lock_guard<std::mutex> lock(mu);
+    done += ran;
+    if (done == chunks) cv.notify_all();
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t threads) { StartWorkers(threads); }
+
+ThreadPool::~ThreadPool() { StopWorkers(); }
+
+std::size_t ThreadPool::threads() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return workers_.size();
+}
+
+void ThreadPool::Resize(std::size_t threads) {
+  StopWorkers();
+  StartWorkers(threads);
+}
+
+void ThreadPool::StartWorkers(std::size_t threads) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = false;
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { WorkerLoop(); });
+}
+
+void ThreadPool::StopWorkers() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+  workers_.clear();
+  std::lock_guard<std::mutex> lock(mu_);
+  queue_.clear();
+}
+
+void ThreadPool::WorkerLoop() {
+  t_in_pool_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::Enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::ParallelFor(
+    std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  grain = std::max<std::size_t>(grain, 1);
+  const std::size_t workers = threads();
+  if (workers == 0 || t_in_pool_worker || n < 2 * grain) {
+    fn(0, n);
+    return;
+  }
+  // Chunk so every participant (workers + caller) has work, but never
+  // below the grain; chunk geometry only affects scheduling, never
+  // results, because shards own disjoint output ranges.
+  const std::size_t participants = workers + 1;
+  const std::size_t per = (n + participants - 1) / participants;
+  auto state = std::make_shared<ForState>();
+  state->n = n;
+  state->chunk_size = std::max(grain, per);
+  state->chunks = (n + state->chunk_size - 1) / state->chunk_size;
+  state->fn = &fn;
+  const std::size_t helpers = std::min(workers, state->chunks - 1);
+  for (std::size_t i = 0; i < helpers; ++i) {
+    Enqueue([state] { state->Finish(state->Drain()); });
+  }
+  state->Finish(state->Drain());
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] { return state->done == state->chunks; });
+  // Helpers captured `state` by shared_ptr, so a helper that wakes after
+  // all chunks are drained touches only its own copy of the state and the
+  // caller's `fn` reference is never used again.
+}
+
+Status ThreadPool::ParallelBranches(
+    std::size_t k, const std::function<Status(std::size_t)>& fn) {
+  if (k == 0) return Status::Ok();
+  std::vector<Status> statuses(k, Status::Ok());
+  ParallelFor(k, 1, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t b = begin; b < end; ++b) statuses[b] = fn(b);
+  });
+  // First failure in branch order: the same error serial execution
+  // (branch 0, 1, ...) would have returned.
+  for (std::size_t b = 0; b < k; ++b)
+    if (!statuses[b].ok()) return statuses[b];
+  return Status::Ok();
+}
+
+std::size_t ThreadPool::DefaultThreadCount() {
+  if (const char* env = std::getenv("EKTELO_THREADS")) {
+    // strtoul silently wraps a leading '-' to a huge value; reject signed
+    // input and cap the count so a typo cannot request 2^64 workers.
+    constexpr std::size_t kMaxThreads = 1024;
+    if (env[0] != '\0' && env[0] != '-' && env[0] != '+') {
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(env, &end, 10);
+      if (*end == '\0' && v <= kMaxThreads)
+        return static_cast<std::size_t>(v);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 0 : hw;
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool* pool = new ThreadPool(DefaultThreadCount());
+  return *pool;
+}
+
+void ParallelFor(std::size_t n, std::size_t grain,
+                 const std::function<void(std::size_t, std::size_t)>& fn) {
+  ThreadPool::Global().ParallelFor(n, grain, fn);
+}
+
+Status ParallelBranches(std::size_t k,
+                        const std::function<Status(std::size_t)>& fn) {
+  return ThreadPool::Global().ParallelBranches(k, fn);
+}
+
+}  // namespace ektelo

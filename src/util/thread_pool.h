@@ -1,0 +1,108 @@
+// Deterministic parallel execution engine.
+//
+// EKTELO's parallelism contract is unusual: every parallel code path must
+// produce *bitwise-identical* results to its serial counterpart at any
+// thread count, so that seeded experiments (and the pinned golden plan
+// outputs) are reproducible on a laptop and a 64-core server alike.  Two
+// rules make that possible:
+//
+//   1. Work is sharded by *output element*: a shard owns a contiguous
+//      range of outputs and computes each of them with exactly the same
+//      floating-point operation sequence the serial loop would use.  No
+//      shard ever combines partial sums with another shard, so FP
+//      non-associativity never enters the picture.
+//   2. Randomness never flows through the pool.  Noise is drawn from
+//      per-source deterministic streams owned by the kernel (see
+//      kernel/kernel.h), so the schedule cannot reorder draws.
+//
+// The pool itself is deliberately simple: a fixed set of workers, a FIFO
+// of helper tasks, no work stealing.  ParallelFor enqueues helpers that
+// pull chunk indices from a shared atomic counter; the calling thread
+// participates, so a busy (or empty) pool degrades to the serial loop
+// instead of deadlocking.  Calls from inside a worker run inline for the
+// same reason (no nested fan-out, no oversubscription).
+//
+// Thread count resolution: ThreadPool::Global() is sized once from the
+// EKTELO_THREADS environment variable (0 = serial, exactly today's
+// single-threaded execution; unset = std::thread::hardware_concurrency).
+// Tests and benchmarks may call Resize() between runs; resizing while
+// parallel work is in flight is the caller's race to lose.
+#ifndef EKTELO_UTIL_THREAD_POOL_H_
+#define EKTELO_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ektelo {
+
+class ThreadPool {
+ public:
+  /// A pool with `threads` workers; 0 means every operation runs serially
+  /// on the calling thread.
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t threads() const;
+  /// Join all workers and restart with a new count.  Must not be called
+  /// concurrently with in-flight parallel work.
+  void Resize(std::size_t threads);
+
+  /// The process-wide pool, sized from EKTELO_THREADS on first use.
+  static ThreadPool& Global();
+  /// EKTELO_THREADS if set (0 = serial), else hardware_concurrency.
+  static std::size_t DefaultThreadCount();
+
+  /// Execute fn(begin, end) over a disjoint cover of [0, n) in contiguous
+  /// chunks of at least `grain` indices.  Chunks run concurrently on the
+  /// workers and the calling thread; the call returns after every chunk
+  /// has finished.  fn must only write state owned by its index range.
+  /// Runs serially (one chunk, [0, n)) when the pool has no workers, the
+  /// range is smaller than 2 * grain, or the caller is itself a worker.
+  void ParallelFor(std::size_t n, std::size_t grain,
+                   const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// Execute k independent branches fn(0) .. fn(k-1), each exactly once,
+  /// and wait for all of them.  Branches must touch disjoint state (the
+  /// SplitParallel discipline: disjoint partition children, disjoint
+  /// budget sub-scopes, disjoint output slots).  Returns Ok iff every
+  /// branch did; otherwise the error of the lowest-indexed failing branch,
+  /// which is also what serial in-order execution would surface first.
+  Status ParallelBranches(std::size_t k,
+                          const std::function<Status(std::size_t)>& fn);
+
+ private:
+  struct ForState;
+
+  void StartWorkers(std::size_t threads);
+  void StopWorkers();
+  void WorkerLoop();
+  void Enqueue(std::function<void()> task);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+/// ParallelFor on the global pool.
+void ParallelFor(std::size_t n, std::size_t grain,
+                 const std::function<void(std::size_t, std::size_t)>& fn);
+
+/// ParallelBranches on the global pool.
+Status ParallelBranches(std::size_t k,
+                        const std::function<Status(std::size_t)>& fn);
+
+}  // namespace ektelo
+
+#endif  // EKTELO_UTIL_THREAD_POOL_H_

@@ -65,6 +65,66 @@ TEST(CsvTest, EmptyInputRejected) {
   EXPECT_FALSE(TableFromCsv("", S()).ok());
 }
 
+TEST(CsvTest, RejectsNegativeCode) {
+  // strtoul would silently wrap "-1" to ULONG_MAX; the parser must reject
+  // signed input as a bad code, not an out-of-domain one.
+  auto t = TableFromCsv("a,b\n-1,0\n", S());
+  ASSERT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kInvalidArgument);
+  // Same on a domain so large the wrapped value could otherwise pass a
+  // 32-bit domain check path.
+  Schema wide({{"a", 4000000000u}, {"b", 2}});
+  EXPECT_FALSE(TableFromCsv("a,b\n-1,0\n", wide).ok());
+}
+
+TEST(CsvTest, RejectsExplicitPlusSign) {
+  EXPECT_FALSE(TableFromCsv("a,b\n+1,0\n", S()).ok());
+}
+
+TEST(CsvTest, QuotedHeaderWithEmbeddedComma) {
+  Schema s({{"x,y", 4}, {"b", 2}});
+  auto t = TableFromCsv("\"x,y\",b\n1,0\n3,1\n", s);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->NumRows(), 2u);
+  EXPECT_EQ(t->At(1, 0), 3u);
+}
+
+TEST(CsvTest, QuotedHeaderWithEscapedQuote) {
+  Schema s({{"he said \"hi\"", 4}, {"b", 2}});
+  auto t = TableFromCsv("\"he said \"\"hi\"\"\",b\n2,1\n", s);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->At(0, 0), 2u);
+}
+
+TEST(CsvTest, QuotedDataFieldsParse) {
+  auto t = TableFromCsv("a,b\n\"1\",\"0\"\n", S());
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->At(0, 0), 1u);
+}
+
+TEST(CsvTest, RejectsUnterminatedQuote) {
+  EXPECT_FALSE(TableFromCsv("a,b\n\"1,0\n", S()).ok());
+}
+
+TEST(CsvTest, RejectsGarbageAfterClosingQuote) {
+  EXPECT_FALSE(TableFromCsv("a,b\n\"1\"x,0\n", S()).ok());
+}
+
+TEST(CsvTest, SpecialHeaderRoundTripsThroughTableToCsv) {
+  // TableToCsv must quote header names containing commas/quotes so that
+  // TableFromCsv reads back the exact schema columns.
+  Schema s({{"income,total", 3}, {"say \"what\"", 2}});
+  Table t(s);
+  t.AppendRow({2, 1});
+  t.AppendRow({0, 0});
+  const std::string text = TableToCsv(t);
+  auto back = TableFromCsv(text, s);
+  ASSERT_TRUE(back.ok()) << back.status().ToString() << "\n" << text;
+  EXPECT_EQ(back->NumRows(), 2u);
+  EXPECT_EQ(back->At(0, 0), 2u);
+  EXPECT_EQ(back->At(0, 1), 1u);
+}
+
 TEST(CsvTest, FileRoundTrip) {
   Table t(S());
   t.AppendRow({2, 1});

@@ -1,0 +1,132 @@
+// Thread-count invariance: every registered plan must produce
+// bitwise-identical output — and an order-identical kernel transcript —
+// whether it runs serially (EKTELO_THREADS=0 semantics), with one worker,
+// or with four.  This is the acceptance bar of the deterministic parallel
+// execution engine: per-source lineage-seeded noise streams plus
+// output-sharded linalg kernels make the schedule unobservable.
+#include <algorithm>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "data/generators.h"
+#include "gtest/gtest.h"
+#include "plans/registry.h"
+#include "util/thread_pool.h"
+#include "workload/workloads.h"
+
+namespace ektelo {
+namespace {
+
+struct RunResult {
+  Vec xhat;
+  bool ok = false;
+  std::string error;
+  double budget = 0.0;
+  // Transcript rows normalized for parallel branches: concurrent branches
+  // interleave entries (and concurrently derived SourceIds are
+  // scheduling-dependent), so we compare the sorted multiset of
+  // (op, eps, noise_scale).
+  std::vector<std::tuple<std::string, double, double>> transcript;
+};
+
+RunResult RunPlanWithThreads(const Plan& plan, std::size_t threads) {
+  ThreadPool::Global().Resize(threads);
+
+  const double eps = 0.5;
+  Rng rng(17);  // identical environment for every run
+  Vec hist;
+  std::vector<std::size_t> dims;
+  switch (plan.domain()) {
+    case DomainKind::k1D:
+      dims = {64};
+      hist = MakeHistogram1D(Shape1D::kStep, 64, 2000.0, &rng);
+      break;
+    case DomainKind::k2D:
+      dims = {8, 8};
+      hist = MakeHistogram2D(8, 8, 2000.0, &rng);
+      break;
+    case DomainKind::kMultiDim:
+      dims = {16, 2, 2};
+      hist = MakeHistogram1D(Shape1D::kStep, 64, 2000.0, &rng);
+      break;
+  }
+  const std::size_t n = hist.size();
+  auto ranges = RandomRanges(20, n, 16, &rng);
+  auto w = RangeQueryOp(ranges, n);
+
+  ProtectedKernel kernel(TableFromHistogram(hist, "v"), eps, 424242);
+  ProtectedTable root = ProtectedTable::Root(&kernel);
+  auto x = root.Vectorize();
+  EK_CHECK(x.ok());
+  BudgetScope scope(eps);
+  Rng client_rng(99);
+  PlanInput in;
+  in.dims = dims;
+  in.ranges = ranges;
+  in.workload = w;
+  in.workload_factors = {w};
+  in.known_total = Sum(hist);
+  in.rng = &client_rng;
+  in.stripe_dim = 0;
+
+  RunResult r;
+  StatusOr<Vec> xhat = plan.Execute(*x, scope, in);
+  r.ok = xhat.ok();
+  if (!r.ok) {
+    r.error = xhat.status().ToString();
+    return r;
+  }
+  r.xhat = std::move(*xhat);
+  r.budget = kernel.BudgetConsumed();
+  for (const auto& e : kernel.transcript())
+    r.transcript.emplace_back(e.op, e.eps, e.noise_scale);
+  std::sort(r.transcript.begin(), r.transcript.end());
+  return r;
+}
+
+TEST(ParallelInvarianceTest, EveryPlanIsBitwiseThreadCountInvariant) {
+  const std::vector<const Plan*> catalog = PlanRegistry::Global().Catalog();
+  ASSERT_FALSE(catalog.empty());
+  for (const Plan* plan : catalog) {
+    SCOPED_TRACE(plan->name());
+    const RunResult serial = RunPlanWithThreads(*plan, 0);
+    ASSERT_TRUE(serial.ok) << serial.error;
+    for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads));
+      const RunResult parallel = RunPlanWithThreads(*plan, threads);
+      ASSERT_TRUE(parallel.ok) << parallel.error;
+      ASSERT_EQ(parallel.xhat.size(), serial.xhat.size());
+      for (std::size_t i = 0; i < serial.xhat.size(); ++i) {
+        // Bitwise: no tolerance.
+        ASSERT_EQ(parallel.xhat[i], serial.xhat[i])
+            << "component " << i << " differs";
+      }
+      EXPECT_EQ(parallel.budget, serial.budget);
+      EXPECT_EQ(parallel.transcript, serial.transcript);
+    }
+  }
+  ThreadPool::Global().Resize(ThreadPool::DefaultThreadCount());
+}
+
+// A second seed/geometry so the parallel branches of the grid/striped
+// plans see uneven block sizes (partial blocks exercise the assembly
+// renumbering).
+TEST(ParallelInvarianceTest, StripedAndGridPlansOnUnevenDomains) {
+  for (const char* name : {"HB-Striped", "DAWA-Striped", "AdaptiveGrid"}) {
+    SCOPED_TRACE(name);
+    const Plan& plan = PlanRegistry::Global().MustFind(name);
+    const RunResult serial = RunPlanWithThreads(plan, 0);
+    const RunResult parallel = RunPlanWithThreads(plan, 3);
+    ASSERT_EQ(serial.ok, parallel.ok);
+    if (!serial.ok) continue;
+    ASSERT_EQ(parallel.xhat.size(), serial.xhat.size());
+    for (std::size_t i = 0; i < serial.xhat.size(); ++i)
+      ASSERT_EQ(parallel.xhat[i], serial.xhat[i]) << i;
+    EXPECT_EQ(parallel.transcript, serial.transcript);
+  }
+  ThreadPool::Global().Resize(ThreadPool::DefaultThreadCount());
+}
+
+}  // namespace
+}  // namespace ektelo

@@ -146,6 +146,77 @@ TEST(SpectralNormTest, MatchesKnownValue) {
   EXPECT_NEAR(EstimateSpectralNormSq(*MakeOnesOp(3, 4), 100), 12.0, 1e-4);
 }
 
+TEST(SpectralNormTest, ZeroItersStillEstimates) {
+  // iters == 0 used to return the uninitialized placeholder 1.0 for every
+  // operator; the guard clamps to one power step, which is exact for any
+  // diagonal "gram" with a single scale.
+  EXPECT_NEAR(EstimateSpectralNormSqGram(*MakeScaled(MakeIdentityOp(8), 7.0),
+                                         0),
+              7.0, 1e-9);
+}
+
+TEST(SpectralNormTest, SurvivesHugeNormGram) {
+  // A pathological Gram with entries ~1e200: the sum of squares inside a
+  // naive Norm2 overflows to inf, so the estimate must pre-scale the
+  // iterate by its max magnitude each iteration.
+  const double huge = 1e200;
+  auto gram = MakeScaled(MakeIdentityOp(64), huge);
+  const double est = EstimateSpectralNormSqGram(*gram, 10);
+  ASSERT_TRUE(std::isfinite(est));
+  EXPECT_NEAR(est / huge, 1.0, 1e-9);
+}
+
+// Counts every forward/transposed traversal of the wrapped operator, so a
+// test can reconstruct exactly how many FISTA passes ran (one Gram apply
+// per pass through the default Gram composition).
+class CountingOp final : public LinOp {
+ public:
+  explicit CountingOp(LinOpPtr child)
+      : LinOp(child->rows(), child->cols()), child_(std::move(child)) {}
+  void ApplyRaw(const double* x, double* y) const override {
+    ++fwd_;
+    child_->ApplyRaw(x, y);
+  }
+  void ApplyTRaw(const double* x, double* y) const override {
+    ++tr_;
+    child_->ApplyTRaw(x, y);
+  }
+  std::string DebugName() const override { return "Counting"; }
+  std::size_t fwd() const { return fwd_; }
+
+ private:
+  LinOpPtr child_;
+  mutable std::size_t fwd_ = 0, tr_ = 0;
+};
+
+TEST(NnlsTest, IterationCountMatchesGramAppliesUnderRestarts) {
+  // A rank-1 operator whose dominant direction carries almost no weight
+  // in the deterministic power-iteration start vector: one power step
+  // underestimates the Lipschitz constant badly, the gradient step
+  // overshoots, and the monotone restart branch fires repeatedly.  The
+  // restart path used to double-increment the loop counter, so
+  // NnlsResult::iterations exceeded the number of Gram applies actually
+  // performed (and max_iters was effectively halved).
+  const std::size_t n = 64;
+  DenseMatrix a(1, n);
+  a.At(0, n - 1) = 100.0;
+  auto counting = std::make_shared<CountingOp>(MakeDense(std::move(a)));
+  Vec b{500.0};
+  NnlsOptions opts;
+  opts.max_iters = 40;
+  opts.power_iters = 1;
+  opts.tol = 0.0;  // never converge early: exercise the full loop
+  NnlsResult res = Nnls(*counting, b, opts);
+  // Forward traversals: power_iters + initial G x0 + one per pass + the
+  // final residual report.
+  ASSERT_GE(counting->fwd(), opts.power_iters + 2);
+  const std::size_t passes = counting->fwd() - opts.power_iters - 2;
+  EXPECT_EQ(res.iterations, passes);
+  EXPECT_LE(res.iterations, opts.max_iters);
+  EXPECT_GT(res.restarts, 0u);
+  EXPECT_LE(res.restarts, res.iterations);
+}
+
 TEST(LsmrTest, IterationCountScalesGently) {
   // Well-conditioned hierarchical systems converge in << n iterations
   // (the observation that justifies iterative inference, Sec. 7.6).

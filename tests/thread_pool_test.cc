@@ -1,0 +1,128 @@
+// Unit tests for the deterministic parallel execution engine.
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace ektelo {
+namespace {
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  for (std::size_t n : {0u, 1u, 7u, 64u, 1000u}) {
+    std::vector<std::atomic<int>> hits(n);
+    for (auto& h : hits) h = 0;
+    pool.ParallelFor(n, 3, [&](std::size_t b, std::size_t e) {
+      ASSERT_LE(b, e);
+      ASSERT_LE(e, n);
+      for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+    });
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPoolTest, ZeroWorkersRunsSerially) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.threads(), 0u);
+  std::size_t calls = 0;
+  pool.ParallelFor(100, 1, [&](std::size_t b, std::size_t e) {
+    // Serial mode must be a single [0, n) chunk on the calling thread.
+    EXPECT_EQ(b, 0u);
+    EXPECT_EQ(e, 100u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1u);
+}
+
+TEST(ThreadPoolTest, RespectsGrain) {
+  ThreadPool pool(8);
+  std::mutex mu;
+  std::vector<std::size_t> sizes;
+  pool.ParallelFor(100, 40, [&](std::size_t b, std::size_t e) {
+    std::lock_guard<std::mutex> lock(mu);
+    sizes.push_back(e - b);
+  });
+  std::size_t total = 0;
+  for (std::size_t s : sizes) {
+    EXPECT_GE(s, 20u);  // never smaller than the final partial chunk
+    total += s;
+  }
+  EXPECT_EQ(total, 100u);
+  EXPECT_LE(sizes.size(), 3u);  // ceil(100/40) chunks at most
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInline) {
+  ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  pool.ParallelFor(8, 1, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      // A nested call from a worker (or the participating caller) must
+      // complete without deadlock.
+      pool.ParallelFor(10, 1, [&](std::size_t ib, std::size_t ie) {
+        inner_total.fetch_add(static_cast<int>(ie - ib));
+      });
+    }
+  });
+  EXPECT_EQ(inner_total.load(), 80);
+}
+
+TEST(ThreadPoolTest, ParallelBranchesReturnsLowestIndexedError) {
+  ThreadPool pool(4);
+  Status st = pool.ParallelBranches(10, [&](std::size_t b) -> Status {
+    if (b == 7) return Status::Internal("late failure");
+    if (b == 3) return Status::InvalidArgument("early failure");
+    return Status::Ok();
+  });
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "early failure");
+}
+
+TEST(ThreadPoolTest, ParallelBranchesRunsEveryBranch) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(25);
+  for (auto& h : hits) h = 0;
+  ASSERT_TRUE(pool.ParallelBranches(25, [&](std::size_t b) -> Status {
+                    hits[b].fetch_add(1);
+                    return Status::Ok();
+                  }).ok());
+  for (std::size_t b = 0; b < 25; ++b) EXPECT_EQ(hits[b].load(), 1);
+}
+
+TEST(ThreadPoolTest, ResizeChangesWorkerCount) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.threads(), 1u);
+  pool.Resize(4);
+  EXPECT_EQ(pool.threads(), 4u);
+  std::atomic<int> total{0};
+  pool.ParallelFor(64, 1, [&](std::size_t b, std::size_t e) {
+    total.fetch_add(static_cast<int>(e - b));
+  });
+  EXPECT_EQ(total.load(), 64);
+  pool.Resize(0);
+  EXPECT_EQ(pool.threads(), 0u);
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountParsesEnv) {
+  setenv("EKTELO_THREADS", "3", 1);
+  EXPECT_EQ(ThreadPool::DefaultThreadCount(), 3u);
+  setenv("EKTELO_THREADS", "0", 1);
+  EXPECT_EQ(ThreadPool::DefaultThreadCount(), 0u);
+  const std::size_t hw_default = [] {
+    unsetenv("EKTELO_THREADS");
+    return ThreadPool::DefaultThreadCount();
+  }();
+  // Signed, malformed or absurd values must fall back to the hardware
+  // default, never sign-wrap through strtoul into a 2^64-thread request.
+  for (const char* bad : {"-1", "+2", "1e9", "999999999999", "lots", ""}) {
+    setenv("EKTELO_THREADS", bad, 1);
+    EXPECT_EQ(ThreadPool::DefaultThreadCount(), hw_default) << bad;
+  }
+  unsetenv("EKTELO_THREADS");
+}
+
+}  // namespace
+}  // namespace ektelo
