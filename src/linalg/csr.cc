@@ -132,9 +132,31 @@ CsrMatrix CsrMatrix::Transpose() const {
   return t;
 }
 
+std::size_t CsrMatrix::MatmulUpdateBound(const CsrMatrix& other) const {
+  EK_CHECK_EQ(cols_, other.rows());
+  std::size_t updates = 0;
+  for (std::size_t k = 0; k < nnz(); ++k)
+    updates += other.indptr_[indices_[k] + 1] - other.indptr_[indices_[k]];
+  return updates;
+}
+
 CsrMatrix CsrMatrix::Matmul(const CsrMatrix& other) const {
   EK_CHECK_EQ(cols_, other.rows());
   CsrMatrix r(rows_, other.cols());
+  // Reserve an nnz estimate up front: the update bound caps the result
+  // nnz, and reserving it avoids the repeated reallocation that
+  // dominates hierarchy-product workloads.  Capped by the dense size and
+  // a multiple of the input nnz so a pessimistic bound (dense-ish
+  // overlap with a tiny true product) cannot eagerly allocate runaway
+  // memory — beyond the cap, amortized growth takes over.
+  {
+    const std::size_t cap = std::min<std::size_t>(
+        {MatmulUpdateBound(other), rows_ * other.cols(),
+         std::max<std::size_t>(std::size_t{1} << 20,
+                               8 * (nnz() + other.nnz()))});
+    r.indices_.reserve(cap);
+    r.values_.reserve(cap);
+  }
   // Row-wise sparse accumulator.
   std::vector<double> acc(other.cols(), 0.0);
   std::vector<std::size_t> touched;
@@ -196,6 +218,62 @@ CsrMatrix CsrMatrix::VStack(const CsrMatrix& other) const {
   for (std::size_t i = 0; i < rows_; ++i) r.indptr_[i + 1] = indptr_[i + 1];
   for (std::size_t i = 0; i < other.rows(); ++i)
     r.indptr_[rows_ + i + 1] = nnz() + other.indptr_[i + 1];
+  return r;
+}
+
+CsrMatrix CsrMatrix::VStackMany(const std::vector<CsrMatrix>& parts) {
+  EK_CHECK(!parts.empty());
+  const std::size_t cols = parts[0].cols();
+  std::size_t rows = 0, nnz = 0;
+  for (const auto& p : parts) {
+    EK_CHECK_EQ(p.cols(), cols);
+    rows += p.rows();
+    nnz += p.nnz();
+  }
+  CsrMatrix r(rows, cols);
+  r.indices_.reserve(nnz);
+  r.values_.reserve(nnz);
+  std::size_t row0 = 0;
+  for (const auto& p : parts) {
+    const std::size_t base = r.indices_.size();
+    r.indices_.insert(r.indices_.end(), p.indices_.begin(), p.indices_.end());
+    r.values_.insert(r.values_.end(), p.values_.begin(), p.values_.end());
+    for (std::size_t i = 0; i < p.rows(); ++i)
+      r.indptr_[row0 + i + 1] = base + p.indptr_[i + 1];
+    row0 += p.rows();
+  }
+  return r;
+}
+
+CsrMatrix CsrMatrix::HStackMany(const std::vector<CsrMatrix>& parts) {
+  EK_CHECK(!parts.empty());
+  const std::size_t rows = parts[0].rows();
+  std::size_t cols = 0, nnz = 0;
+  for (const auto& p : parts) {
+    EK_CHECK_EQ(p.rows(), rows);
+    cols += p.cols();
+    nnz += p.nnz();
+  }
+  CsrMatrix r(rows, cols);
+  r.indices_.resize(nnz);
+  r.values_.resize(nnz);
+  // Row pointers: row i holds row i of every part, in part order (which
+  // also keeps column indices ascending, since offsets increase).
+  for (std::size_t i = 0; i < rows; ++i) {
+    std::size_t len = 0;
+    for (const auto& p : parts) len += p.indptr_[i + 1] - p.indptr_[i];
+    r.indptr_[i + 1] = r.indptr_[i] + len;
+  }
+  for (std::size_t i = 0; i < rows; ++i) {
+    std::size_t pos = r.indptr_[i], off = 0;
+    for (const auto& p : parts) {
+      for (std::size_t k = p.indptr_[i]; k < p.indptr_[i + 1]; ++k, ++pos) {
+        r.indices_[pos] = off + p.indices_[k];
+        r.values_[pos] = p.values_[k];
+      }
+      off += p.cols();
+    }
+  }
   return r;
 }
 

@@ -59,11 +59,30 @@ class CsrMatrix {
   CsrMatrix Transpose() const;
   CsrMatrix Matmul(const CsrMatrix& other) const;
 
+  /// Exact update (flop) count of Matmul(other): the sum over this
+  /// matrix's entries of the matching other-row length.  An upper bound
+  /// on the product's nnz; Matmul uses it to reserve, and the rewrite
+  /// engine to budget eager sparse fusion.
+  std::size_t MatmulUpdateBound(const CsrMatrix& other) const;
+
   /// Kronecker product (this ⊗ other); nnz = nnz(this) * nnz(other).
   CsrMatrix Kronecker(const CsrMatrix& other) const;
 
   /// Stack other below this (column counts must match).
   CsrMatrix VStack(const CsrMatrix& other) const;
+
+  /// Multi-way vertical concatenation in one pass: precomputes the total
+  /// nnz and row pointers, then copies each part's arrays exactly once —
+  /// O(total nnz), versus the quadratic re-copying of folding VStack
+  /// pairwise.  All parts must share a column count; `parts` must be
+  /// non-empty.
+  static CsrMatrix VStackMany(const std::vector<CsrMatrix>& parts);
+
+  /// Multi-way horizontal concatenation [A | B | ...] in one pass: row i
+  /// of the result is row i of every part, column-shifted; nnz and row
+  /// pointers are precomputed so each entry is written exactly once.  All
+  /// parts must share a row count; `parts` must be non-empty.
+  static CsrMatrix HStackMany(const std::vector<CsrMatrix>& parts);
 
   CsrMatrix Abs() const;
   CsrMatrix Sqr() const;

@@ -33,6 +33,11 @@ class TransposeOp final : public LinOp {
   LinOpPtr Sqr() const override;
   CsrMatrix MaterializeSparse() const override;
   std::string DebugName() const override;
+  bool StructuralEq(const LinOp& other) const override;
+  const LinOpPtr& child() const { return child_; }
+
+ protected:
+  uint64_t ComputeStructuralHash() const override;
 
  private:
   LinOpPtr child_;
@@ -52,7 +57,11 @@ class VStackOp final : public LinOp {
   LinOpPtr Gram() const override;  // sum of the children's Grams
   CsrMatrix MaterializeSparse() const override;
   std::string DebugName() const override;
+  bool StructuralEq(const LinOp& other) const override;
   const std::vector<LinOpPtr>& children() const { return children_; }
+
+ protected:
+  uint64_t ComputeStructuralHash() const override;
 
  private:
   std::vector<LinOpPtr> children_;
@@ -72,11 +81,13 @@ class HStackOp final : public LinOp {
   LinOpPtr Sqr() const override;
   CsrMatrix MaterializeSparse() const override;
   std::string DebugName() const override;
+  bool StructuralEq(const LinOp& other) const override;
   const std::vector<LinOpPtr>& children() const { return children_; }
 
  protected:
   double ComputeSensitivityL1() const override;
   double ComputeSensitivityL2() const override;
+  uint64_t ComputeStructuralHash() const override;
 
  private:
   std::vector<LinOpPtr> children_;
@@ -94,7 +105,11 @@ class SumOp final : public LinOp {
                       std::size_t k) const override;
   CsrMatrix MaterializeSparse() const override;
   std::string DebugName() const override;
+  bool StructuralEq(const LinOp& other) const override;
   const std::vector<LinOpPtr>& children() const { return children_; }
+
+ protected:
+  uint64_t ComputeStructuralHash() const override;
 
  private:
   std::vector<LinOpPtr> children_;
@@ -114,6 +129,12 @@ class ProductOp final : public LinOp {
   LinOpPtr Gram() const override;  // B^T Gram(A) B
   CsrMatrix MaterializeSparse() const override;
   std::string DebugName() const override;
+  bool StructuralEq(const LinOp& other) const override;
+  const LinOpPtr& a() const { return a_; }
+  const LinOpPtr& b() const { return b_; }
+
+ protected:
+  uint64_t ComputeStructuralHash() const override;
 
  private:
   LinOpPtr a_, b_;
@@ -136,12 +157,14 @@ class KroneckerOp final : public LinOp {
   LinOpPtr Gram() const override;  // Gram(A) ⊗ Gram(B)
   CsrMatrix MaterializeSparse() const override;
   std::string DebugName() const override;
+  bool StructuralEq(const LinOp& other) const override;
   const LinOpPtr& a() const { return a_; }
   const LinOpPtr& b() const { return b_; }
 
  protected:
   double ComputeSensitivityL1() const override;
   double ComputeSensitivityL2() const override;
+  uint64_t ComputeStructuralHash() const override;
 
  private:
   LinOpPtr a_, b_;
@@ -160,6 +183,12 @@ class RowWeightOp final : public LinOp {
   LinOpPtr Sqr() const override;
   CsrMatrix MaterializeSparse() const override;
   std::string DebugName() const override;
+  bool StructuralEq(const LinOp& other) const override;
+  const LinOpPtr& child() const { return child_; }
+  const Vec& weights() const { return w_; }
+
+ protected:
+  uint64_t ComputeStructuralHash() const override;
 
  private:
   LinOpPtr child_;
@@ -181,11 +210,14 @@ class ScaleOp final : public LinOp {
   LinOpPtr Gram() const override;
   CsrMatrix MaterializeSparse() const override;
   std::string DebugName() const override;
+  bool StructuralEq(const LinOp& other) const override;
   double scale() const { return c_; }
+  const LinOpPtr& child() const { return child_; }
 
  protected:
   double ComputeSensitivityL1() const override;
   double ComputeSensitivityL2() const override;
+  uint64_t ComputeStructuralHash() const override;
 
  private:
   LinOpPtr child_;

@@ -2,11 +2,22 @@
 
 #include <algorithm>
 #include <cmath>
+#include <typeinfo>
 
+#include "matrix/rewrite.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
 namespace ektelo {
+
+namespace {
+// Structural-hash tags of the operator classes defined in this file
+// (every LinOp subclass mixes a distinct tag; see kTag* in the other
+// operator translation units).
+constexpr uint64_t kTagDense = 1;
+constexpr uint64_t kTagSparse = 2;
+constexpr uint64_t kTagGram = 3;
+}  // namespace
 
 Vec LinOp::Apply(const Vec& x) const {
   EK_CHECK_EQ(x.size(), cols());
@@ -135,12 +146,22 @@ DenseMatrix LinOp::MaterializeDense() const {
 // Racing threads at worst compute the same deterministic value twice;
 // the first store wins.
 
+// On a per-instance miss the process-wide OperatorCache is consulted
+// (keyed by structural hash, verified by StructuralEq) before computing:
+// plans rebuild structurally identical strategies on every execution and
+// per grid/stripe branch, and the computation is deterministic, so the
+// first instance's value is bitwise-valid for all of them.  Gated on the
+// rewrite toggle so EKTELO_REWRITE=0 reproduces the uncached behavior.
+
 double LinOp::SensitivityL1() const {
   {
     std::lock_guard<std::mutex> lock(sens_mu_);
     if (sens_l1_) return *sens_l1_;
   }
-  const double v = ComputeSensitivityL1();
+  const auto compute = [this] { return ComputeSensitivityL1(); };
+  const double v = RewriteEnabled()
+                       ? OperatorCache::Global().Sensitivity(*this, 1, compute)
+                       : compute();
   std::lock_guard<std::mutex> lock(sens_mu_);
   if (!sens_l1_) sens_l1_ = v;
   return *sens_l1_;
@@ -151,7 +172,10 @@ double LinOp::SensitivityL2() const {
     std::lock_guard<std::mutex> lock(sens_mu_);
     if (sens_l2_) return *sens_l2_;
   }
-  const double v = ComputeSensitivityL2();
+  const auto compute = [this] { return ComputeSensitivityL2(); };
+  const double v = RewriteEnabled()
+                       ? OperatorCache::Global().Sensitivity(*this, 2, compute)
+                       : compute();
   std::lock_guard<std::mutex> lock(sens_mu_);
   if (!sens_l2_) sens_l2_ = v;
   return *sens_l2_;
@@ -174,6 +198,28 @@ double LinOp::ComputeSensitivityL2() const {
       colsum.empty() ? 0.0 : *std::max_element(colsum.begin(), colsum.end());
   return std::sqrt(m);
 }
+
+// ------------------------------------------------- structural identity
+
+uint64_t LinOp::StructuralHash() const {
+  uint64_t h = struct_hash_.load(std::memory_order_relaxed);
+  if (h != 0) return h;
+  h = ComputeStructuralHash();
+  if (h == 0) h = 0x9e3779b97f4a7c15ull;  // reserve 0 as "unset"
+  struct_hash_.store(h, std::memory_order_relaxed);
+  return h;
+}
+
+uint64_t LinOp::ComputeStructuralHash() const {
+  // Unknown subclass: unique per instance, so a memo cache can still
+  // serve repeated queries against the *same* object but never conflates
+  // two distinct ones.
+  StructHash h = HashBase(typeid(*this).hash_code());
+  h.Mix(reinterpret_cast<uintptr_t>(this));
+  return h.Finish();
+}
+
+bool LinOp::StructuralEq(const LinOp& other) const { return this == &other; }
 
 // ---------------------------------------------------------------- DenseOp
 
@@ -226,6 +272,15 @@ DenseMatrix DenseOp::MaterializeDense() const { return m_; }
 
 double DenseOp::ComputeSensitivityL1() const { return m_.MaxColNormL1(); }
 double DenseOp::ComputeSensitivityL2() const { return m_.MaxColNormL2(); }
+
+uint64_t DenseOp::ComputeStructuralHash() const {
+  return HashBase(kTagDense).MixDoubles(m_.data()).Finish();
+}
+
+bool DenseOp::StructuralEq(const LinOp& other) const {
+  auto* o = dynamic_cast<const DenseOp*>(&other);
+  return o && EqBase(other) && BitwiseEq(m_.data(), o->m_.data());
+}
 
 std::string DenseOp::DebugName() const {
   return "Dense(" + std::to_string(rows()) + "x" + std::to_string(cols()) +
@@ -294,6 +349,19 @@ CsrMatrix SparseOp::MaterializeSparse() const { return m_; }
 double SparseOp::ComputeSensitivityL1() const { return m_.MaxColNormL1(); }
 double SparseOp::ComputeSensitivityL2() const { return m_.MaxColNormL2(); }
 
+uint64_t SparseOp::ComputeStructuralHash() const {
+  StructHash h = HashBase(kTagSparse);
+  h.MixSizes(m_.indptr()).MixSizes(m_.indices()).MixDoubles(m_.values());
+  return h.Finish();
+}
+
+bool SparseOp::StructuralEq(const LinOp& other) const {
+  auto* o = dynamic_cast<const SparseOp*>(&other);
+  return o && EqBase(other) && m_.indptr() == o->m_.indptr() &&
+         m_.indices() == o->m_.indices() &&
+         BitwiseEq(m_.values(), o->m_.values());
+}
+
 std::string SparseOp::DebugName() const {
   return "Sparse(" + std::to_string(rows()) + "x" + std::to_string(cols()) +
          ",nnz=" + std::to_string(m_.nnz()) + ")";
@@ -331,6 +399,15 @@ LinOpPtr GramOp::Gram() const {
 
 std::string GramOp::DebugName() const {
   return "Gram(" + child_->DebugName() + ")";
+}
+
+uint64_t GramOp::ComputeStructuralHash() const {
+  return HashBase(kTagGram).Mix(child_->StructuralHash()).Finish();
+}
+
+bool GramOp::StructuralEq(const LinOp& other) const {
+  auto* o = dynamic_cast<const GramOp*>(&other);
+  return o && EqBase(other) && child_->StructuralEq(*o->child_);
 }
 
 LinOpPtr MakeDense(DenseMatrix m) {

@@ -37,11 +37,13 @@ class RangeSetOp final : public LinOp {
                       std::size_t k) const override;
   CsrMatrix MaterializeSparse() const override;
   std::string DebugName() const override;
+  bool StructuralEq(const LinOp& other) const override;
   const std::vector<Interval>& ranges() const { return ranges_; }
 
  protected:
   double ComputeSensitivityL1() const override;
   double ComputeSensitivityL2() const override;
+  uint64_t ComputeStructuralHash() const override;
 
  private:
   std::vector<Interval> ranges_;
@@ -63,11 +65,13 @@ class RectangleSetOp final : public LinOp {
                       std::size_t k) const override;
   CsrMatrix MaterializeSparse() const override;
   std::string DebugName() const override;
+  bool StructuralEq(const LinOp& other) const override;
   const std::vector<Rectangle>& rects() const { return rects_; }
 
  protected:
   double ComputeSensitivityL1() const override;
   double ComputeSensitivityL2() const override;
+  uint64_t ComputeStructuralHash() const override;
 
  private:
   std::vector<Rectangle> rects_;

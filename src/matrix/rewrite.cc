@@ -1,0 +1,881 @@
+#include "matrix/rewrite.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <list>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "matrix/combinators.h"
+#include "matrix/implicit_ops.h"
+#include "matrix/range_ops.h"
+#include "util/check.h"
+
+namespace ektelo {
+
+// ------------------------------------------------------------------ toggle
+
+namespace {
+
+std::atomic<int> g_force{-1};
+
+bool EnvEnabled() {
+  static const bool enabled = [] {
+    const char* v = std::getenv("EKTELO_REWRITE");
+    return !(v != nullptr && std::strcmp(v, "0") == 0);
+  }();
+  return enabled;
+}
+
+}  // namespace
+
+bool RewriteEnabled() {
+  const int f = g_force.load(std::memory_order_relaxed);
+  if (f >= 0) return f != 0;
+  return EnvEnabled();
+}
+
+void SetRewriteEnabled(int force) {
+  g_force.store(force < 0 ? -1 : (force != 0 ? 1 : 0),
+                std::memory_order_relaxed);
+}
+
+// ----------------------------------------------------------- rewrite pass
+
+namespace {
+
+template <typename T>
+std::shared_ptr<const T> As(const LinOpPtr& p) {
+  return std::dynamic_pointer_cast<const T>(p);
+}
+
+bool AllOnes(const Vec& w) {
+  for (double v : w)
+    if (!BitwiseEq(v, 1.0)) return false;
+  return true;
+}
+
+/// What a VStack/HStack/Sum child can merge into.
+enum class MergeKind { kNone, kRange, kSparse, kDense };
+
+MergeKind MergeKindOf(const LinOpPtr& op) {
+  if (As<RangeSetOp>(op)) return MergeKind::kRange;
+  // Every row of Ones(m, n) is the full interval [0, n-1]: the prefix-sum
+  // evaluation of the merged RangeSet reproduces the direct row sums
+  // bitwise (both are the same left-to-right accumulation of x).
+  if (As<OnesOp>(op) && op->cols() > 0) return MergeKind::kRange;
+  if (As<SparseOp>(op)) return MergeKind::kSparse;
+  if (As<DenseOp>(op)) return MergeKind::kDense;
+  return MergeKind::kNone;
+}
+
+void AppendRanges(const LinOpPtr& op, std::vector<Interval>* out) {
+  if (auto rs = As<RangeSetOp>(op)) {
+    out->insert(out->end(), rs->ranges().begin(), rs->ranges().end());
+    return;
+  }
+  auto ones = As<OnesOp>(op);
+  EK_CHECK(ones != nullptr);
+  for (std::size_t i = 0; i < ones->rows(); ++i)
+    out->push_back({0, ones->cols() - 1});
+}
+
+DenseMatrix VConcatDense(const std::vector<LinOpPtr>& run) {
+  std::size_t rows = 0;
+  const std::size_t cols = run[0]->cols();
+  for (const auto& c : run) rows += c->rows();
+  DenseMatrix m(rows, cols);
+  std::size_t r0 = 0;
+  for (const auto& c : run) {
+    const DenseMatrix& d = As<DenseOp>(c)->dense();
+    std::copy(d.data().begin(), d.data().end(), m.RowPtr(r0));
+    r0 += d.rows();
+  }
+  return m;
+}
+
+// Budget for eagerly multiplying two CSR leaves during rewriting: the
+// update count of the row-wise product must stay modest, and the fused
+// result is kept only when it is no denser than its factors (so per-apply
+// cost can only improve — e.g. P P^T of a partition collapses to a
+// diagonal).
+constexpr std::size_t kSparseFuseMaxUpdates = std::size_t{1} << 24;
+
+class Rewriter {
+ public:
+  LinOpPtr Run(const LinOpPtr& op) {
+    auto it = memo_.find(op.get());
+    if (it != memo_.end()) return it->second.second;
+    LinOpPtr out = Dispatch(op);
+    // The map holds the KEY operator alive too: Gram re-derivation feeds
+    // freshly built temporary trees through Run, and without the
+    // keep-alive a freed node's address could be reused by a later
+    // allocation in the same pass and hit a stale entry.
+    memo_.emplace(op.get(), std::make_pair(op, out));
+    return out;
+  }
+
+ private:
+  // ---- small constructors that re-apply local rules on already-rewritten
+  // ---- children (each returns a canonical node, never recursing into
+  // ---- Run, so termination is by structural descent only).
+
+  LinOpPtr Scaled(LinOpPtr child, double c) {
+    while (auto s = As<ScaleOp>(child)) {
+      c *= s->scale();
+      child = s->child();
+    }
+    if (auto rw = As<RowWeightOp>(child)) {
+      Vec w = rw->weights();
+      for (double& v : w) v *= c;
+      return RowWeighted(rw->child(), std::move(w));
+    }
+    if (c == 1.0) return child;
+    if (auto sp = As<SparseOp>(child)) {
+      CsrMatrix m = sp->csr();
+      for (double& v : m.values()) v *= c;
+      return MakeSparse(std::move(m));
+    }
+    if (auto d = As<DenseOp>(child)) {
+      DenseMatrix m = d->dense();
+      for (double& v : m.data()) v *= c;
+      return MakeDense(std::move(m));
+    }
+    return MakeScaled(std::move(child), c);
+  }
+
+  LinOpPtr RowWeighted(LinOpPtr child, Vec w) {
+    for (;;) {
+      if (auto s = As<ScaleOp>(child)) {
+        for (double& v : w) v *= s->scale();
+        child = s->child();
+        continue;
+      }
+      if (auto rw = As<RowWeightOp>(child)) {
+        for (std::size_t i = 0; i < w.size(); ++i) w[i] *= rw->weights()[i];
+        child = rw->child();
+        continue;
+      }
+      break;
+    }
+    if (AllOnes(w)) return child;
+    if (auto sp = As<SparseOp>(child)) return MakeSparse(sp->csr().ScaleRows(w));
+    if (auto d = As<DenseOp>(child)) {
+      DenseMatrix m = d->dense();
+      for (std::size_t i = 0; i < m.rows(); ++i) {
+        double* row = m.RowPtr(i);
+        for (std::size_t j = 0; j < m.cols(); ++j) row[j] *= w[i];
+      }
+      return MakeDense(std::move(m));
+    }
+    return MakeRowWeight(std::move(child), std::move(w));
+  }
+
+  LinOpPtr Transposed(const LinOpPtr& child) {
+    if (auto t = As<TransposeOp>(child)) return t->child();
+    if (auto s = As<ScaleOp>(child))
+      return Scaled(Transposed(s->child()), s->scale());
+    if (auto p = As<ProductOp>(child))
+      return Producted(Transposed(p->b()), Transposed(p->a()), false);
+    if (auto k = As<KroneckerOp>(child))
+      return Kroned(Transposed(k->a()), Transposed(k->b()));
+    if (auto v = As<VStackOp>(child)) {
+      std::vector<LinOpPtr> ts;
+      ts.reserve(v->children().size());
+      for (const auto& c : v->children()) ts.push_back(Transposed(c));
+      return HStacked(std::move(ts));
+    }
+    if (auto hs = As<HStackOp>(child)) {
+      std::vector<LinOpPtr> ts;
+      ts.reserve(hs->children().size());
+      for (const auto& c : hs->children()) ts.push_back(Transposed(c));
+      return VStacked(std::move(ts));
+    }
+    if (auto sm = As<SumOp>(child)) {
+      std::vector<LinOpPtr> ts;
+      ts.reserve(sm->children().size());
+      for (const auto& c : sm->children()) ts.push_back(Transposed(c));
+      return Summed(std::move(ts));
+    }
+    if (As<GramOp>(child)) return child;  // symmetric
+    if (As<IdentityOp>(child)) return child;
+    if (auto sp = As<SparseOp>(child)) return MakeSparse(sp->csr().Transpose());
+    if (auto d = As<DenseOp>(child)) return MakeDense(d->dense().Transpose());
+    return MakeTranspose(child);
+  }
+
+  LinOpPtr Producted(LinOpPtr a, LinOpPtr b, bool binary_hint) {
+    // Identity factors vanish (Product(I, A) evaluates A then copies).
+    if (As<IdentityOp>(a)) return b;
+    if (As<IdentityOp>(b)) return a;
+    // Hoist scalars so the structural factors can fuse below.
+    {
+      double c = 1.0;
+      bool hoisted = false;
+      while (auto sa = As<ScaleOp>(a)) {
+        c *= sa->scale();
+        a = sa->child();
+        hoisted = true;
+      }
+      while (auto sb = As<ScaleOp>(b)) {
+        c *= sb->scale();
+        b = sb->child();
+        hoisted = true;
+      }
+      if (hoisted)
+        return Scaled(Producted(std::move(a), std::move(b), binary_hint), c);
+    }
+    // Kronecker mixed-product identity: (A (x) B)(C (x) D) = AC (x) BD
+    // when the factor shapes conform.
+    {
+      auto ka = As<KroneckerOp>(a);
+      auto kb = As<KroneckerOp>(b);
+      if (ka && kb && ka->a()->cols() == kb->a()->rows() &&
+          ka->b()->cols() == kb->b()->rows())
+        return Kroned(Producted(ka->a(), kb->a(), false),
+                      Producted(ka->b(), kb->b(), false));
+    }
+    // Two CSR leaves: multiply now when affordable, keep only when the
+    // product is no denser than its factors (P P^T of a partition or
+    // selection collapses to a diagonal here, short-circuiting its Gram).
+    {
+      auto sa = As<SparseOp>(a);
+      auto sb = As<SparseOp>(b);
+      if (sa && sb) {
+        const CsrMatrix& ma = sa->csr();
+        const CsrMatrix& mb = sb->csr();
+        if (ma.MatmulUpdateBound(mb) <= kSparseFuseMaxUpdates) {
+          CsrMatrix fused = ma.Matmul(mb);
+          if (fused.nnz() <= ma.nnz() + mb.nnz())
+            return MakeSparse(std::move(fused));
+        }
+      }
+    }
+    return MakeProduct(std::move(a), std::move(b), binary_hint);
+  }
+
+  LinOpPtr Kroned(LinOpPtr a, LinOpPtr b) {
+    {
+      double c = 1.0;
+      bool hoisted = false;
+      while (auto sa = As<ScaleOp>(a)) {
+        c *= sa->scale();
+        a = sa->child();
+        hoisted = true;
+      }
+      while (auto sb = As<ScaleOp>(b)) {
+        c *= sb->scale();
+        b = sb->child();
+        hoisted = true;
+      }
+      if (hoisted) return Scaled(Kroned(std::move(a), std::move(b)), c);
+    }
+    auto ia = As<IdentityOp>(a);
+    auto ib = As<IdentityOp>(b);
+    if (ia && ib) return MakeIdentityOp(a->rows() * b->rows());
+    if (ia && a->rows() == 1) return b;  // I_1 (x) B = B
+    if (ib && b->rows() == 1) return a;
+    return MakeKronecker(std::move(a), std::move(b));
+  }
+
+  LinOpPtr VStacked(std::vector<LinOpPtr> children) {
+    // Flatten nested stacks.
+    std::vector<LinOpPtr> flat;
+    flat.reserve(children.size());
+    for (auto& c : children) {
+      if (auto v = As<VStackOp>(c))
+        flat.insert(flat.end(), v->children().begin(), v->children().end());
+      else
+        flat.push_back(std::move(c));
+    }
+    // Hoist per-child Scale/RowWeight wrappers into one row-weight vector
+    // when doing so exposes an adjacent mergeable pair underneath (the
+    // weighted measurement stacks of NNLS/LSMR inference).
+    bool any_wrapped = false;
+    std::vector<LinOpPtr> stripped;
+    stripped.reserve(flat.size());
+    for (const auto& c : flat) {
+      if (auto s = As<ScaleOp>(c)) {
+        stripped.push_back(s->child());
+        any_wrapped = true;
+      } else if (auto rw = As<RowWeightOp>(c)) {
+        stripped.push_back(rw->child());
+        any_wrapped = true;
+      } else {
+        stripped.push_back(c);
+      }
+    }
+    bool mergeable_pair = false;
+    for (std::size_t i = 0; i + 1 < stripped.size() && !mergeable_pair; ++i) {
+      const MergeKind k = MergeKindOf(stripped[i]);
+      mergeable_pair = k != MergeKind::kNone && k == MergeKindOf(stripped[i + 1]);
+    }
+    if (any_wrapped && mergeable_pair) {
+      Vec w;
+      for (const auto& c : flat) {
+        if (auto s = As<ScaleOp>(c)) {
+          w.insert(w.end(), c->rows(), s->scale());
+        } else if (auto rw = As<RowWeightOp>(c)) {
+          w.insert(w.end(), rw->weights().begin(), rw->weights().end());
+        } else {
+          w.insert(w.end(), c->rows(), 1.0);
+        }
+      }
+      return RowWeighted(VStacked(std::move(stripped)), std::move(w));
+    }
+    // Merge adjacent mergeable runs: RangeSet/Total rows concatenate into
+    // one RangeSetOp (one prefix-sum pass per apply — the MWEM
+    // measurement-union fast path); CSR and dense leaves concatenate by
+    // rows.
+    std::vector<LinOpPtr> merged;
+    merged.reserve(flat.size());
+    for (std::size_t i = 0; i < flat.size();) {
+      const MergeKind kind = MergeKindOf(flat[i]);
+      std::size_t j = i + 1;
+      if (kind != MergeKind::kNone)
+        while (j < flat.size() && MergeKindOf(flat[j]) == kind) ++j;
+      if (kind == MergeKind::kNone || j == i + 1) {
+        merged.push_back(flat[i]);
+        i = j > i + 1 ? j : i + 1;
+        continue;
+      }
+      std::vector<LinOpPtr> run(flat.begin() + i, flat.begin() + j);
+      switch (kind) {
+        case MergeKind::kRange: {
+          std::vector<Interval> ranges;
+          for (const auto& c : run) AppendRanges(c, &ranges);
+          merged.push_back(
+              MakeRangeSetOp(std::move(ranges), run[0]->cols()));
+          break;
+        }
+        case MergeKind::kSparse: {
+          std::vector<CsrMatrix> parts;
+          parts.reserve(run.size());
+          for (const auto& c : run) parts.push_back(As<SparseOp>(c)->csr());
+          merged.push_back(MakeSparse(CsrMatrix::VStackMany(parts)));
+          break;
+        }
+        case MergeKind::kDense:
+          merged.push_back(MakeDense(VConcatDense(run)));
+          break;
+        case MergeKind::kNone:
+          break;
+      }
+      i = j;
+    }
+    return MakeVStack(std::move(merged));
+  }
+
+  LinOpPtr HStacked(std::vector<LinOpPtr> children) {
+    std::vector<LinOpPtr> flat;
+    flat.reserve(children.size());
+    for (auto& c : children) {
+      if (auto h = As<HStackOp>(c))
+        flat.insert(flat.end(), h->children().begin(), h->children().end());
+      else
+        flat.push_back(std::move(c));
+    }
+    // Merge adjacent CSR leaves (column offsets of adjacent children are
+    // contiguous, so HStackMany over the run is exact).
+    std::vector<LinOpPtr> merged;
+    merged.reserve(flat.size());
+    for (std::size_t i = 0; i < flat.size();) {
+      std::size_t j = i + 1;
+      if (As<SparseOp>(flat[i]))
+        while (j < flat.size() && As<SparseOp>(flat[j])) ++j;
+      if (j == i + 1) {
+        merged.push_back(flat[i]);
+        i = j;
+        continue;
+      }
+      std::vector<CsrMatrix> parts;
+      parts.reserve(j - i);
+      for (std::size_t k = i; k < j; ++k)
+        parts.push_back(As<SparseOp>(flat[k])->csr());
+      merged.push_back(MakeSparse(CsrMatrix::HStackMany(parts)));
+      i = j;
+    }
+    return MakeHStack(std::move(merged));
+  }
+
+  LinOpPtr Summed(std::vector<LinOpPtr> children) {
+    std::vector<LinOpPtr> flat;
+    flat.reserve(children.size());
+    for (auto& c : children) {
+      if (auto s = As<SumOp>(c))
+        flat.insert(flat.end(), s->children().begin(), s->children().end());
+      else
+        flat.push_back(std::move(c));
+    }
+    // Fold all CSR leaves into one (addition is order-insensitive up to
+    // roundoff; the merged leaf takes the first leaf's position), then all
+    // dense leaves likewise.
+    const auto replace_matching = [](std::vector<LinOpPtr> in,
+                                     const LinOpPtr& fused,
+                                     const auto& matches) {
+      std::vector<LinOpPtr> kept;
+      kept.reserve(in.size());
+      bool placed = false;
+      for (auto& c : in) {
+        if (matches(c)) {
+          if (!placed) kept.push_back(fused);
+          placed = true;
+        } else {
+          kept.push_back(std::move(c));
+        }
+      }
+      return kept;
+    };
+    std::vector<const CsrMatrix*> sparse;
+    std::vector<const DenseMatrix*> dense;
+    for (const auto& c : flat) {
+      if (auto sp = As<SparseOp>(c)) sparse.push_back(&sp->csr());
+      if (auto d = As<DenseOp>(c)) dense.push_back(&d->dense());
+    }
+    if (sparse.size() >= 2) {
+      std::vector<Triplet> t;
+      for (const CsrMatrix* m : sparse)
+        for (std::size_t r = 0; r < m->rows(); ++r)
+          for (std::size_t p = m->indptr()[r]; p < m->indptr()[r + 1]; ++p)
+            t.push_back({r, m->indices()[p], m->values()[p]});
+      LinOpPtr fused = MakeSparse(CsrMatrix::FromTriplets(
+          flat[0]->rows(), flat[0]->cols(), std::move(t)));
+      flat = replace_matching(std::move(flat), fused, [](const LinOpPtr& c) {
+        return As<SparseOp>(c) != nullptr;
+      });
+    }
+    if (dense.size() >= 2) {
+      DenseMatrix acc(flat[0]->rows(), flat[0]->cols());
+      for (const DenseMatrix* m : dense)
+        for (std::size_t i = 0; i < acc.data().size(); ++i)
+          acc.data()[i] += m->data()[i];
+      LinOpPtr fused = MakeDense(std::move(acc));
+      flat = replace_matching(std::move(flat), fused, [](const LinOpPtr& c) {
+        return As<DenseOp>(c) != nullptr;
+      });
+    }
+    return MakeSum(std::move(flat));
+  }
+
+  // ---- dispatch: rewrite children bottom-up, then canonicalize the node.
+  // ---- Returns the original pointer when nothing fires, so per-instance
+  // ---- caches (sensitivity, structural hash) survive a no-op pass.
+
+  LinOpPtr Dispatch(const LinOpPtr& op) {
+    if (auto s = As<ScaleOp>(op)) {
+      LinOpPtr c = Run(s->child());
+      LinOpPtr out = Scaled(c, s->scale());
+      if (c == s->child())
+        if (auto so = As<ScaleOp>(out))
+          if (so->child() == c && BitwiseEq(so->scale(), s->scale())) return op;
+      return out;
+    }
+    if (auto rw = As<RowWeightOp>(op)) {
+      LinOpPtr c = Run(rw->child());
+      LinOpPtr out = RowWeighted(c, rw->weights());
+      if (c == rw->child())
+        if (auto ro = As<RowWeightOp>(out))
+          if (ro->child() == c && BitwiseEq(ro->weights(), rw->weights()))
+            return op;
+      return out;
+    }
+    if (auto t = As<TransposeOp>(op)) {
+      LinOpPtr c = Run(t->child());
+      LinOpPtr out = Transposed(c);
+      if (c == t->child())
+        if (auto to = As<TransposeOp>(out))
+          if (to->child() == c) return op;
+      return out;
+    }
+    if (auto p = As<ProductOp>(op)) {
+      LinOpPtr a = Run(p->a());
+      LinOpPtr b = Run(p->b());
+      LinOpPtr out = Producted(a, b, p->is_nonneg_binary());
+      if (a == p->a() && b == p->b())
+        if (auto po = As<ProductOp>(out))
+          if (po->a() == a && po->b() == b) return op;
+      return out;
+    }
+    if (auto k = As<KroneckerOp>(op)) {
+      LinOpPtr a = Run(k->a());
+      LinOpPtr b = Run(k->b());
+      LinOpPtr out = Kroned(a, b);
+      if (a == k->a() && b == k->b())
+        if (auto ko = As<KroneckerOp>(out))
+          if (ko->a() == a && ko->b() == b) return op;
+      return out;
+    }
+    if (auto v = As<VStackOp>(op)) {
+      std::vector<LinOpPtr> cs = RunAll(v->children());
+      LinOpPtr out = VStacked(cs);
+      if (SameChildren(out, v, cs)) return op;
+      return out;
+    }
+    if (auto h = As<HStackOp>(op)) {
+      std::vector<LinOpPtr> cs = RunAll(h->children());
+      LinOpPtr out = HStacked(cs);
+      if (SameChildren(out, h, cs)) return op;
+      return out;
+    }
+    if (auto s = As<SumOp>(op)) {
+      std::vector<LinOpPtr> cs = RunAll(s->children());
+      LinOpPtr out = Summed(cs);
+      if (SameChildren(out, s, cs)) return op;
+      return out;
+    }
+    if (auto g = As<GramOp>(op)) {
+      LinOpPtr c = Run(g->child());
+      // Re-derive the structured Gram of the rewritten child: after a
+      // stack merge or product fusion the child may expose a closed form
+      // the original lazy wrapper predates.
+      LinOpPtr derived = c->Gram();
+      if (auto gd = As<GramOp>(derived)) {
+        if (gd->child() == c) return c == g->child() ? op : derived;
+      }
+      return Run(derived);
+    }
+    return op;  // leaves and unknown operators are already canonical
+  }
+
+  std::vector<LinOpPtr> RunAll(const std::vector<LinOpPtr>& cs) {
+    std::vector<LinOpPtr> out;
+    out.reserve(cs.size());
+    for (const auto& c : cs) out.push_back(Run(c));
+    return out;
+  }
+
+  /// True when `out` is an n-ary node of the same class as `orig` whose
+  /// children are exactly the (rewritten-in-place) originals.
+  template <typename NaryOp>
+  bool SameChildren(const LinOpPtr& out,
+                    const std::shared_ptr<const NaryOp>& orig,
+                    const std::vector<LinOpPtr>& rewritten) {
+    auto oo = As<NaryOp>(out);
+    if (!oo || oo->children().size() != orig->children().size()) return false;
+    for (std::size_t i = 0; i < rewritten.size(); ++i)
+      if (rewritten[i] != orig->children()[i] ||
+          oo->children()[i] != rewritten[i])
+        return false;
+    return true;
+  }
+
+  std::unordered_map<const LinOp*, std::pair<LinOpPtr, LinOpPtr>> memo_;
+};
+
+}  // namespace
+
+LinOpPtr Rewrite(LinOpPtr op) {
+  if (!op) return op;
+  Rewriter r;
+  LinOpPtr out = r.Run(op);
+  EK_CHECK_EQ(out->rows(), op->rows());
+  EK_CHECK_EQ(out->cols(), op->cols());
+  return out;
+}
+
+LinOpPtr MaybeRewrite(LinOpPtr op) {
+  if (!RewriteEnabled()) return op;
+  return Rewrite(std::move(op));
+}
+
+// ---------------------------------------------------------- OperatorCache
+
+namespace {
+enum CacheKind : int {
+  kKindSparse = 0,
+  kKindDense = 1,
+  kKindGramDense = 2,
+  kKindSensL1 = 3,
+  kKindSensL2 = 4,
+  kKindSparseWrap = 5,
+  kKindDenseWrap = 6,
+};
+
+std::size_t CsrBytes(const CsrMatrix& m) {
+  return (m.indptr().size() + m.indices().size()) * sizeof(std::size_t) +
+         m.values().size() * sizeof(double);
+}
+std::size_t DenseBytes(const DenseMatrix& m) {
+  return m.data().size() * sizeof(double);
+}
+
+/// Approximate bytes an entry's key operator pins while cached: the byte
+/// bound must account for the retained source tree, not just the derived
+/// artifact — a sensitivity entry whose key is a large DenseOp strategy
+/// holds megabytes, not sizeof(Entry).  Shared subtrees are counted per
+/// entry (over-, never under-counting against the bound).
+std::size_t ApproxRetainedBytes(const LinOp& op) {
+  if (auto* d = dynamic_cast<const DenseOp*>(&op))
+    return 64 + DenseBytes(d->dense());
+  if (auto* s = dynamic_cast<const SparseOp*>(&op))
+    return 64 + CsrBytes(s->csr());
+  if (auto* r = dynamic_cast<const RangeSetOp*>(&op))
+    return 64 + r->ranges().size() * sizeof(Interval);
+  if (auto* r2 = dynamic_cast<const RectangleSetOp*>(&op))
+    return 64 + r2->rects().size() * sizeof(Rectangle);
+  if (auto* g = dynamic_cast<const GramOp*>(&op))
+    return 64 + ApproxRetainedBytes(*g->child());
+  if (auto* t = dynamic_cast<const TransposeOp*>(&op))
+    return 64 + ApproxRetainedBytes(*t->child());
+  if (auto* sc = dynamic_cast<const ScaleOp*>(&op))
+    return 64 + ApproxRetainedBytes(*sc->child());
+  if (auto* rw = dynamic_cast<const RowWeightOp*>(&op))
+    return 64 + rw->weights().size() * sizeof(double) +
+           ApproxRetainedBytes(*rw->child());
+  if (auto* p = dynamic_cast<const ProductOp*>(&op))
+    return 64 + ApproxRetainedBytes(*p->a()) + ApproxRetainedBytes(*p->b());
+  if (auto* k = dynamic_cast<const KroneckerOp*>(&op))
+    return 64 + ApproxRetainedBytes(*k->a()) + ApproxRetainedBytes(*k->b());
+  std::size_t total = 64;
+  const std::vector<LinOpPtr>* children = nullptr;
+  if (auto* v = dynamic_cast<const VStackOp*>(&op)) children = &v->children();
+  if (auto* h = dynamic_cast<const HStackOp*>(&op)) children = &h->children();
+  if (auto* sm = dynamic_cast<const SumOp*>(&op)) children = &sm->children();
+  if (children)
+    for (const auto& c : *children) total += ApproxRetainedBytes(*c);
+  return total;
+}
+}  // namespace
+
+struct OperatorCache::Impl {
+  struct Entry {
+    uint64_t hash = 0;
+    int kind = 0;
+    LinOpPtr key_op;  // keeps the key alive for StructuralEq verification
+    std::shared_ptr<const CsrMatrix> sparse;
+    std::shared_ptr<const DenseMatrix> dense;
+    LinOpPtr wrapped;  // SparseWrapped / DenseWrapped leaf
+    double value = 0.0;
+    std::size_t bytes = 0;
+  };
+
+  static bool IsSensitivityKind(int kind) {
+    return kind == kKindSensL1 || kind == kKindSensL2;
+  }
+
+  mutable std::mutex mu;
+  std::list<Entry> lru;  // front = most recently used
+  std::unordered_multimap<uint64_t, std::list<Entry>::iterator> index;
+  std::size_t max_entries = 1024;
+  std::size_t max_bytes = std::size_t{256} << 20;
+  std::size_t bytes = 0;
+  std::size_t sens_entries = 0;
+  std::size_t hits = 0, misses = 0, evictions = 0;
+
+  static uint64_t IndexKey(uint64_t hash, int kind) {
+    return hash ^ (uint64_t(kind) * 0x9e3779b97f4a7c15ull);
+  }
+
+  /// Must hold mu.  Returns lru.end() on miss.
+  std::list<Entry>::iterator Find(uint64_t hash, int kind, const LinOp& op) {
+    auto range = index.equal_range(IndexKey(hash, kind));
+    for (auto it = range.first; it != range.second; ++it) {
+      Entry& e = *it->second;
+      if (e.kind == kind && e.hash == hash && e.key_op->StructuralEq(op)) {
+        lru.splice(lru.begin(), lru, it->second);
+        return lru.begin();
+      }
+    }
+    return lru.end();
+  }
+
+  /// Must hold mu.
+  void Evict(std::list<Entry>::iterator victim) {
+    auto range = index.equal_range(IndexKey(victim->hash, victim->kind));
+    for (auto it = range.first; it != range.second; ++it)
+      if (it->second == victim) {
+        index.erase(it);
+        break;
+      }
+    bytes -= victim->bytes;
+    if (IsSensitivityKind(victim->kind)) --sens_entries;
+    lru.erase(victim);
+    ++evictions;
+  }
+
+  /// Must hold mu.
+  void EvictUntilBounded() {
+    while (!lru.empty() && (lru.size() > max_entries || bytes > max_bytes))
+      Evict(std::prev(lru.end()));
+  }
+
+  /// Must hold mu.
+  void Insert(Entry e) {
+    if (e.bytes > max_bytes) return;  // larger than the whole cache
+    const bool sens = IsSensitivityKind(e.kind);
+    if (sens) {
+      // Sensitivity entries are cheap, high-volume (every shared node of
+      // every tree inserts one) and often one-shot (MWEM's growing
+      // unions).  Cap them at half the cache so a flood cannot crowd out
+      // the expensive Gram/materialization artifacts the cache exists
+      // for; the cap evicts the least-recently-used sensitivity entry.
+      const std::size_t cap = std::max<std::size_t>(1, max_entries / 2);
+      if (sens_entries >= cap)
+        for (auto it = std::prev(lru.end());; --it) {
+          if (IsSensitivityKind(it->kind)) {
+            Evict(it);
+            break;
+          }
+          if (it == lru.begin()) break;
+        }
+      ++sens_entries;
+    }
+    bytes += e.bytes;
+    lru.push_front(std::move(e));
+    index.emplace(IndexKey(lru.front().hash, lru.front().kind), lru.begin());
+    EvictUntilBounded();
+  }
+
+  /// Double-checked lookup/compute/insert shared by every accessor: the
+  /// compute runs OUTSIDE the lock (it may recurse into the cache), and a
+  /// racing thread's earlier insert wins.  `get` reads the typed field
+  /// off a hit; `fill` stores the computed value and its artifact bytes
+  /// (the key tree's retained bytes are added here, uniformly).
+  template <typename V, typename GetF, typename MakeF, typename FillF>
+  V Cached(const LinOpPtr& key, uint64_t hash, int kind, GetF get,
+           MakeF make, FillF fill) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      auto it = Find(hash, kind, *key);
+      if (it != lru.end()) {
+        ++hits;
+        return get(*it);
+      }
+      ++misses;
+    }
+    V value = make();
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = Find(hash, kind, *key);
+    if (it != lru.end()) return get(*it);
+    Entry e;
+    e.hash = hash;
+    e.kind = kind;
+    e.key_op = key;
+    fill(e, value);
+    e.bytes += ApproxRetainedBytes(*key);
+    Insert(std::move(e));
+    return value;
+  }
+};
+
+OperatorCache::OperatorCache() : impl_(new Impl) {}
+OperatorCache::~OperatorCache() = default;
+
+OperatorCache& OperatorCache::Global() {
+  static OperatorCache* cache = new OperatorCache;
+  return *cache;
+}
+
+std::shared_ptr<const CsrMatrix> OperatorCache::MaterializeSparse(
+    const LinOpPtr& op) {
+  using V = std::shared_ptr<const CsrMatrix>;
+  return impl_->Cached<V>(
+      op, op->StructuralHash(), kKindSparse,
+      [](const Impl::Entry& e) { return e.sparse; },
+      [&] { return std::make_shared<const CsrMatrix>(op->MaterializeSparse()); },
+      [](Impl::Entry& e, const V& v) {
+        e.sparse = v;
+        e.bytes = CsrBytes(*v);
+      });
+}
+
+std::shared_ptr<const DenseMatrix> OperatorCache::MaterializeDense(
+    const LinOpPtr& op) {
+  using V = std::shared_ptr<const DenseMatrix>;
+  return impl_->Cached<V>(
+      op, op->StructuralHash(), kKindDense,
+      [](const Impl::Entry& e) { return e.dense; },
+      [&] {
+        return std::make_shared<const DenseMatrix>(op->MaterializeDense());
+      },
+      [](Impl::Entry& e, const V& v) {
+        e.dense = v;
+        e.bytes = DenseBytes(*v);
+      });
+}
+
+std::shared_ptr<const DenseMatrix> OperatorCache::GramDense(
+    const LinOpPtr& op) {
+  using V = std::shared_ptr<const DenseMatrix>;
+  return impl_->Cached<V>(
+      op, op->StructuralHash(), kKindGramDense,
+      [](const Impl::Entry& e) { return e.dense; },
+      [&] {
+        return std::make_shared<const DenseMatrix>(
+            op->Gram()->MaterializeDense());
+      },
+      [](Impl::Entry& e, const V& v) {
+        e.dense = v;
+        e.bytes = DenseBytes(*v);
+      });
+}
+
+LinOpPtr OperatorCache::SparseWrapped(const LinOpPtr& op) {
+  return impl_->Cached<LinOpPtr>(
+      op, op->StructuralHash(), kKindSparseWrap,
+      [](const Impl::Entry& e) { return e.wrapped; },
+      [&] { return MakeSparse(op->MaterializeSparse()); },
+      [](Impl::Entry& e, const LinOpPtr& v) {
+        e.wrapped = v;
+        e.bytes = ApproxRetainedBytes(*v);
+      });
+}
+
+LinOpPtr OperatorCache::DenseWrapped(const LinOpPtr& op) {
+  return impl_->Cached<LinOpPtr>(
+      op, op->StructuralHash(), kKindDenseWrap,
+      [](const Impl::Entry& e) { return e.wrapped; },
+      [&] { return MakeDense(op->MaterializeDense()); },
+      [](Impl::Entry& e, const LinOpPtr& v) {
+        e.wrapped = v;
+        e.bytes = ApproxRetainedBytes(*v);
+      });
+}
+
+double OperatorCache::Sensitivity(const LinOp& op, int which,
+                                  const std::function<double()>& compute) {
+  const int kind = which == 1 ? kKindSensL1 : kKindSensL2;
+  // A safe cache key needs shared ownership; stack-allocated operators
+  // just compute.
+  LinOpPtr key = op.weak_from_this().lock();
+  if (!key) return compute();
+  return impl_->Cached<double>(
+      key, op.StructuralHash(), kind,
+      [](const Impl::Entry& e) { return e.value; }, compute,
+      [](Impl::Entry& e, double v) {
+        e.value = v;
+        e.bytes = sizeof(Impl::Entry);
+      });
+}
+
+void OperatorCache::SetCapacity(std::size_t max_entries,
+                                std::size_t max_bytes) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->max_entries = max_entries;
+  impl_->max_bytes = max_bytes;
+  impl_->EvictUntilBounded();
+}
+
+OperatorCache::Stats OperatorCache::stats() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  Stats s;
+  s.hits = impl_->hits;
+  s.misses = impl_->misses;
+  s.evictions = impl_->evictions;
+  s.entries = impl_->lru.size();
+  s.bytes = impl_->bytes;
+  return s;
+}
+
+void OperatorCache::Clear() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->lru.clear();
+  impl_->index.clear();
+  impl_->bytes = 0;
+  impl_->sens_entries = 0;
+}
+
+}  // namespace ektelo

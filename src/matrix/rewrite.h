@@ -1,0 +1,145 @@
+// Algebraic rewrite engine for LinOp expression trees, plus the
+// process-wide OperatorCache (Halide-flavored separation of what an
+// operator *means* from how it is *evaluated*).
+//
+// Plans compose operators in whatever shape is natural to write —
+// per-round measurement stacks, Scale/Transpose wrappers, products with
+// partition reductions — and execute that tree node by node.  Rewrite()
+// canonicalizes the tree with local, semantics-preserving rules before
+// the solve/Gram hot paths consume it:
+//
+//   scale-collapse     Scale(c1, Scale(c2, A))        -> Scale(c1*c2, A)
+//   scale-fold         Scale(c, Dense/Sparse leaf)    -> scaled leaf
+//   scale-hoist        Product/Kron/VStack of Scales  -> one outer Scale
+//   transpose-push     T(T(A)) -> A;  T(AB) -> T(B)T(A);  T(A (x) B) ->
+//                      T(A) (x) T(B);  T([A;B]) -> [T(A)|T(B)];  T(Gram)
+//                      -> Gram;  T(Dense/Sparse/Identity) -> leaf
+//   identity-elim      Product(I, A) / Product(A, I)  -> A;
+//                      Kron(I_1, A) / Kron(A, I_1)    -> A;
+//                      Kron(I_m, I_n)                 -> I_mn
+//   kron-fuse          (A (x) B)(C (x) D) -> (AC) (x) (BD) when shapes
+//                      conform (the mixed-product identity)
+//   sparse-fuse        Product of two CSR leaves -> one CSR leaf when the
+//                      product is affordable and no denser than its
+//                      factors (this is what recognizes P P^T of a
+//                      partition/selection as diagonal and short-circuits
+//                      its Gram)
+//   rowweight-fuse     RowWeight of RowWeight/Scale -> one RowWeight;
+//                      RowWeight of a Dense/CSR leaf -> scaled leaf;
+//                      all-ones weights -> child
+//   stack-flatten      nested VStack/HStack/Sum -> one n-ary node
+//   stack-merge        adjacent VStack runs of RangeSet/Total rows -> one
+//                      RangeSetOp (one prefix-sum pass per apply instead
+//                      of one per child — the MWEM measurement-union
+//                      fast path); adjacent CSR leaves -> one CSR;
+//                      RowWeight/Scale children -> hoisted row weights
+//   sum-merge          CSR / dense leaves inside a Sum -> one leaf
+//   gram-unwrap        Gram(X) re-derives X's structured Gram after X
+//                      itself has been rewritten
+//
+// Every rule preserves the represented matrix exactly (most are bitwise
+// result-preserving; the rest agree to floating-point roundoff, which is
+// why consumers sit behind the EKTELO_REWRITE toggle).  The privacy-
+// relevant path is untouched by construction: measurement operators are
+// applied and charged as the plan author composed them; rewriting serves
+// inference, Gram assembly and materialization — all post-processing.
+//
+// OperatorCache memoizes the expensive derived artifacts (materialized
+// CSR, dense Gram, L1/L2 sensitivities) under the operator's structural
+// hash (see LinOp::StructuralHash), verified by StructuralEq, so
+// MWEM-style loops and repeated plan executions that re-derive
+// structurally identical operators stop paying per-round recomputation.
+// The cache is bounded (entries + approximate bytes, LRU eviction) and
+// thread-safe; values are shared_ptr snapshots, so eviction never
+// invalidates a consumer.
+#ifndef EKTELO_MATRIX_REWRITE_H_
+#define EKTELO_MATRIX_REWRITE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "matrix/linop.h"
+
+namespace ektelo {
+
+/// Whether the rewrite engine (and the OperatorCache consumers gated on
+/// it) is active.  Controlled by EKTELO_REWRITE: unset or any value other
+/// than "0" means on; "0" disables both rewriting and caching for A/B
+/// comparisons and golden debugging.  SetRewriteEnabled overrides the
+/// environment at runtime.
+bool RewriteEnabled();
+
+/// Runtime override of EKTELO_REWRITE: 1 = force on, 0 = force off,
+/// -1 = follow the environment again.  Used by the A/B benches and the
+/// on/off equivalence tests.
+void SetRewriteEnabled(int force);
+
+/// Canonicalize an operator tree (unconditionally — callers wanting the
+/// toggle use MaybeRewrite).  Returns the original pointer when no rule
+/// fires, so per-instance caches survive a no-op pass.
+LinOpPtr Rewrite(LinOpPtr op);
+
+/// Rewrite(op) when RewriteEnabled(), else op unchanged.
+LinOpPtr MaybeRewrite(LinOpPtr op);
+
+/// Bounded, thread-safe memo cache: structural hash -> derived artifact.
+class OperatorCache {
+ public:
+  struct Stats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t evictions = 0;
+    std::size_t entries = 0;
+    std::size_t bytes = 0;
+  };
+
+  /// The process-wide instance every consumer shares.
+  static OperatorCache& Global();
+
+  /// Materialized sparse form of `op`, computed on miss.  The returned
+  /// snapshot stays valid after eviction.
+  std::shared_ptr<const CsrMatrix> MaterializeSparse(const LinOpPtr& op);
+
+  /// Materialized dense form of `op`.
+  std::shared_ptr<const DenseMatrix> MaterializeDense(const LinOpPtr& op);
+
+  /// Dense Gram (op^T op) via op->Gram()->MaterializeDense(), memoized —
+  /// the direct-inference hot path.
+  std::shared_ptr<const DenseMatrix> GramDense(const LinOpPtr& op);
+
+  /// Memoized SparseOp / DenseOp *leaf* wrapping op's materialization —
+  /// what ApplyMode conversions hand to plans.  A hit is a pointer copy
+  /// (no matrix copy), and the shared instance carries its per-instance
+  /// sensitivity caches across executions.
+  LinOpPtr SparseWrapped(const LinOpPtr& op);
+  LinOpPtr DenseWrapped(const LinOpPtr& op);
+
+  /// Memoized sensitivity (`which` = 1 or 2 for L1/L2).  `compute` runs
+  /// on miss; the cached value is whatever the first structurally-equal
+  /// instance computed (deterministic, hence bitwise-reproducible).
+  /// Operators not owned by a shared_ptr are computed without caching
+  /// (the cache could not hold a safe key).
+  double Sensitivity(const LinOp& op, int which,
+                     const std::function<double()>& compute);
+
+  /// Capacity bounds; entries older than the bound are evicted LRU-first.
+  void SetCapacity(std::size_t max_entries, std::size_t max_bytes);
+
+  Stats stats() const;
+  void Clear();
+
+  OperatorCache();
+  ~OperatorCache();
+  OperatorCache(const OperatorCache&) = delete;
+  OperatorCache& operator=(const OperatorCache&) = delete;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace ektelo
+
+#endif  // EKTELO_MATRIX_REWRITE_H_

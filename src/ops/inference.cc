@@ -6,6 +6,7 @@
 
 #include "linalg/dense.h"
 #include "matrix/implicit_ops.h"
+#include "matrix/rewrite.h"
 #include "util/check.h"
 
 namespace ektelo {
@@ -13,7 +14,10 @@ namespace ektelo {
 Vec LeastSquaresInference(const MeasurementSet& mset,
                           const LsmrOptions& opts) {
   EK_CHECK(!mset.empty());
-  LinOpPtr a = mset.WeightedOp();
+  // Canonicalize the weighted stack before the iterative solve: merged
+  // measurement unions and hoisted weights cut the per-iteration apply
+  // cost without changing the represented matrix.
+  LinOpPtr a = MaybeRewrite(mset.WeightedOp());
   Vec b = mset.WeightedY();
   return Lsmr(*a, b, opts).x;
 }
@@ -27,6 +31,12 @@ Vec NnlsInference(const MeasurementSet& mset,
     augmented.Add(MakeTotalOp(mset.Domain()), Vec{*known_total},
                   /*noise_scale=*/0.0);
   }
+  // Deliberately NOT rewritten: when the system is underdetermined (early
+  // MWEM rounds) the projected-gradient solver lands on a representation-
+  // dependent point of the minimizer set, so an algebraically equivalent
+  // but re-associated stack can move the answer by far more than
+  // roundoff.  Callers that want the merged-union fast path build it
+  // themselves (MwemLoopPlan), identically under both A/B toggles.
   LinOpPtr a = augmented.WeightedOp();
   Vec b = augmented.WeightedY();
   return Nnls(*a, b, opts).x;
@@ -39,7 +49,7 @@ Vec MultWeightsStep(const MeasurementSet& mset, Vec xhat,
   EK_CHECK_EQ(xhat.size(), n);
   double total = Sum(xhat);
   if (total <= 0.0) return xhat;
-  LinOpPtr m = mset.StackedOp();
+  LinOpPtr m = MaybeRewrite(mset.StackedOp());
   Vec y = mset.StackedY();
   for (std::size_t it = 0; it < opts.iterations; ++it) {
     // g = 0.5 M^T (y - M xhat): increase cells under-counted by xhat.
@@ -76,15 +86,20 @@ Vec DirectLeastSquaresInference(const MeasurementSet& mset) {
   // instead of densifying the (queries x n) measurement stack: the stack
   // is usually much taller than the domain, and Gram() materializes via
   // blocked identity panels when no closed form applies.
-  LinOpPtr a = mset.WeightedOp();
-  DenseMatrix gram = a->Gram()->MaterializeDense();
+  LinOpPtr a = MaybeRewrite(mset.WeightedOp());
+  // The n x n Gram of a given measurement union is a prime memo-cache
+  // target: iterative plans and repeated executions re-derive structurally
+  // identical stacks, and assembly dominates the solve.
+  DenseMatrix gram = RewriteEnabled()
+                         ? *OperatorCache::Global().GramDense(a)
+                         : a->Gram()->MaterializeDense();
   Vec atb = a->ApplyT(mset.WeightedY());
   return SolveNormalEquations(std::move(gram), atb);
 }
 
 Vec CgLeastSquaresInference(const MeasurementSet& mset) {
   EK_CHECK(!mset.empty());
-  LinOpPtr a = mset.WeightedOp();
+  LinOpPtr a = MaybeRewrite(mset.WeightedOp());
   Vec b = mset.WeightedY();
   return CgLeastSquares(*a, b).x;
 }

@@ -23,6 +23,10 @@ Stage Measure() {
     if (!sc.strategy)
       return Status::FailedPrecondition("Measure before Select");
     const double eps = sc.scope->remaining();
+    // SensitivityL1 consults the process-wide OperatorCache (keyed by
+    // structural hash) when rewriting is enabled, so the grid/striped
+    // plans that select structurally identical strategies per branch —
+    // and repeated executions of the same plan — compute it once.
     const double sens = sc.strategy->SensitivityL1();
     EK_ASSIGN_OR_RETURN(Vec y,
                         sc.data->Laplace(*sc.strategy, eps, *sc.scope));
@@ -110,6 +114,10 @@ Stage Infer(InferKind kind) {
       const auto& items = sc.mset.items();
       for (std::size_t i = 0; i < items.size(); ++i) {
         const LinOpPtr& reduce = sc.mset_reduce[i];
+        // The composed reduce chains are canonicalized (sparse P fused
+        // into sparse strategies, identity reductions dropped) by the
+        // whole-stack rewrite inside LeastSquaresInference — one pass
+        // over the final tree instead of one per measurement here.
         global.Add(reduce ? MakeProduct(items[i].m, reduce) : items[i].m,
                    items[i].y, items[i].noise_scale);
       }

@@ -1,0 +1,156 @@
+// Registry-wide rewrite A/B: every catalog plan must produce the same
+// result with the rewrite engine on and off — outputs within 1e-9
+// (relative), identical budget, and an identical order-normalized kernel
+// transcript (the privacy-relevant path is untouched by construction:
+// measurement operators are applied and charged as authored).
+//
+// Plans whose stacks the rewriter cannot change are bitwise-equal; the
+// MWEM family (merged measurement unions feeding iterative solvers)
+// agrees to solver-roundoff, which the 1e-9 bar covers because the MWEM
+// NNLS variants solve to a tight fixed tolerance.
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "data/generators.h"
+#include "gtest/gtest.h"
+#include "matrix/rewrite.h"
+#include "plans/registry.h"
+#include "workload/workloads.h"
+
+namespace ektelo {
+namespace {
+
+struct RunResult {
+  Vec xhat;
+  bool ok = false;
+  std::string error;
+  double budget = 0.0;
+  std::vector<std::tuple<std::string, double, double>> transcript;
+};
+
+RunResult RunPlan(const Plan& plan, bool rewrite_on) {
+  SetRewriteEnabled(rewrite_on ? 1 : 0);
+
+  const double eps = 0.5;
+  Rng rng(31);  // identical environment for both runs
+  Vec hist;
+  std::vector<std::size_t> dims;
+  switch (plan.domain()) {
+    case DomainKind::k1D:
+      dims = {64};
+      hist = MakeHistogram1D(Shape1D::kGaussianMix, 64, 2000.0, &rng);
+      break;
+    case DomainKind::k2D:
+      dims = {8, 8};
+      hist = MakeHistogram2D(8, 8, 2000.0, &rng);
+      break;
+    case DomainKind::kMultiDim:
+      dims = {16, 2, 2};
+      hist = MakeHistogram1D(Shape1D::kStep, 64, 2000.0, &rng);
+      break;
+  }
+  const std::size_t n = hist.size();
+  auto ranges = RandomRanges(20, n, 16, &rng);
+  auto w = RangeQueryOp(ranges, n);
+
+  ProtectedKernel kernel(TableFromHistogram(hist, "v"), eps, 515151);
+  ProtectedTable root = ProtectedTable::Root(&kernel);
+  auto x = root.Vectorize();
+  EK_CHECK(x.ok());
+  BudgetScope scope(eps);
+  Rng client_rng(7);
+  PlanInput in;
+  in.dims = dims;
+  in.ranges = ranges;
+  in.workload = w;
+  in.workload_factors = {w};
+  in.known_total = Sum(hist);
+  in.rng = &client_rng;
+  in.stripe_dim = 0;
+
+  RunResult r;
+  StatusOr<Vec> xhat = plan.Execute(*x, scope, in);
+  r.ok = xhat.ok();
+  if (!r.ok) {
+    r.error = xhat.status().ToString();
+    return r;
+  }
+  r.xhat = std::move(*xhat);
+  r.budget = kernel.BudgetConsumed();
+  for (const auto& e : kernel.transcript())
+    r.transcript.emplace_back(e.op, e.eps, e.noise_scale);
+  std::sort(r.transcript.begin(), r.transcript.end());
+  return r;
+}
+
+TEST(RewriteEquivalenceTest, EveryPlanMatchesRewriteOffWithin1em9) {
+  const std::vector<const Plan*> catalog = PlanRegistry::Global().Catalog();
+  ASSERT_FALSE(catalog.empty());
+  for (const Plan* plan : catalog) {
+    SCOPED_TRACE(plan->name());
+    const RunResult off = RunPlan(*plan, false);
+    const RunResult on = RunPlan(*plan, true);
+    SetRewriteEnabled(-1);
+    ASSERT_EQ(off.ok, on.ok) << off.error << " / " << on.error;
+    if (!off.ok) continue;
+    ASSERT_EQ(on.xhat.size(), off.xhat.size());
+    double worst = 0.0;
+    for (std::size_t i = 0; i < off.xhat.size(); ++i) {
+      const double tol = 1e-9 * std::max(1.0, std::abs(off.xhat[i]));
+      const double diff = std::abs(on.xhat[i] - off.xhat[i]);
+      worst = std::max(worst, diff / std::max(1.0, std::abs(off.xhat[i])));
+      EXPECT_LE(diff, tol) << "component " << i << " (rel " << worst << ")";
+    }
+    // The privacy path is untouched: same charges, same noise draws, same
+    // (order-normalized) transcript rows.
+    EXPECT_EQ(on.budget, off.budget);
+    EXPECT_EQ(on.transcript, off.transcript);
+  }
+  SetRewriteEnabled(-1);
+}
+
+// The dense/sparse physical-representation sweep goes through the
+// OperatorCache (ApplyMode conversions); the cache must be invisible in
+// the results.
+TEST(RewriteEquivalenceTest, ModeSweepMatchesRewriteOff) {
+  for (MatrixMode mode : {MatrixMode::kDense, MatrixMode::kSparse}) {
+    for (const Plan* plan : PlanRegistry::Global().Catalog()) {
+      if (!plan->mode_sweep()) continue;
+      SCOPED_TRACE(plan->name() + std::string("/") + MatrixModeName(mode));
+      auto run = [&](bool on) {
+        SetRewriteEnabled(on ? 1 : 0);
+        const double eps = 0.5;
+        Rng rng(97);
+        Vec hist = MakeHistogram1D(Shape1D::kStep, 32, 1500.0, &rng);
+        auto ranges = RandomRanges(12, 32, 8, &rng);
+        ProtectedKernel kernel(TableFromHistogram(hist, "v"), eps, 626262);
+        ProtectedTable root = ProtectedTable::Root(&kernel);
+        auto x = root.Vectorize();
+        EK_CHECK(x.ok());
+        BudgetScope scope(eps);
+        PlanInput in;
+        in.dims = {32};
+        in.mode = mode;
+        in.ranges = ranges;
+        in.known_total = Sum(hist);
+        StatusOr<Vec> xhat = plan->Execute(*x, scope, in);
+        EK_CHECK(xhat.ok());
+        return *xhat;
+      };
+      const Vec off = run(false);
+      const Vec on = run(true);
+      SetRewriteEnabled(-1);
+      ASSERT_EQ(on.size(), off.size());
+      for (std::size_t i = 0; i < off.size(); ++i)
+        EXPECT_NEAR(on[i], off[i], 1e-9 * std::max(1.0, std::abs(off[i])))
+            << i;
+    }
+  }
+  SetRewriteEnabled(-1);
+}
+
+}  // namespace
+}  // namespace ektelo
