@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "matrix/rewrite.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -64,8 +65,14 @@ CgResult CgLeastSquares(const LinOp& a, const Vec& b, const CgOptions& opts) {
   if (spd_opts.max_iters == 0)
     spd_opts.max_iters =
         std::max<std::size_t>(4 * std::min(a.rows(), a.cols()), 100);
-  // A^T A x = A^T b through the structured Gram operator.
-  return CgSpd(*a.Gram(), a.ApplyT(b), spd_opts);
+  // A^T A x = A^T b through the structured Gram operator.  Gram
+  // derivation is memoized under a's structural hash (repeated solves
+  // against structurally identical stacks skip the sparse A^T A
+  // re-materialization); derivation is deterministic, so a hit is
+  // bitwise-equivalent to the uncached path.
+  LinOpPtr g = OperatorCache::CachedGramOrNull(a);
+  if (!g) g = a.Gram();
+  return CgSpd(*g, a.ApplyT(b), spd_opts);
 }
 
 }  // namespace ektelo

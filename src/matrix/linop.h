@@ -57,6 +57,20 @@ using LinOpPtr = std::shared_ptr<const LinOp>;
 /// 0.0 (and any two NaN payloads) are distinct — matching the bitwise
 /// equality StructuralEq uses, which is what a memo cache keyed by the
 /// hash needs (hash-equal must be implied by eq, never the reverse).
+/// Version of the structural-hash function: the splitmix64 mixing
+/// constants, the per-class tags (kTag* across the operator translation
+/// units), the HashBase preamble, and each operator's field order.  For
+/// every *built-in* operator kind the resulting hash is a pure function
+/// of the operator's construction — deterministic across processes and
+/// platforms (64-bit std::size_t assumed) — which is what lets the
+/// persistent artifact store (store/artifact_store.h) key on it.  Any
+/// change to the mixing scheme, a tag, or a ComputeStructuralHash
+/// override MUST bump this constant: store keys embed it, so old
+/// artifacts are invalidated cleanly instead of being served under
+/// colliding new-scheme hashes.  tests/store_test.cc pins golden hash
+/// values for canonical operators to catch accidental changes.
+inline constexpr uint64_t kHashVersion = 1;
+
 class StructHash {
  public:
   StructHash& Mix(uint64_t v) {

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <list>
+#include <optional>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -12,6 +14,8 @@
 #include "matrix/combinators.h"
 #include "matrix/implicit_ops.h"
 #include "matrix/range_ops.h"
+#include "store/artifact_store.h"
+#include "store/serialize.h"
 #include "util/check.h"
 
 namespace ektelo {
@@ -581,6 +585,49 @@ LinOpPtr MaybeRewrite(LinOpPtr op) {
   return Rewrite(std::move(op));
 }
 
+// ------------------------------------------------- hash persistability
+
+bool StructuralHashPersistable(const LinOp& op) {
+  // Leaves: the hash covers a fixed tag, the shape and the payload bits.
+  if (dynamic_cast<const DenseOp*>(&op) != nullptr ||
+      dynamic_cast<const SparseOp*>(&op) != nullptr ||
+      dynamic_cast<const IdentityOp*>(&op) != nullptr ||
+      dynamic_cast<const OnesOp*>(&op) != nullptr ||
+      dynamic_cast<const PrefixOp*>(&op) != nullptr ||
+      dynamic_cast<const SuffixOp*>(&op) != nullptr ||
+      dynamic_cast<const WaveletOp*>(&op) != nullptr ||
+      dynamic_cast<const RangeSetOp*>(&op) != nullptr ||
+      dynamic_cast<const RectangleSetOp*>(&op) != nullptr)
+    return true;
+  // Combinators: stable iff every child is.
+  if (auto* g = dynamic_cast<const GramOp*>(&op))
+    return StructuralHashPersistable(*g->child());
+  if (auto* t = dynamic_cast<const TransposeOp*>(&op))
+    return StructuralHashPersistable(*t->child());
+  if (auto* s = dynamic_cast<const ScaleOp*>(&op))
+    return StructuralHashPersistable(*s->child());
+  if (auto* rw = dynamic_cast<const RowWeightOp*>(&op))
+    return StructuralHashPersistable(*rw->child());
+  if (auto* p = dynamic_cast<const ProductOp*>(&op))
+    return StructuralHashPersistable(*p->a()) &&
+           StructuralHashPersistable(*p->b());
+  if (auto* k = dynamic_cast<const KroneckerOp*>(&op))
+    return StructuralHashPersistable(*k->a()) &&
+           StructuralHashPersistable(*k->b());
+  const std::vector<LinOpPtr>* children = nullptr;
+  if (auto* v = dynamic_cast<const VStackOp*>(&op)) children = &v->children();
+  if (auto* h = dynamic_cast<const HStackOp*>(&op)) children = &h->children();
+  if (auto* sm = dynamic_cast<const SumOp*>(&op)) children = &sm->children();
+  if (children) {
+    for (const auto& c : *children)
+      if (!StructuralHashPersistable(*c)) return false;
+    return true;
+  }
+  // Unknown subclass: hashed per instance (typeid + address) — never
+  // meaningful in another process.
+  return false;
+}
+
 // ---------------------------------------------------------- OperatorCache
 
 namespace {
@@ -592,7 +639,40 @@ enum CacheKind : int {
   kKindSensL2 = 4,
   kKindSparseWrap = 5,
   kKindDenseWrap = 6,
+  kKindGramOp = 7,
+  kKindNormSq = 8,
 };
+
+// ---- disk-tier payload envelope: every persisted artifact embeds the
+// ---- key operator's shape and a payload sub-kind ahead of the typed
+// ---- bytes.  Together with the store framing ({format version,
+// ---- kHashVersion, structural hash, artifact kind} + checksum) this is
+// ---- the StructuralEq-compatible guard for cross-process reuse: the
+// ---- hash function version must match exactly, and a (vanishingly
+// ---- unlikely) same-hash collision between different-shaped operators
+// ---- is rejected outright.
+
+constexpr uint8_t kSubCsr = 0;
+constexpr uint8_t kSubDense = 1;
+constexpr uint8_t kSubScalar = 2;
+
+void EncodeEnvelope(const LinOp& key, uint8_t sub, store::ByteWriter* w) {
+  w->U64(key.rows());
+  w->U64(key.cols());
+  w->U8(sub);
+}
+
+bool DecodeEnvelope(const LinOp& key, store::ByteReader* r, uint8_t* sub) {
+  uint64_t rows, cols;
+  if (!r->U64(&rows) || !r->U64(&cols) || !r->U8(sub)) return false;
+  return rows == key.rows() && cols == key.cols();
+}
+
+bool DecodeEnvelopeExpect(const LinOp& key, uint8_t want,
+                          store::ByteReader* r) {
+  uint8_t sub;
+  return DecodeEnvelope(key, r, &sub) && sub == want;
+}
 
 std::size_t CsrBytes(const CsrMatrix& m) {
   return (m.indptr().size() + m.indices().size()) * sizeof(std::size_t) +
@@ -664,6 +744,17 @@ struct OperatorCache::Impl {
   std::size_t bytes = 0;
   std::size_t sens_entries = 0;
   std::size_t hits = 0, misses = 0, evictions = 0;
+  // Persistent second tier (EKTELO_CACHE_DIR / SetDiskTier).  Held by
+  // shared_ptr so accessors can snapshot it under mu and keep using it
+  // safely across a concurrent SetDiskTier swap; the store flushes its
+  // index checkpoint when the last holder releases it.
+  std::shared_ptr<store::DiskArtifactStore> disk;
+  std::size_t disk_hits = 0, disk_misses = 0, disk_writes = 0;
+
+  std::shared_ptr<store::DiskArtifactStore> DiskSnapshot() {
+    std::lock_guard<std::mutex> lock(mu);
+    return disk;
+  }
 
   static uint64_t IndexKey(uint64_t hash, int kind) {
     return hash ^ (uint64_t(kind) * 0x9e3779b97f4a7c15ull);
@@ -729,14 +820,35 @@ struct OperatorCache::Impl {
     EvictUntilBounded();
   }
 
+  /// Must hold mu.  Builds and inserts an entry for `value`.
+  template <typename V, typename FillF>
+  void InsertValue(const LinOpPtr& key, uint64_t hash, int kind, FillF fill,
+                   const V& value) {
+    Entry e;
+    e.hash = hash;
+    e.kind = kind;
+    e.key_op = key;
+    fill(e, value);
+    e.bytes += ApproxRetainedBytes(*key);
+    Insert(std::move(e));
+  }
+
   /// Double-checked lookup/compute/insert shared by every accessor: the
   /// compute runs OUTSIDE the lock (it may recurse into the cache), and a
   /// racing thread's earlier insert wins.  `get` reads the typed field
   /// off a hit; `fill` stores the computed value and its artifact bytes
   /// (the key tree's retained bytes are added here, uniformly).
-  template <typename V, typename GetF, typename MakeF, typename FillF>
+  ///
+  /// With a disk tier attached, a memory miss on a process-stable key
+  /// probes the store before computing; a verified disk hit is promoted
+  /// into memory (`decode` rebuilds the typed value; a reject falls
+  /// through to compute).  A computed value is written behind to the
+  /// store when `encode` can represent it.  All disk work runs outside
+  /// mu; the tier is snapshotted so a concurrent SetDiskTier is safe.
+  template <typename V, typename GetF, typename MakeF, typename FillF,
+            typename EncodeF, typename DecodeF>
   V Cached(const LinOpPtr& key, uint64_t hash, int kind, GetF get,
-           MakeF make, FillF fill) {
+           MakeF make, FillF fill, EncodeF encode, DecodeF decode) {
     {
       std::lock_guard<std::mutex> lock(mu);
       auto it = Find(hash, kind, *key);
@@ -746,26 +858,156 @@ struct OperatorCache::Impl {
       }
       ++misses;
     }
+    std::shared_ptr<store::DiskArtifactStore> d = DiskSnapshot();
+    const bool persistable = d != nullptr && StructuralHashPersistable(*key);
+    if (persistable) {
+      std::vector<uint8_t> payload;
+      std::optional<V> decoded;
+      const bool got = d->Get({hash, uint32_t(kind)}, &payload);
+      if (got) decoded = decode(*key, payload);
+      // A checksum-valid record the typed decoder rejects (shape-guard
+      // collision, stale encoding) is dropped so the recompute below can
+      // re-store a good one — otherwise Put would no-op on the live key
+      // and every future process would pay read + recompute forever.
+      if (got && !decoded) d->Drop({hash, uint32_t(kind)});
+      std::lock_guard<std::mutex> lock(mu);
+      if (decoded) {
+        ++disk_hits;
+        auto it = Find(hash, kind, *key);
+        if (it != lru.end()) return get(*it);
+        InsertValue(key, hash, kind, fill, *decoded);
+        return *decoded;
+      }
+      ++disk_misses;
+    }
     V value = make();
-    std::lock_guard<std::mutex> lock(mu);
-    auto it = Find(hash, kind, *key);
-    if (it != lru.end()) return get(*it);
-    Entry e;
-    e.hash = hash;
-    e.kind = kind;
-    e.key_op = key;
-    fill(e, value);
-    e.bytes += ApproxRetainedBytes(*key);
-    Insert(std::move(e));
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      auto it = Find(hash, kind, *key);
+      if (it != lru.end()) return get(*it);
+      InsertValue(key, hash, kind, fill, value);
+    }
+    if (persistable) {
+      store::ByteWriter w;
+      if (encode(*key, value, &w) &&
+          d->Put({hash, uint32_t(kind)}, w.bytes())) {
+        std::lock_guard<std::mutex> lock(mu);
+        ++disk_writes;
+      }
+    }
     return value;
   }
 };
+
+namespace {
+
+// ---- shared encode/decode lambable helpers for the disk tier ----
+
+bool EncodeCsrArtifact(const LinOp& key, const CsrMatrix& m,
+                       store::ByteWriter* w) {
+  EncodeEnvelope(key, kSubCsr, w);
+  store::SerializeCsr(m, w);
+  return true;
+}
+
+std::optional<CsrMatrix> DecodeCsrArtifact(const LinOp& key,
+                                           const std::vector<uint8_t>& bytes,
+                                           std::size_t rows,
+                                           std::size_t cols) {
+  store::ByteReader r(bytes);
+  CsrMatrix m;
+  if (!DecodeEnvelopeExpect(key, kSubCsr, &r) ||
+      !store::DeserializeCsr(&r, &m) || r.remaining() != 0 ||
+      m.rows() != rows || m.cols() != cols)
+    return std::nullopt;
+  return m;
+}
+
+bool EncodeDenseArtifact(const LinOp& key, const DenseMatrix& m,
+                         store::ByteWriter* w) {
+  EncodeEnvelope(key, kSubDense, w);
+  store::SerializeDense(m, w);
+  return true;
+}
+
+std::optional<DenseMatrix> DecodeDenseArtifact(
+    const LinOp& key, const std::vector<uint8_t>& bytes, std::size_t rows,
+    std::size_t cols) {
+  store::ByteReader r(bytes);
+  DenseMatrix m;
+  if (!DecodeEnvelopeExpect(key, kSubDense, &r) ||
+      !store::DeserializeDense(&r, &m) || r.remaining() != 0 ||
+      m.rows() != rows || m.cols() != cols)
+    return std::nullopt;
+  return m;
+}
+
+bool EncodeScalarArtifact(const LinOp& key, double v, store::ByteWriter* w) {
+  EncodeEnvelope(key, kSubScalar, w);
+  store::SerializeScalar(v, w);
+  return true;
+}
+
+std::optional<double> DecodeScalarArtifact(
+    const LinOp& key, const std::vector<uint8_t>& bytes) {
+  store::ByteReader r(bytes);
+  double v;
+  if (!DecodeEnvelopeExpect(key, kSubScalar, &r) ||
+      !store::DeserializeScalar(&r, &v) || r.remaining() != 0)
+    return std::nullopt;
+  return v;
+}
+
+}  // namespace
 
 OperatorCache::OperatorCache() : impl_(new Impl) {}
 OperatorCache::~OperatorCache() = default;
 
 OperatorCache& OperatorCache::Global() {
-  static OperatorCache* cache = new OperatorCache;
+  static OperatorCache* cache = [] {
+    auto* c = new OperatorCache;
+    // The disk tier is opt-in via the environment, and attaches only to
+    // the process-wide instance (a second writer on the same directory
+    // is unsupported, so locally constructed caches stay memory-only).
+    // Unset means nothing ever touches the filesystem and the cache
+    // behaves exactly as the memory-only tier.
+    const char* dir = std::getenv("EKTELO_CACHE_DIR");
+    if (dir != nullptr && *dir != '\0') {
+      store::DiskStoreOptions opts;
+      opts.hash_version = kHashVersion;
+      if (const char* b = std::getenv("EKTELO_CACHE_DISK_BYTES")) {
+        // Accept only a fully-numeric, non-negative value ("0" =
+        // unbounded); a typo like "1G" or "-1000" must not silently
+        // become no budget at all (strtoull would wrap a leading '-').
+        char* end = nullptr;
+        const unsigned long long parsed = std::strtoull(b, &end, 10);
+        if (b[0] >= '0' && b[0] <= '9' && end != b && end != nullptr &&
+            *end == '\0') {
+          opts.max_bytes = std::size_t(parsed);
+        } else {
+          std::fprintf(stderr,
+                       "ektelo: ignoring unparsable EKTELO_CACHE_DISK_BYTES"
+                       "=%s (keeping the %zu-byte default)\n",
+                       b, opts.max_bytes);
+        }
+      }
+      auto tier = store::DiskArtifactStore::Open(dir, opts);
+      if (!tier) {
+        std::fprintf(stderr,
+                     "ektelo: EKTELO_CACHE_DIR=%s could not be opened; "
+                     "running with the in-memory cache only\n",
+                     dir);
+      } else {
+        c->impl_->disk = std::move(tier);
+        // The instance is intentionally leaked, so the store destructor
+        // never runs for the env-attached tier; checkpoint the index at
+        // exit.  (Missing it is safe — reopen recovers by scanning the
+        // log tail — just slower for big stores.)
+        std::atexit([] { OperatorCache::Global().FlushDiskTier(); });
+      }
+    }
+    return c;
+  }();
   return *cache;
 }
 
@@ -779,6 +1021,14 @@ std::shared_ptr<const CsrMatrix> OperatorCache::MaterializeSparse(
       [](Impl::Entry& e, const V& v) {
         e.sparse = v;
         e.bytes = CsrBytes(*v);
+      },
+      [](const LinOp& key, const V& v, store::ByteWriter* w) {
+        return EncodeCsrArtifact(key, *v, w);
+      },
+      [](const LinOp& key, const std::vector<uint8_t>& b) -> std::optional<V> {
+        auto m = DecodeCsrArtifact(key, b, key.rows(), key.cols());
+        if (!m) return std::nullopt;
+        return std::make_shared<const CsrMatrix>(std::move(*m));
       });
 }
 
@@ -794,6 +1044,14 @@ std::shared_ptr<const DenseMatrix> OperatorCache::MaterializeDense(
       [](Impl::Entry& e, const V& v) {
         e.dense = v;
         e.bytes = DenseBytes(*v);
+      },
+      [](const LinOp& key, const V& v, store::ByteWriter* w) {
+        return EncodeDenseArtifact(key, *v, w);
+      },
+      [](const LinOp& key, const std::vector<uint8_t>& b) -> std::optional<V> {
+        auto m = DecodeDenseArtifact(key, b, key.rows(), key.cols());
+        if (!m) return std::nullopt;
+        return std::make_shared<const DenseMatrix>(std::move(*m));
       });
 }
 
@@ -810,6 +1068,15 @@ std::shared_ptr<const DenseMatrix> OperatorCache::GramDense(
       [](Impl::Entry& e, const V& v) {
         e.dense = v;
         e.bytes = DenseBytes(*v);
+      },
+      [](const LinOp& key, const V& v, store::ByteWriter* w) {
+        return EncodeDenseArtifact(key, *v, w);
+      },
+      [](const LinOp& key, const std::vector<uint8_t>& b) -> std::optional<V> {
+        // A Gram artifact is cols x cols regardless of the key's height.
+        auto m = DecodeDenseArtifact(key, b, key.cols(), key.cols());
+        if (!m) return std::nullopt;
+        return std::make_shared<const DenseMatrix>(std::move(*m));
       });
 }
 
@@ -821,6 +1088,18 @@ LinOpPtr OperatorCache::SparseWrapped(const LinOpPtr& op) {
       [](Impl::Entry& e, const LinOpPtr& v) {
         e.wrapped = v;
         e.bytes = ApproxRetainedBytes(*v);
+      },
+      [](const LinOp& key, const LinOpPtr& v, store::ByteWriter* w) {
+        auto* sp = dynamic_cast<const SparseOp*>(v.get());
+        return sp != nullptr && EncodeCsrArtifact(key, sp->csr(), w);
+      },
+      [](const LinOp& key,
+         const std::vector<uint8_t>& b) -> std::optional<LinOpPtr> {
+        auto m = DecodeCsrArtifact(key, b, key.rows(), key.cols());
+        if (!m) return std::nullopt;
+        // MakeSparse re-derives the binary flag from the (bit-identical)
+        // values, so the promoted leaf matches the computed one exactly.
+        return MakeSparse(std::move(*m));
       });
 }
 
@@ -832,6 +1111,16 @@ LinOpPtr OperatorCache::DenseWrapped(const LinOpPtr& op) {
       [](Impl::Entry& e, const LinOpPtr& v) {
         e.wrapped = v;
         e.bytes = ApproxRetainedBytes(*v);
+      },
+      [](const LinOp& key, const LinOpPtr& v, store::ByteWriter* w) {
+        auto* d = dynamic_cast<const DenseOp*>(v.get());
+        return d != nullptr && EncodeDenseArtifact(key, d->dense(), w);
+      },
+      [](const LinOp& key,
+         const std::vector<uint8_t>& b) -> std::optional<LinOpPtr> {
+        auto m = DecodeDenseArtifact(key, b, key.rows(), key.cols());
+        if (!m) return std::nullopt;
+        return MakeDense(std::move(*m));
       });
 }
 
@@ -848,7 +1137,106 @@ double OperatorCache::Sensitivity(const LinOp& op, int which,
       [](Impl::Entry& e, double v) {
         e.value = v;
         e.bytes = sizeof(Impl::Entry);
+      },
+      [](const LinOp& k, double v, store::ByteWriter* w) {
+        return EncodeScalarArtifact(k, v, w);
+      },
+      [](const LinOp& k, const std::vector<uint8_t>& b) {
+        return DecodeScalarArtifact(k, b);
       });
+}
+
+LinOpPtr OperatorCache::GramOperator(const LinOpPtr& op) {
+  return impl_->Cached<LinOpPtr>(
+      op, op->StructuralHash(), kKindGramOp,
+      [](const Impl::Entry& e) { return e.wrapped; },
+      [&] { return op->Gram(); },
+      [](Impl::Entry& e, const LinOpPtr& v) {
+        e.wrapped = v;
+        e.bytes = ApproxRetainedBytes(*v);
+      },
+      [](const LinOp& key, const LinOpPtr& v, store::ByteWriter* w) {
+        // Only materialized Grams persist; a lazy/structured Gram is
+        // cheap to re-derive and has no canonical byte form.
+        if (auto* sp = dynamic_cast<const SparseOp*>(v.get()))
+          return EncodeCsrArtifact(key, sp->csr(), w);
+        if (auto* d = dynamic_cast<const DenseOp*>(v.get()))
+          return EncodeDenseArtifact(key, d->dense(), w);
+        return false;
+      },
+      [](const LinOp& key,
+         const std::vector<uint8_t>& b) -> std::optional<LinOpPtr> {
+        store::ByteReader r(b);
+        uint8_t sub;
+        if (!DecodeEnvelope(key, &r, &sub)) return std::nullopt;
+        const std::size_t n = key.cols();  // Gram of (m x n) is n x n
+        if (sub == kSubCsr) {
+          CsrMatrix m;
+          if (!store::DeserializeCsr(&r, &m) || r.remaining() != 0 ||
+              m.rows() != n || m.cols() != n)
+            return std::nullopt;
+          return MakeSparse(std::move(m));
+        }
+        if (sub == kSubDense) {
+          DenseMatrix m;
+          if (!store::DeserializeDense(&r, &m) || r.remaining() != 0 ||
+              m.rows() != n || m.cols() != n)
+            return std::nullopt;
+          return MakeDense(std::move(m));
+        }
+        return std::nullopt;
+      });
+}
+
+double OperatorCache::GramNormSq(const LinOp& gram, std::size_t iters,
+                                 const std::function<double()>& compute) {
+  LinOpPtr key = gram.weak_from_this().lock();
+  if (!key) return compute();
+  // The estimate depends on the power-iteration count, so it joins the
+  // structural hash in the lookup key.
+  StructHash h;
+  h.Mix(gram.StructuralHash()).Mix(uint64_t(iters));
+  return impl_->Cached<double>(
+      key, h.Finish(), kKindNormSq,
+      [](const Impl::Entry& e) { return e.value; }, compute,
+      [](Impl::Entry& e, double v) {
+        e.value = v;
+        e.bytes = sizeof(Impl::Entry);
+      },
+      [](const LinOp& k, double v, store::ByteWriter* w) {
+        return EncodeScalarArtifact(k, v, w);
+      },
+      [](const LinOp& k, const std::vector<uint8_t>& b) {
+        return DecodeScalarArtifact(k, b);
+      });
+}
+
+LinOpPtr OperatorCache::CachedGramOrNull(const LinOp& a) {
+  if (!RewriteEnabled()) return nullptr;
+  LinOpPtr self = a.weak_from_this().lock();
+  if (!self) return nullptr;
+  return Global().GramOperator(self);
+}
+
+void OperatorCache::SetDiskTier(
+    std::unique_ptr<store::DiskArtifactStore> tier) {
+  std::shared_ptr<store::DiskArtifactStore> old;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    old = std::move(impl_->disk);
+    impl_->disk = std::move(tier);
+  }
+  // `old` flushes and closes here (or when its last in-flight user
+  // releases the snapshot).
+}
+
+store::DiskArtifactStore* OperatorCache::disk_tier() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->disk.get();
+}
+
+void OperatorCache::FlushDiskTier() {
+  if (auto d = impl_->DiskSnapshot()) d->Flush();
 }
 
 void OperatorCache::SetCapacity(std::size_t max_entries,
@@ -867,6 +1255,9 @@ OperatorCache::Stats OperatorCache::stats() const {
   s.evictions = impl_->evictions;
   s.entries = impl_->lru.size();
   s.bytes = impl_->bytes;
+  s.disk_hits = impl_->disk_hits;
+  s.disk_misses = impl_->disk_misses;
+  s.disk_writes = impl_->disk_writes;
   return s;
 }
 

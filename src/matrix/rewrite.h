@@ -45,13 +45,26 @@
 // inference, Gram assembly and materialization — all post-processing.
 //
 // OperatorCache memoizes the expensive derived artifacts (materialized
-// CSR, dense Gram, L1/L2 sensitivities) under the operator's structural
-// hash (see LinOp::StructuralHash), verified by StructuralEq, so
-// MWEM-style loops and repeated plan executions that re-derive
-// structurally identical operators stop paying per-round recomputation.
-// The cache is bounded (entries + approximate bytes, LRU eviction) and
-// thread-safe; values are shared_ptr snapshots, so eviction never
-// invalidates a consumer.
+// CSR, dense Gram, derived Gram operators and their spectral-norm
+// estimates, L1/L2 sensitivities) under the operator's structural hash
+// (see LinOp::StructuralHash), verified by StructuralEq, so MWEM-style
+// loops and repeated plan executions that re-derive structurally
+// identical operators stop paying per-round recomputation.  The cache is
+// bounded (entries + approximate bytes, LRU eviction) and thread-safe;
+// values are shared_ptr snapshots, so eviction never invalidates a
+// consumer.
+//
+// When EKTELO_CACHE_DIR is set, a persistent disk tier (a
+// store::DiskArtifactStore in that directory) sits under the in-memory
+// cache: a memory miss probes the store (keyed by {kFormatVersion,
+// kHashVersion, structural hash, artifact kind}, checksum-verified and
+// shape-guarded), promotes hits into memory, and computed artifacts are
+// written behind on insert — so a fresh process serving the same
+// workloads starts warm.  EKTELO_CACHE_DISK_BYTES bounds the store's
+// live bytes (default 1 GiB).  With the variable unset nothing touches
+// disk and behavior is bitwise identical to the memory-only cache.
+// Only operators whose structural hash is stable across processes
+// (StructuralHashPersistable) participate in the disk tier.
 #ifndef EKTELO_MATRIX_REWRITE_H_
 #define EKTELO_MATRIX_REWRITE_H_
 
@@ -63,6 +76,10 @@
 #include "matrix/linop.h"
 
 namespace ektelo {
+
+namespace store {
+class DiskArtifactStore;
+}  // namespace store
 
 /// Whether the rewrite engine (and the OperatorCache consumers gated on
 /// it) is active.  Controlled by EKTELO_REWRITE: unset or any value other
@@ -84,6 +101,15 @@ LinOpPtr Rewrite(LinOpPtr op);
 /// Rewrite(op) when RewriteEnabled(), else op unchanged.
 LinOpPtr MaybeRewrite(LinOpPtr op);
 
+/// True when `op`'s StructuralHash is a pure function of its construction
+/// (kinds, shapes, scalar/leaf payloads) — deterministic across processes
+/// — which holds for every built-in operator kind, recursively.  Unknown
+/// LinOp subclasses hash per-instance (see LinOp::ComputeStructuralHash)
+/// and return false: their artifacts stay in the in-memory tier and are
+/// never persisted.  The registered-kind audit lives next to kHashVersion
+/// (linop.h); extend both together when adding operator kinds.
+bool StructuralHashPersistable(const LinOp& op);
+
 /// Bounded, thread-safe memo cache: structural hash -> derived artifact.
 class OperatorCache {
  public:
@@ -93,6 +119,12 @@ class OperatorCache {
     std::size_t evictions = 0;
     std::size_t entries = 0;
     std::size_t bytes = 0;
+    /// Disk-tier traffic (all zero when no tier is attached).  A disk
+    /// hit is also counted as a memory miss: the probe only runs after
+    /// the in-memory lookup failed.
+    std::size_t disk_hits = 0;
+    std::size_t disk_misses = 0;
+    std::size_t disk_writes = 0;
   };
 
   /// The process-wide instance every consumer shares.
@@ -124,10 +156,52 @@ class OperatorCache {
   double Sensitivity(const LinOp& op, int which,
                      const std::function<double()>& compute);
 
+  /// Memoized op->Gram(): the derived (possibly materialized — see
+  /// SparseOp::Gram's fill guard) Gram operator, keyed by op's hash.
+  /// Gram derivation is a deterministic function of op's structure, so a
+  /// hit is bitwise-equivalent to re-deriving — CG/NNLS consume this so
+  /// repeated solves against structurally identical stacks stop paying
+  /// the sparse A^T A re-materialization.  Persisted to the disk tier
+  /// only when the derived Gram is a plain sparse/dense leaf.
+  LinOpPtr GramOperator(const LinOpPtr& op);
+
+  /// Memoized spectral-norm-squared estimate of a Gram operator (the
+  /// NNLS Lipschitz constant), keyed by {gram's structural hash, iters}.
+  /// `compute` must be EstimateSpectralNormSqGram(gram, iters) or an
+  /// equally deterministic function — a hit reproduces it bitwise while
+  /// skipping the power iterations.  Uncached when `gram` is not
+  /// shared-owned.
+  double GramNormSq(const LinOp& gram, std::size_t iters,
+                    const std::function<double()>& compute);
+
+  /// The memoized Gram for `a` via GramOperator, or nullptr when caching
+  /// does not apply — rewriting disabled, or `a` not shared-owned (a
+  /// Gram derived from a stack-allocated operator aliases it non-
+  /// owningly and must never outlive the solve as a cache key).  Callers
+  /// fall back to a.Gram() on nullptr and must not cache artifacts keyed
+  /// on that fallback.  Shared by the CG/NNLS solvers.
+  static LinOpPtr CachedGramOrNull(const LinOp& a);
+
+  /// Attaches (or, with nullptr, detaches) the persistent disk tier.
+  /// The previous tier, if any, is flushed and closed.  Called with the
+  /// EKTELO_CACHE_DIR store at process start; tests and benches swap
+  /// tiers explicitly.
+  void SetDiskTier(std::unique_ptr<store::DiskArtifactStore> tier);
+
+  /// The attached tier (nullptr when none) — for stats inspection; the
+  /// pointer stays owned by the cache and is invalidated by SetDiskTier.
+  store::DiskArtifactStore* disk_tier() const;
+
+  /// Flushes the disk tier's index checkpoint (no-op without a tier).
+  void FlushDiskTier();
+
   /// Capacity bounds; entries older than the bound are evicted LRU-first.
   void SetCapacity(std::size_t max_entries, std::size_t max_bytes);
 
   Stats stats() const;
+  /// Empties the in-memory tier (counters are kept).  The disk tier, if
+  /// any, is untouched: Clear + re-execution is exactly the cold-start
+  /// path a fresh process takes against a populated store.
   void Clear();
 
   OperatorCache();

@@ -1,0 +1,136 @@
+// Versioned binary serialization for cached operator artifacts.
+//
+// The persistent artifact store (store/artifact_store.h) spills the
+// OperatorCache's derived artifacts — materialized CSR matrices, dense
+// matrices (including dense Grams), vectors and scalar sensitivity /
+// norm-estimate entries — to disk so a fresh process can start warm.
+// Byte layout is explicit and platform-independent:
+//
+//   * every integer is framed little-endian, byte by byte (no memcpy of
+//     host-endian words), so a store written on any machine reads back on
+//     any other;
+//   * doubles are framed by IEEE-754 bit pattern (as a little-endian
+//     uint64), so round-trips are bit-exact — NaN payloads, -0.0 and
+//     denormals included, matching the BitwiseEq relation the
+//     OperatorCache is defined over;
+//   * index-type payloads (CSR indptr/indices, shapes) are framed as
+//     uint64 regardless of the host std::size_t width;
+//   * kFormatVersion stamps every record; a layout change bumps it and
+//     cleanly invalidates old stores instead of misreading them.
+//
+// Deserializers are defensive: every read is bounds-checked against the
+// buffer, allocation sizes are validated against the bytes actually
+// present before resizing, and structural invariants (CSR row pointers
+// monotone, column indices in range) are verified — a truncated or
+// corrupted payload yields `false`, never a crash or an aborted CHECK.
+// Whole-record integrity (bit flips that keep the structure plausible)
+// is the store framing's job via Checksum64.
+#ifndef EKTELO_STORE_SERIALIZE_H_
+#define EKTELO_STORE_SERIALIZE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "linalg/csr.h"
+#include "linalg/dense.h"
+#include "linalg/vec.h"
+
+namespace ektelo::store {
+
+/// Bumped whenever the byte layout of any payload or frame changes.
+/// Stores written under a different format version are rejected on open
+/// (and individual records on read), never reinterpreted.
+inline constexpr uint32_t kFormatVersion = 1;
+
+/// 64-bit FNV-1a over a byte range: the per-record integrity checksum.
+/// Not cryptographic — it guards against torn writes, truncation and
+/// random corruption, not an adversary with write access to the cache
+/// directory (who could equally replace the whole store).
+uint64_t Checksum64(const uint8_t* data, std::size_t n);
+inline uint64_t Checksum64(const std::vector<uint8_t>& bytes) {
+  return Checksum64(bytes.data(), bytes.size());
+}
+
+/// Append-only little-endian byte sink.
+class ByteWriter {
+ public:
+  void U8(uint8_t v) { out_.push_back(v); }
+  void U32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) out_.push_back(uint8_t(v >> (8 * i)));
+  }
+  void U64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) out_.push_back(uint8_t(v >> (8 * i)));
+  }
+  void F64(double v);
+  void F64s(const std::vector<double>& vs);
+  /// Frames each element as a uint64 (host std::size_t may be narrower).
+  void Sizes(const std::vector<std::size_t>& vs);
+  /// Appends raw bytes verbatim (already-framed sub-buffers).
+  void Raw(const uint8_t* data, std::size_t n) {
+    out_.insert(out_.end(), data, data + n);
+  }
+
+  const std::vector<uint8_t>& bytes() const { return out_; }
+  std::vector<uint8_t> Take() { return std::move(out_); }
+
+ private:
+  std::vector<uint8_t> out_;
+};
+
+/// Bounds-checked little-endian reader over a borrowed byte range.  All
+/// getters return false (and poison the reader) on underflow; `ok()`
+/// reports whether every read so far succeeded.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, std::size_t n) : p_(data), end_(data + n) {}
+  explicit ByteReader(const std::vector<uint8_t>& bytes)
+      : ByteReader(bytes.data(), bytes.size()) {}
+
+  bool U8(uint8_t* v);
+  bool U32(uint32_t* v);
+  bool U64(uint64_t* v);
+  bool F64(double* v);
+  /// Reads `count` doubles; fails without allocating when the buffer
+  /// cannot possibly hold them.
+  bool F64s(std::size_t count, std::vector<double>* vs);
+  bool Sizes(std::size_t count, std::vector<std::size_t>* vs);
+
+  std::size_t remaining() const { return std::size_t(end_ - p_); }
+  bool ok() const { return ok_; }
+
+ private:
+  bool Fail() {
+    ok_ = false;
+    return false;
+  }
+  const uint8_t* p_;
+  const uint8_t* end_;
+  bool ok_ = true;
+};
+
+// ------------------------------------------------------------ typed codecs
+//
+// Each Serialize* appends a self-delimiting payload; the matching
+// Deserialize* consumes exactly that payload and reports false on any
+// truncation, allocation-bomb size, or structural violation.  Round-trips
+// are bit-exact: Serialize(Deserialize(Serialize(x))) == Serialize(x).
+
+void SerializeVec(const Vec& v, ByteWriter* w);
+bool DeserializeVec(ByteReader* r, Vec* v);
+
+void SerializeDense(const DenseMatrix& m, ByteWriter* w);
+bool DeserializeDense(ByteReader* r, DenseMatrix* m);
+
+/// CSR arrays are framed verbatim (indptr, indices, values), so the
+/// reconstructed matrix is field-for-field identical — no triplet
+/// round-trip, no re-sorting, no duplicate merging.
+void SerializeCsr(const CsrMatrix& m, ByteWriter* w);
+bool DeserializeCsr(ByteReader* r, CsrMatrix* m);
+
+void SerializeScalar(double v, ByteWriter* w);
+bool DeserializeScalar(ByteReader* r, double* v);
+
+}  // namespace ektelo::store
+
+#endif  // EKTELO_STORE_SERIALIZE_H_
