@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "linalg/simd/simd.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -31,6 +32,7 @@ Block Block::IdentityPanel(std::size_t n, std::size_t first, std::size_t k) {
 
 Block Block::FromColumn(const Vec& v, std::size_t k) {
   Block p(v.size(), k);
+  EK_DCHECK_ALIGNED64(p.data());
   for (std::size_t c = 0; c < k; ++c)
     std::copy(v.begin(), v.end(), p.ColPtr(c));
   return p;
@@ -50,65 +52,31 @@ void Block::SetCol(std::size_t c, const Vec& v) {
 void DenseMatmat(const DenseMatrix& a, const double* x, double* y,
                  std::size_t k) {
   const std::size_t m = a.rows(), n = a.cols();
-  // Each dense row is read once and dotted against all k RHS columns,
-  // four columns at a time: the four accumulators are independent, so the
-  // dot products pipeline instead of serializing on FMA latency (a plain
-  // per-column mat-vec is latency-bound on its single running sum), and
-  // each row element loads once per four columns.  Rows shard across the
-  // pool: every output y[i, c] lives entirely in one shard, with the same
-  // accumulation order as the serial sweep.
+  if (m == 0) return;
+  // Rows shard across the pool: every output y[i, c] lives entirely in
+  // one shard and is computed by the active table's canonical 8-lane
+  // reduction-tree dot product — the same lane sequence at any thread
+  // count and on any dispatch target.
+  const simd::KernelTable& kt = simd::Active();
+  const double* ap = a.RowPtr(0);
   ParallelFor(m, GrainFor(n * k), [&](std::size_t i0, std::size_t i1) {
-  for (std::size_t i = i0; i < i1; ++i) {
-    const double* row = a.RowPtr(i);
-    std::size_t c = 0;
-    for (; c + 4 <= k; c += 4) {
-      const double* x0 = x + c * n;
-      const double* x1 = x + (c + 1) * n;
-      const double* x2 = x + (c + 2) * n;
-      const double* x3 = x + (c + 3) * n;
-      double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
-      for (std::size_t j = 0; j < n; ++j) {
-        const double r = row[j];
-        s0 += r * x0[j];
-        s1 += r * x1[j];
-        s2 += r * x2[j];
-        s3 += r * x3[j];
-      }
-      y[c * m + i] = s0;
-      y[(c + 1) * m + i] = s1;
-      y[(c + 2) * m + i] = s2;
-      y[(c + 3) * m + i] = s3;
-    }
-    for (; c < k; ++c) {
-      const double* xc = x + c * n;
-      double s = 0.0;
-      for (std::size_t j = 0; j < n; ++j) s += row[j] * xc[j];
-      y[c * m + i] = s;
-    }
-  }
+    kt.dense_matmat_rows(ap, m, n, x, y, k, i0, i1);
   });
 }
 
 void DenseRmatMat(const DenseMatrix& a, const double* x, double* y,
                   std::size_t k) {
   const std::size_t m = a.rows(), n = a.cols();
+  if (n == 0) return;
   // A^T X accumulates over the rows of A, so row-sharding would need a
   // cross-shard reduction (and a different FP summation order).  Shard
   // over output *rows* j instead: each shard sweeps all of A but owns
   // y[c, j0..j1), accumulating every output element over i in exactly the
-  // serial order.
+  // serial order (vector lanes cover independent outputs only).
+  const simd::KernelTable& kt = simd::Active();
+  const double* ap = m > 0 ? a.RowPtr(0) : nullptr;
   ParallelFor(n, GrainFor(m * k), [&](std::size_t j0, std::size_t j1) {
-    for (std::size_t c = 0; c < k; ++c)
-      std::fill(y + c * n + j0, y + c * n + j1, 0.0);
-    for (std::size_t i = 0; i < m; ++i) {
-      const double* row = a.RowPtr(i);
-      for (std::size_t c = 0; c < k; ++c) {
-        const double xi = x[c * m + i];
-        if (xi == 0.0) continue;
-        double* yc = y + c * n;
-        for (std::size_t j = j0; j < j1; ++j) yc[j] += xi * row[j];
-      }
-    }
+    kt.dense_rmatmat_cols(ap, m, n, x, y, k, j0, j1);
   });
 }
 
@@ -117,11 +85,10 @@ namespace {
 // Repack an n x k column-major panel as row-major (k contiguous values per
 // row) so the sparse sweeps below touch unit-stride memory per nonzero.
 // The O(nk) pack is negligible against the O(nnz * k) sweep it serves.
-std::vector<double> PackRowMajor(const double* x, std::size_t n,
-                                 std::size_t k) {
+AlignedVec PackRowMajor(const double* x, std::size_t n, std::size_t k) {
   // Row-outer order keeps the writes contiguous; the k column reads are
   // sequential streams that stay resident across consecutive rows.
-  std::vector<double> xr(n * k);
+  AlignedVec xr(n * k);
   for (std::size_t i = 0; i < n; ++i) {
     double* row = &xr[i * k];
     for (std::size_t c = 0; c < k; ++c) row[c] = x[c * n + i];
@@ -129,7 +96,7 @@ std::vector<double> PackRowMajor(const double* x, std::size_t n,
   return xr;
 }
 
-void UnpackRowMajor(const std::vector<double>& yr, double* y, std::size_t n,
+void UnpackRowMajor(const AlignedVec& yr, double* y, std::size_t n,
                     std::size_t k) {
   for (std::size_t i = 0; i < n; ++i) {
     const double* row = &yr[i * k];
@@ -142,54 +109,40 @@ void UnpackRowMajor(const std::vector<double>& yr, double* y, std::size_t n,
 void CsrMatmat(const CsrMatrix& a, const double* x, double* y,
                std::size_t k) {
   const std::size_t m = a.rows(), n = a.cols();
-  const auto& indptr = a.indptr();
-  const auto& indices = a.indices();
-  const auto& values = a.values();
   // One sweep over the nonzeros; each (i, j, v) is loaded once and applied
   // to all k columns, with both panels row-major so the k-loop is a
-  // unit-stride fused multiply-add.
-  std::vector<double> xr = PackRowMajor(x, n, k);
-  std::vector<double> yr(m * k, 0.0);
+  // unit-stride vector multiply-add.
+  AlignedVec xr = PackRowMajor(x, n, k);
+  AlignedVec yr(m * k, 0.0);
   // Output rows shard across the pool: row i's nonzeros are a contiguous
   // indptr slice, and yr[i * k ..] belongs to exactly one shard.
+  const simd::KernelTable& kt = simd::Active();
   const std::size_t nnz_per_row = a.nnz() / std::max<std::size_t>(m, 1);
   ParallelFor(m, GrainFor((nnz_per_row + 1) * k),
               [&](std::size_t i0, std::size_t i1) {
-    for (std::size_t i = i0; i < i1; ++i) {
-      double* yrow = &yr[i * k];
-      for (std::size_t p = indptr[i]; p < indptr[i + 1]; ++p) {
-        const double* xrow = &xr[indices[p] * k];
-        const double v = values[p];
-        for (std::size_t c = 0; c < k; ++c) yrow[c] += v * xrow[c];
-      }
-    }
-  });
+                kt.csr_matmat_rows(a.indptr().data(), a.indices().data(),
+                                   a.values().data(), xr.data(), yr.data(),
+                                   k, i0, i1);
+              });
   UnpackRowMajor(yr, y, m, k);
 }
 
 void CsrRmatMat(const CsrMatrix& a, const double* x, double* y,
                 std::size_t k) {
   const std::size_t m = a.rows(), n = a.cols();
-  const auto& indptr = a.indptr();
-  const auto& indices = a.indices();
-  const auto& values = a.values();
-  std::vector<double> xr = PackRowMajor(x, m, k);
-  std::vector<double> yr(n * k, 0.0);
+  AlignedVec xr = PackRowMajor(x, m, k);
+  AlignedVec yr(n * k, 0.0);
   // The transposed sweep scatters into yr rows, so output-row sharding is
   // not contiguous in the CSR structure.  Shard over the k RHS columns
   // instead: each shard replays the full nonzero sweep but only updates
   // its own packed column range, preserving the serial accumulation order
   // per element.  (k == 1 runs serially — single-vector CSR transposed
   // applies stay on the calling thread.)
+  const simd::KernelTable& kt = simd::Active();
   ParallelFor(k, GrainFor(a.nnz()), [&](std::size_t c0, std::size_t c1) {
-    for (std::size_t i = 0; i < m; ++i) {
-      const double* xrow = &xr[i * k];
-      for (std::size_t p = indptr[i]; p < indptr[i + 1]; ++p) {
-        double* yrow = &yr[indices[p] * k];
-        const double v = values[p];
-        for (std::size_t c = c0; c < c1; ++c) yrow[c] += v * xrow[c];
-      }
-    }
+    kt.csr_rmatmat_cols(a.indptr().data(), a.indices().data(),
+                        a.values().data(), m, xr.data(), yr.data(), k, c0,
+                        c1);
   });
   UnpackRowMajor(yr, y, n, k);
 }

@@ -7,16 +7,23 @@
 // in one sweep of A) amortize the cost of touching A — row pointers,
 // column indices, dense rows — over all k columns, which is where the
 // dense/sparse representation advantage of Sec. 10.2 comes from.
+//
+// Storage is 64-byte aligned and padded to whole cachelines
+// (util/aligned.h), and the kernels themselves are vectorized behind the
+// runtime-dispatched kernel table in linalg/simd/ — bitwise-identical
+// across dispatch targets (scalar/AVX2/AVX-512/NEON) and across thread
+// counts (each ParallelFor shard owns disjoint outputs and runs the same
+// lane sequence the serial sweep would).
 #ifndef EKTELO_LINALG_BLOCK_H_
 #define EKTELO_LINALG_BLOCK_H_
 
 #include <algorithm>
 #include <cstddef>
-#include <vector>
 
 #include "linalg/csr.h"
 #include "linalg/dense.h"
 #include "linalg/vec.h"
+#include "util/aligned.h"
 
 namespace ektelo {
 
@@ -53,14 +60,18 @@ class Block {
 
  private:
   std::size_t rows_, cols_;
-  std::vector<double> data_;
+  AlignedVec data_;
 };
 
 // Blocked kernels over raw column-major storage.  X is (A.cols x k),
 // Y is (A.rows x k) for the forward direction; the *T* variants take
 // X (A.rows x k) and produce Y (A.cols x k).  X and Y must not alias.
+// All four shard across the thread pool and dispatch their inner loops
+// through simd::Active(); buffers may be unaligned (aligned buffers are
+// a perf nicety, never a correctness requirement).
 
-/// Y = A X for dense A: one sweep over A's rows, all k columns at once.
+/// Y = A X for dense A: one sweep over A's rows, all k columns at once,
+/// each entry an 8-lane reduction-tree dot product (linalg/simd/simd.h).
 void DenseMatmat(const DenseMatrix& a, const double* x, double* y,
                  std::size_t k);
 /// Y = A^T X for dense A.

@@ -57,13 +57,14 @@ CsrMatrix CsrMatrix::FromColumnStream(std::size_t rows, std::size_t cols,
     m.indices_[pos] = t.col;
     m.values_[pos] = t.value;
   }
+  EK_DCHECK_ALIGNED64(m.values_.data());
   return m;
 }
 
 CsrMatrix CsrMatrix::FromRaw(std::size_t rows, std::size_t cols,
                              std::vector<std::size_t> indptr,
                              std::vector<std::size_t> indices,
-                             std::vector<double> values) {
+                             AlignedVec values) {
   EK_CHECK_EQ(indptr.size(), rows + 1);
   EK_CHECK_EQ(indptr.front(), std::size_t{0});
   EK_CHECK_EQ(indptr.back(), indices.size());

@@ -13,6 +13,7 @@
 
 #include "linalg/dense.h"
 #include "linalg/vec.h"
+#include "util/aligned.h"
 
 namespace ektelo {
 
@@ -50,7 +51,7 @@ class CsrMatrix {
   static CsrMatrix FromRaw(std::size_t rows, std::size_t cols,
                            std::vector<std::size_t> indptr,
                            std::vector<std::size_t> indices,
-                           std::vector<double> values);
+                           AlignedVec values);
 
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
@@ -58,8 +59,10 @@ class CsrMatrix {
 
   const std::vector<std::size_t>& indptr() const { return indptr_; }
   const std::vector<std::size_t>& indices() const { return indices_; }
-  const std::vector<double>& values() const { return values_; }
-  std::vector<double>& values() { return values_; }
+  // Values are 64-byte-aligned/cacheline-padded (util/aligned.h), like
+  // every buffer the vectorized kernel layer touches.
+  const AlignedVec& values() const { return values_; }
+  AlignedVec& values() { return values_; }
 
   Vec Matvec(const Vec& x) const;
   void Matvec(const double* x, double* y) const;
@@ -109,7 +112,7 @@ class CsrMatrix {
   std::size_t rows_, cols_;
   std::vector<std::size_t> indptr_;
   std::vector<std::size_t> indices_;
-  std::vector<double> values_;
+  AlignedVec values_;
 };
 
 }  // namespace ektelo

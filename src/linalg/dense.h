@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "linalg/vec.h"
+#include "util/aligned.h"
 
 namespace ektelo {
 
@@ -30,8 +31,11 @@ class DenseMatrix {
   const double* RowPtr(std::size_t i) const { return &data_[i * cols_]; }
   double* RowPtr(std::size_t i) { return &data_[i * cols_]; }
 
-  const std::vector<double>& data() const { return data_; }
-  std::vector<double>& data() { return data_; }
+  // Backing storage is 64-byte aligned and cacheline-padded
+  // (util/aligned.h) so the vectorized block kernels see aligned rows
+  // whenever cols is a multiple of the lane group.
+  const AlignedVec& data() const { return data_; }
+  AlignedVec& data() { return data_; }
 
   /// y = A x
   Vec Matvec(const Vec& x) const;
@@ -59,7 +63,7 @@ class DenseMatrix {
 
  private:
   std::size_t rows_, cols_;
-  std::vector<double> data_;
+  AlignedVec data_;
 };
 
 /// In-place Cholesky factorization of an SPD matrix (lower triangle).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "linalg/simd/simd.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -74,65 +75,15 @@ namespace {
 
 // Each transformed column is independent of the others, so the blocked
 // wavelet kernels shard the panel over contiguous column ranges: a shard
-// runs the serial fold on its own sub-panel (columns are contiguous in
+// runs the dispatched fold on its own sub-panel (columns are contiguous in
 // column-major storage), which keeps every column's FP sequence identical
-// to the serial call at any thread count.
+// to the serial call at any thread count.  The per-level butterflies
+// (sum/difference over the columns of a block) vectorize across columns
+// through the active kernel table — elementwise adds and subtracts, so
+// results are bitwise-identical on every dispatch target.
 std::size_t HaarGrain(std::size_t n) {
   return std::max<std::size_t>(1, std::size_t{32768} / std::max<std::size_t>(
                                                            n, 1));
-}
-
-void HaarAnalysisBlockSerial(const double* x, double* y, std::size_t n,
-                             std::size_t k) {
-  if (n == 1) {
-    for (std::size_t c = 0; c < k; ++c) y[c] = x[c];
-    return;
-  }
-  const std::size_t levels = Log2(n);
-  // cur[b * k + c]: block-sum of block b for RHS column c; the k values of
-  // a block are contiguous so each fold step is a unit-stride sweep.
-  std::vector<double> cur(n * k), nxt;
-  for (std::size_t i = 0; i < n; ++i)
-    for (std::size_t c = 0; c < k; ++c) cur[i * k + c] = x[c * n + i];
-  for (std::size_t j = levels; j-- > 0;) {
-    const std::size_t blocks = std::size_t{1} << j;
-    nxt.assign(blocks * k, 0.0);
-    for (std::size_t b = 0; b < blocks; ++b) {
-      const double* left = &cur[(2 * b) * k];
-      const double* right = &cur[(2 * b + 1) * k];
-      double* sum = &nxt[b * k];
-      for (std::size_t c = 0; c < k; ++c) {
-        sum[c] = left[c] + right[c];
-        y[c * n + blocks + b] = left[c] - right[c];
-      }
-    }
-    cur.swap(nxt);
-  }
-  for (std::size_t c = 0; c < k; ++c) y[c * n] = cur[c];
-}
-
-void HaarSynthesisBlockSerial(const double* x, double* y, std::size_t n,
-                              std::size_t k) {
-  const std::size_t levels = Log2(n);
-  std::vector<double> cur(k), nxt;
-  for (std::size_t c = 0; c < k; ++c) cur[c] = x[c * n];
-  for (std::size_t j = 0; j < levels; ++j) {
-    const std::size_t blocks = std::size_t{1} << j;
-    nxt.assign(blocks * 2 * k, 0.0);
-    for (std::size_t b = 0; b < blocks; ++b) {
-      const double* parent = &cur[b * k];
-      double* even = &nxt[(2 * b) * k];
-      double* odd = &nxt[(2 * b + 1) * k];
-      for (std::size_t c = 0; c < k; ++c) {
-        const double coef = x[c * n + blocks + b];
-        even[c] = parent[c] + coef;
-        odd[c] = parent[c] - coef;
-      }
-    }
-    cur.swap(nxt);
-  }
-  for (std::size_t i = 0; i < n; ++i)
-    for (std::size_t c = 0; c < k; ++c) y[c * n + i] = cur[i * k + c];
 }
 
 }  // namespace
@@ -140,16 +91,18 @@ void HaarSynthesisBlockSerial(const double* x, double* y, std::size_t n,
 void HaarAnalysisBlock(const double* x, double* y, std::size_t n,
                        std::size_t k) {
   EK_CHECK(IsPowerOfTwo(n));
+  const simd::KernelTable& kt = simd::Active();
   ParallelFor(k, HaarGrain(n), [&](std::size_t c0, std::size_t c1) {
-    HaarAnalysisBlockSerial(x + c0 * n, y + c0 * n, n, c1 - c0);
+    kt.haar_analysis_cols(x + c0 * n, y + c0 * n, n, c1 - c0);
   });
 }
 
 void HaarSynthesisBlock(const double* x, double* y, std::size_t n,
                         std::size_t k) {
   EK_CHECK(IsPowerOfTwo(n));
+  const simd::KernelTable& kt = simd::Active();
   ParallelFor(k, HaarGrain(n), [&](std::size_t c0, std::size_t c1) {
-    HaarSynthesisBlockSerial(x + c0 * n, y + c0 * n, n, c1 - c0);
+    kt.haar_synthesis_cols(x + c0 * n, y + c0 * n, n, c1 - c0);
   });
 }
 

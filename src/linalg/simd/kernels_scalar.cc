@@ -1,0 +1,59 @@
+// Scalar dispatch target: the reference semantics of every kernel.
+//
+// V8 here is eight plain doubles, so the lane operations the templates
+// express become eight scalar IEEE operations in lane order.  This TU is
+// compiled with -ffp-contract=off AND with auto-vectorization disabled
+// (see CMakeLists.txt): "scalar" genuinely executes one lane per
+// instruction, making it both the portable fallback on any CPU and the
+// honest baseline for the roofline rows in bench/parallel_scaling.
+#include "linalg/simd/kernels_impl.h"
+
+namespace ektelo::simd {
+
+namespace {
+
+struct V8Scalar {
+  double v[8];
+
+  static V8Scalar Zero() {
+    V8Scalar r;
+    for (int l = 0; l < 8; ++l) r.v[l] = 0.0;
+    return r;
+  }
+  static V8Scalar Load(const double* p) {
+    V8Scalar r;
+    for (int l = 0; l < 8; ++l) r.v[l] = p[l];
+    return r;
+  }
+  static V8Scalar Broadcast(double s) {
+    V8Scalar r;
+    for (int l = 0; l < 8; ++l) r.v[l] = s;
+    return r;
+  }
+  static V8Scalar Add(const V8Scalar& a, const V8Scalar& b) {
+    V8Scalar r;
+    for (int l = 0; l < 8; ++l) r.v[l] = a.v[l] + b.v[l];
+    return r;
+  }
+  static V8Scalar Sub(const V8Scalar& a, const V8Scalar& b) {
+    V8Scalar r;
+    for (int l = 0; l < 8; ++l) r.v[l] = a.v[l] - b.v[l];
+    return r;
+  }
+  static V8Scalar Mul(const V8Scalar& a, const V8Scalar& b) {
+    V8Scalar r;
+    for (int l = 0; l < 8; ++l) r.v[l] = a.v[l] * b.v[l];
+    return r;
+  }
+  static void Store(const V8Scalar& a, double* p) {
+    for (int l = 0; l < 8; ++l) p[l] = a.v[l];
+  }
+};
+
+const KernelTable kTable = MakeTable<V8Scalar>("scalar");
+
+}  // namespace
+
+const KernelTable* GetScalarTable() { return &kTable; }
+
+}  // namespace ektelo::simd

@@ -1,0 +1,75 @@
+#include "linalg/simd/simd.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/cpu_features.h"
+
+namespace ektelo::simd {
+
+namespace {
+
+bool CpuRuns(const KernelTable* t) {
+  if (t == nullptr) return false;
+  const std::string name = t->name;
+  if (name == "scalar") return true;
+  if (name == "avx2") return CpuHasAvx2();
+  if (name == "avx512") return CpuHasAvx512f();
+  if (name == "neon") return CpuHasNeon();
+  return false;
+}
+
+/// Startup selection: EKTELO_SIMD if it names a runnable target, else the
+/// widest runnable one.  An unrunnable/unknown request warns once on
+/// stderr — silently honoring it would trap on the first kernel, and
+/// silently ignoring it would hide a typo in a determinism experiment.
+const KernelTable* Select() {
+  const KernelTable* best = AvailableTargets().front();  // best-first
+  const char* env = std::getenv("EKTELO_SIMD");
+  if (env == nullptr || *env == '\0') return best;
+  if (const KernelTable* t = FindTarget(env)) return t;
+  std::fprintf(stderr,
+               "ektelo: EKTELO_SIMD=%s is not available on this "
+               "build/CPU; using %s\n",
+               env, best->name);
+  return best;
+}
+
+std::atomic<const KernelTable*> g_active{nullptr};
+
+}  // namespace
+
+const KernelTable& Active() {
+  const KernelTable* t = g_active.load(std::memory_order_acquire);
+  if (t == nullptr) {
+    // Benign first-call race: Select() is deterministic, so concurrent
+    // initializers store the same pointer.
+    t = Select();
+    g_active.store(t, std::memory_order_release);
+  }
+  return *t;
+}
+
+void SetActive(const KernelTable* table) {
+  g_active.store(table, std::memory_order_release);
+}
+
+void ResetActive() { g_active.store(Select(), std::memory_order_release); }
+
+std::vector<const KernelTable*> AvailableTargets() {
+  std::vector<const KernelTable*> out;
+  // Widest first: the front is the startup default.
+  for (const KernelTable* t :
+       {GetAvx512Table(), GetAvx2Table(), GetNeonTable(), GetScalarTable()})
+    if (CpuRuns(t)) out.push_back(t);
+  return out;
+}
+
+const KernelTable* FindTarget(const std::string& name) {
+  for (const KernelTable* t : AvailableTargets())
+    if (name == t->name) return t;
+  return nullptr;
+}
+
+}  // namespace ektelo::simd

@@ -34,6 +34,9 @@ class TransposeOp final : public LinOp {
   CsrMatrix MaterializeSparse() const override;
   std::string DebugName() const override;
   bool StructuralEq(const LinOp& other) const override;
+  bool HashProcessStable() const override {
+    return child_->HashProcessStable();
+  }
   const LinOpPtr& child() const { return child_; }
 
  protected:
@@ -58,6 +61,11 @@ class VStackOp final : public LinOp {
   CsrMatrix MaterializeSparse() const override;
   std::string DebugName() const override;
   bool StructuralEq(const LinOp& other) const override;
+  bool HashProcessStable() const override {
+    for (const LinOpPtr& c : children_)
+      if (!c->HashProcessStable()) return false;
+    return true;
+  }
   const std::vector<LinOpPtr>& children() const { return children_; }
 
  protected:
@@ -82,6 +90,11 @@ class HStackOp final : public LinOp {
   CsrMatrix MaterializeSparse() const override;
   std::string DebugName() const override;
   bool StructuralEq(const LinOp& other) const override;
+  bool HashProcessStable() const override {
+    for (const LinOpPtr& c : children_)
+      if (!c->HashProcessStable()) return false;
+    return true;
+  }
   const std::vector<LinOpPtr>& children() const { return children_; }
 
  protected:
@@ -106,6 +119,11 @@ class SumOp final : public LinOp {
   CsrMatrix MaterializeSparse() const override;
   std::string DebugName() const override;
   bool StructuralEq(const LinOp& other) const override;
+  bool HashProcessStable() const override {
+    for (const LinOpPtr& c : children_)
+      if (!c->HashProcessStable()) return false;
+    return true;
+  }
   const std::vector<LinOpPtr>& children() const { return children_; }
 
  protected:
@@ -130,6 +148,9 @@ class ProductOp final : public LinOp {
   CsrMatrix MaterializeSparse() const override;
   std::string DebugName() const override;
   bool StructuralEq(const LinOp& other) const override;
+  bool HashProcessStable() const override {
+    return a_->HashProcessStable() && b_->HashProcessStable();
+  }
   const LinOpPtr& a() const { return a_; }
   const LinOpPtr& b() const { return b_; }
 
@@ -158,6 +179,9 @@ class KroneckerOp final : public LinOp {
   CsrMatrix MaterializeSparse() const override;
   std::string DebugName() const override;
   bool StructuralEq(const LinOp& other) const override;
+  bool HashProcessStable() const override {
+    return a_->HashProcessStable() && b_->HashProcessStable();
+  }
   const LinOpPtr& a() const { return a_; }
   const LinOpPtr& b() const { return b_; }
 
@@ -184,6 +208,9 @@ class RowWeightOp final : public LinOp {
   CsrMatrix MaterializeSparse() const override;
   std::string DebugName() const override;
   bool StructuralEq(const LinOp& other) const override;
+  bool HashProcessStable() const override {
+    return child_->HashProcessStable();
+  }
   const LinOpPtr& child() const { return child_; }
   const Vec& weights() const { return w_; }
 
@@ -211,6 +238,9 @@ class ScaleOp final : public LinOp {
   CsrMatrix MaterializeSparse() const override;
   std::string DebugName() const override;
   bool StructuralEq(const LinOp& other) const override;
+  bool HashProcessStable() const override {
+    return child_->HashProcessStable();
+  }
   double scale() const { return c_; }
   const LinOpPtr& child() const { return child_; }
 

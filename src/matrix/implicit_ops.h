@@ -24,6 +24,7 @@ class IdentityOp final : public LinOp {
   CsrMatrix MaterializeSparse() const override;
   std::string DebugName() const override;
   bool StructuralEq(const LinOp& other) const override;
+  bool HashProcessStable() const override { return true; }
 
  protected:
   double ComputeSensitivityL1() const override { return 1.0; }
@@ -44,6 +45,7 @@ class OnesOp final : public LinOp {
   CsrMatrix MaterializeSparse() const override;
   std::string DebugName() const override;
   bool StructuralEq(const LinOp& other) const override;
+  bool HashProcessStable() const override { return true; }
 
  protected:
   double ComputeSensitivityL1() const override;
@@ -63,6 +65,7 @@ class PrefixOp final : public LinOp {
   CsrMatrix MaterializeSparse() const override;
   std::string DebugName() const override;
   bool StructuralEq(const LinOp& other) const override;
+  bool HashProcessStable() const override { return true; }
 
  protected:
   double ComputeSensitivityL1() const override;
@@ -82,6 +85,7 @@ class SuffixOp final : public LinOp {
   CsrMatrix MaterializeSparse() const override;
   std::string DebugName() const override;
   bool StructuralEq(const LinOp& other) const override;
+  bool HashProcessStable() const override { return true; }
 
  protected:
   double ComputeSensitivityL1() const override;
@@ -103,6 +107,7 @@ class WaveletOp final : public LinOp {
   CsrMatrix MaterializeSparse() const override;
   std::string DebugName() const override;
   bool StructuralEq(const LinOp& other) const override;
+  bool HashProcessStable() const override { return true; }
 
  protected:
   double ComputeSensitivityL1() const override;

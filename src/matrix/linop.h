@@ -69,7 +69,13 @@ using LinOpPtr = std::shared_ptr<const LinOp>;
 /// artifacts are invalidated cleanly instead of being served under
 /// colliding new-scheme hashes.  tests/store_test.cc pins golden hash
 /// values for canonical operators to catch accidental changes.
-inline constexpr uint64_t kHashVersion = 1;
+///
+/// The version also covers the *value semantics* of the artifacts keyed
+/// by the hash: version 2 ships the vectorized dense-matmat kernel whose
+/// 8-lane reduction tree changes dot-product rounding, so artifacts
+/// computed under version 1 would no longer be bitwise-reproducible and
+/// must not be served.
+inline constexpr uint64_t kHashVersion = 2;
 
 class StructHash {
  public:
@@ -86,7 +92,9 @@ class StructHash {
     std::memcpy(&bits, &v, sizeof(bits));
     return Mix(bits);
   }
-  StructHash& MixDoubles(const std::vector<double>& vs) {
+  /// Accepts any std::vector<double, Alloc> (plain or AlignedVec).
+  template <typename Alloc>
+  StructHash& MixDoubles(const std::vector<double, Alloc>& vs) {
     Mix(vs.size());
     for (double v : vs) MixDouble(v);
     return *this;
@@ -108,8 +116,9 @@ class StructHash {
 inline bool BitwiseEq(double a, double b) {
   return std::memcmp(&a, &b, sizeof(double)) == 0;
 }
-inline bool BitwiseEq(const std::vector<double>& a,
-                      const std::vector<double>& b) {
+template <typename AllocA, typename AllocB>
+inline bool BitwiseEq(const std::vector<double, AllocA>& a,
+                      const std::vector<double, AllocB>& b) {
   return a.size() == b.size() &&
          (a.empty() ||
           std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
@@ -182,6 +191,17 @@ class LinOp : public std::enable_shared_from_this<LinOp> {
   /// every built-in operator overrides it with a by-construction
   /// comparison (bitwise on scalars/leaf payloads, recursive on children).
   virtual bool StructuralEq(const LinOp& other) const;
+
+  /// True when the operator's structural hash is *process-stable*: a pure
+  /// function of its construction, reproducible in a fresh process — the
+  /// precondition for keying the persistent (disk) artifact store on it.
+  /// The default is false, which fails closed: a subclass the core does
+  /// not know hashes by instance address (see ComputeStructuralHash), so
+  /// persisting under that hash would be wrong.  Leaves with
+  /// deterministic hashes return true; combinators return the conjunction
+  /// over their children.  Any override returning true MUST pair with a
+  /// ComputeStructuralHash that is deterministic across processes.
+  virtual bool HashProcessStable() const { return false; }
 
   /// True if all entries are known to lie in {0, 1} (or {0, -1, +1} for
   /// abs-stability: see set_binary), making Abs()/Sqr() no-ops.
@@ -256,6 +276,7 @@ class DenseOp final : public LinOp {
   DenseMatrix MaterializeDense() const override;
   std::string DebugName() const override;
   bool StructuralEq(const LinOp& other) const override;
+  bool HashProcessStable() const override { return true; }
   const DenseMatrix& dense() const { return m_; }
 
  protected:
@@ -282,6 +303,7 @@ class SparseOp final : public LinOp {
   CsrMatrix MaterializeSparse() const override;
   std::string DebugName() const override;
   bool StructuralEq(const LinOp& other) const override;
+  bool HashProcessStable() const override { return true; }
   const CsrMatrix& csr() const { return m_; }
 
  protected:
@@ -307,6 +329,9 @@ class GramOp final : public LinOp {
   LinOpPtr Gram() const override;  // Gram of a Gram composes lazily too
   std::string DebugName() const override;
   bool StructuralEq(const LinOp& other) const override;
+  bool HashProcessStable() const override {
+    return child_->HashProcessStable();
+  }
   const LinOpPtr& child() const { return child_; }
 
  protected:

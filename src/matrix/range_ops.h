@@ -38,6 +38,7 @@ class RangeSetOp final : public LinOp {
   CsrMatrix MaterializeSparse() const override;
   std::string DebugName() const override;
   bool StructuralEq(const LinOp& other) const override;
+  bool HashProcessStable() const override { return true; }
   const std::vector<Interval>& ranges() const { return ranges_; }
 
  protected:
@@ -66,6 +67,7 @@ class RectangleSetOp final : public LinOp {
   CsrMatrix MaterializeSparse() const override;
   std::string DebugName() const override;
   bool StructuralEq(const LinOp& other) const override;
+  bool HashProcessStable() const override { return true; }
   const std::vector<Rectangle>& rects() const { return rects_; }
 
  protected:

@@ -588,44 +588,13 @@ LinOpPtr MaybeRewrite(LinOpPtr op) {
 // ------------------------------------------------- hash persistability
 
 bool StructuralHashPersistable(const LinOp& op) {
-  // Leaves: the hash covers a fixed tag, the shape and the payload bits.
-  if (dynamic_cast<const DenseOp*>(&op) != nullptr ||
-      dynamic_cast<const SparseOp*>(&op) != nullptr ||
-      dynamic_cast<const IdentityOp*>(&op) != nullptr ||
-      dynamic_cast<const OnesOp*>(&op) != nullptr ||
-      dynamic_cast<const PrefixOp*>(&op) != nullptr ||
-      dynamic_cast<const SuffixOp*>(&op) != nullptr ||
-      dynamic_cast<const WaveletOp*>(&op) != nullptr ||
-      dynamic_cast<const RangeSetOp*>(&op) != nullptr ||
-      dynamic_cast<const RectangleSetOp*>(&op) != nullptr)
-    return true;
-  // Combinators: stable iff every child is.
-  if (auto* g = dynamic_cast<const GramOp*>(&op))
-    return StructuralHashPersistable(*g->child());
-  if (auto* t = dynamic_cast<const TransposeOp*>(&op))
-    return StructuralHashPersistable(*t->child());
-  if (auto* s = dynamic_cast<const ScaleOp*>(&op))
-    return StructuralHashPersistable(*s->child());
-  if (auto* rw = dynamic_cast<const RowWeightOp*>(&op))
-    return StructuralHashPersistable(*rw->child());
-  if (auto* p = dynamic_cast<const ProductOp*>(&op))
-    return StructuralHashPersistable(*p->a()) &&
-           StructuralHashPersistable(*p->b());
-  if (auto* k = dynamic_cast<const KroneckerOp*>(&op))
-    return StructuralHashPersistable(*k->a()) &&
-           StructuralHashPersistable(*k->b());
-  const std::vector<LinOpPtr>* children = nullptr;
-  if (auto* v = dynamic_cast<const VStackOp*>(&op)) children = &v->children();
-  if (auto* h = dynamic_cast<const HStackOp*>(&op)) children = &h->children();
-  if (auto* sm = dynamic_cast<const SumOp*>(&op)) children = &sm->children();
-  if (children) {
-    for (const auto& c : *children)
-      if (!StructuralHashPersistable(*c)) return false;
-    return true;
-  }
-  // Unknown subclass: hashed per instance (typeid + address) — never
-  // meaningful in another process.
-  return false;
+  // The operator hierarchy answers this itself now: leaves with
+  // deterministic hashes override HashProcessStable() to return true,
+  // combinators forward the conjunction over their children, and the
+  // LinOp default is false — so an unknown subclass (hashed per instance
+  // by typeid + address) fails closed without this function having to
+  // enumerate every kind with a dynamic_cast chain.
+  return op.HashProcessStable();
 }
 
 // ---------------------------------------------------------- OperatorCache

@@ -19,10 +19,6 @@ void ByteWriter::F64(double v) {
   U64(bits);
 }
 
-void ByteWriter::F64s(const std::vector<double>& vs) {
-  for (double v : vs) F64(v);
-}
-
 void ByteWriter::Sizes(const std::vector<std::size_t>& vs) {
   for (std::size_t v : vs) U64(uint64_t(v));
 }
@@ -55,14 +51,6 @@ bool ByteReader::F64(double* v) {
   uint64_t bits;
   if (!U64(&bits)) return false;
   std::memcpy(v, &bits, sizeof(*v));
-  return true;
-}
-
-bool ByteReader::F64s(std::size_t count, std::vector<double>* vs) {
-  if (!ok_ || remaining() / 8 < count) return Fail();
-  vs->resize(count);
-  for (std::size_t i = 0; i < count; ++i)
-    if (!F64(&(*vs)[i])) return false;
   return true;
 }
 
@@ -127,7 +115,7 @@ bool DeserializeCsr(ByteReader* r, CsrMatrix* m) {
   const uint64_t budget = r->remaining() / 8;
   if (rows >= budget || nnz > (budget - rows - 1) / 2) return false;
   std::vector<std::size_t> indptr, indices;
-  std::vector<double> values;
+  AlignedVec values;
   if (!r->Sizes(std::size_t(rows) + 1, &indptr)) return false;
   if (!r->Sizes(std::size_t(nnz), &indices)) return false;
   if (!r->F64s(std::size_t(nnz), &values)) return false;

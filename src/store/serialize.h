@@ -63,7 +63,11 @@ class ByteWriter {
     for (int i = 0; i < 8; ++i) out_.push_back(uint8_t(v >> (8 * i)));
   }
   void F64(double v);
-  void F64s(const std::vector<double>& vs);
+  /// Accepts any std::vector<double, Alloc> (plain or AlignedVec).
+  template <typename Alloc>
+  void F64s(const std::vector<double, Alloc>& vs) {
+    for (double v : vs) F64(v);
+  }
   /// Frames each element as a uint64 (host std::size_t may be narrower).
   void Sizes(const std::vector<std::size_t>& vs);
   /// Appends raw bytes verbatim (already-framed sub-buffers).
@@ -92,8 +96,15 @@ class ByteReader {
   bool U64(uint64_t* v);
   bool F64(double* v);
   /// Reads `count` doubles; fails without allocating when the buffer
-  /// cannot possibly hold them.
-  bool F64s(std::size_t count, std::vector<double>* vs);
+  /// cannot possibly hold them.  Accepts any std::vector<double, Alloc>.
+  template <typename Alloc>
+  bool F64s(std::size_t count, std::vector<double, Alloc>* vs) {
+    if (!ok() || remaining() / 8 < count) return Fail();
+    vs->resize(count);
+    for (std::size_t i = 0; i < count; ++i)
+      if (!F64(&(*vs)[i])) return false;
+    return true;
+  }
   bool Sizes(std::size_t count, std::vector<std::size_t>* vs);
 
   std::size_t remaining() const { return std::size_t(end_ - p_); }

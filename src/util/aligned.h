@@ -1,0 +1,85 @@
+// 64-byte-aligned buffer support for the vectorized kernel layer.
+//
+// The SIMD block kernels (linalg/simd/) issue unaligned vector loads, so
+// alignment is never a correctness requirement — but cacheline-aligned
+// bases keep vector loads from straddling lines and make the padded-tail
+// reasoning local: an AlignedVec's base is always 64-byte aligned, and
+// its allocation is always padded to a whole number of cachelines, so a
+// full 8-lane store at the last partial group can never touch memory the
+// allocator does not own.  (Kernels still never *read* past size(): tails
+// are handled with explicit scalar lanes to keep results defined.)
+//
+// Block, DenseMatrix and CsrMatrix values all allocate through this
+// allocator, as do the packed row-major panels the CSR/Haar kernels
+// build internally.
+#ifndef EKTELO_UTIL_ALIGNED_H_
+#define EKTELO_UTIL_ALIGNED_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "util/check.h"
+
+namespace ektelo {
+
+inline constexpr std::size_t kCachelineBytes = 64;
+
+inline bool IsAligned64(const void* p) {
+  return (reinterpret_cast<std::uintptr_t>(p) % kCachelineBytes) == 0;
+}
+
+/// std::allocator drop-in returning 64-byte-aligned storage whose total
+/// extent is rounded up to a whole number of cachelines.
+template <class T>
+class AlignedAllocator {
+ public:
+  using value_type = T;
+  static_assert(alignof(T) <= kCachelineBytes, "over-aligned element type");
+
+  AlignedAllocator() = default;
+  template <class U>
+  AlignedAllocator(const AlignedAllocator<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    const std::size_t bytes =
+        (n * sizeof(T) + kCachelineBytes - 1) / kCachelineBytes *
+        kCachelineBytes;
+    void* p = ::operator new(bytes, std::align_val_t{kCachelineBytes});
+    return static_cast<T*>(p);
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{kCachelineBytes});
+  }
+
+  template <class U>
+  bool operator==(const AlignedAllocator<U>&) const noexcept {
+    return true;
+  }
+  template <class U>
+  bool operator!=(const AlignedAllocator<U>&) const noexcept {
+    return false;
+  }
+};
+
+/// The double buffer type of every kernel-facing allocation.
+using AlignedVec = std::vector<double, AlignedAllocator<double>>;
+
+}  // namespace ektelo
+
+// Debug-mode alignment assert for buffers that are *supposed* to come from
+// the aligned allocator (Block/DenseMatrix/CsrMatrix storage and packed
+// kernel panels).  Compiled out in release builds; kernels remain correct
+// on unaligned interior pointers either way.
+#ifndef NDEBUG
+#define EK_DCHECK_ALIGNED64(p) \
+  EK_CHECK((p) == nullptr || ::ektelo::IsAligned64(p))
+#else
+#define EK_DCHECK_ALIGNED64(p) \
+  do {                         \
+  } while (0)
+#endif
+
+#endif  // EKTELO_UTIL_ALIGNED_H_

@@ -1,0 +1,25 @@
+#include "util/cpu_features.h"
+
+namespace ektelo {
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+bool CpuHasAvx2() { return __builtin_cpu_supports("avx2") != 0; }
+bool CpuHasAvx512f() { return __builtin_cpu_supports("avx512f") != 0; }
+bool CpuHasNeon() { return false; }
+
+#elif defined(__aarch64__)
+
+bool CpuHasAvx2() { return false; }
+bool CpuHasAvx512f() { return false; }
+bool CpuHasNeon() { return true; }
+
+#else
+
+bool CpuHasAvx2() { return false; }
+bool CpuHasAvx512f() { return false; }
+bool CpuHasNeon() { return false; }
+
+#endif
+
+}  // namespace ektelo

@@ -1,0 +1,25 @@
+// Runtime CPU feature detection for the SIMD kernel dispatch
+// (linalg/simd/).  One binary carries every kernel target compiled for
+// its architecture; these predicates decide, once at startup, which
+// target the hardware can actually execute.
+//
+// x86-64 uses the compiler's CPUID shim (__builtin_cpu_supports);
+// aarch64 reports NEON unconditionally (Advanced SIMD is baseline in
+// AArch64).  Everything else supports only the scalar target.
+#ifndef EKTELO_UTIL_CPU_FEATURES_H_
+#define EKTELO_UTIL_CPU_FEATURES_H_
+
+namespace ektelo {
+
+/// True when the running CPU executes AVX2 instructions.
+bool CpuHasAvx2();
+
+/// True when the running CPU executes AVX-512 Foundation instructions.
+bool CpuHasAvx512f();
+
+/// True when the running CPU executes NEON (AArch64 Advanced SIMD).
+bool CpuHasNeon();
+
+}  // namespace ektelo
+
+#endif  // EKTELO_UTIL_CPU_FEATURES_H_

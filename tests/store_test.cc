@@ -48,7 +48,9 @@ CsrMatrix RandomCsr(std::size_t m, std::size_t n, Rng* rng,
   return CsrMatrix::FromTriplets(m, n, std::move(t));
 }
 
-bool BitEqual(const std::vector<double>& a, const std::vector<double>& b) {
+template <typename AllocA, typename AllocB>
+bool BitEqual(const std::vector<double, AllocA>& a,
+              const std::vector<double, AllocB>& b) {
   return a.size() == b.size() &&
          (a.empty() ||
           std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
@@ -555,7 +557,7 @@ TEST(HashStabilityTest, EqualConstructionHashesEqualAcrossInstances) {
 // changed — bump kHashVersion in matrix/linop.h (old stores then
 // invalidate cleanly) and update the goldens to the new values.
 TEST(HashStabilityTest, GoldenHashesPinTheCrossProcessContract) {
-  EXPECT_EQ(kHashVersion, 1u);
+  EXPECT_EQ(kHashVersion, 2u);
 
   const uint64_t h_ident8 = MakeIdentityOp(8)->StructuralHash();
   const uint64_t h_prefix16 = MakePrefixOp(16)->StructuralHash();
@@ -640,7 +642,7 @@ TEST(CacheDiskTierTest, WarmStartAcrossStoreReopen) {
   const std::string dir = FreshDir("tier_reopen");
   Rng rng(23);
   CsrMatrix c = RandomCsr(16, 12, &rng);
-  Vec gram_cold_data;
+  AlignedVec gram_cold_data;
   {
     TierGuard guard(dir);
     auto op = MakeSparse(c);
@@ -650,7 +652,7 @@ TEST(CacheDiskTierTest, WarmStartAcrossStoreReopen) {
     TierGuard guard(dir);  // second "process": same dir, fresh store
     auto op = MakeSparse(c);
     const auto before = OperatorCache::Global().stats();
-    Vec warm = OperatorCache::Global().GramDense(op)->data();
+    AlignedVec warm = OperatorCache::Global().GramDense(op)->data();
     const auto after = OperatorCache::Global().stats();
     EXPECT_GT(after.disk_hits, before.disk_hits);
     EXPECT_TRUE(BitEqual(gram_cold_data, warm));
