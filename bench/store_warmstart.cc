@@ -287,6 +287,7 @@ int main(int argc, char** argv) {
     json.Field("bitwise_equal", bitwise ? 1.0 : 0.0);
   }
 
+  OperatorCache::Global().FlushDiskTier();  // land write-behind spills
   const auto cache_stats = OperatorCache::Global().stats();
   const auto disk_stats = OperatorCache::Global().disk_tier()->stats();
   const double geomean = std::exp(log_sum / double(rows.size()));

@@ -16,6 +16,7 @@
 #include "matrix/range_ops.h"
 #include "store/artifact_store.h"
 #include "store/serialize.h"
+#include "store/write_behind.h"
 #include "util/check.h"
 
 namespace ektelo {
@@ -718,11 +719,23 @@ struct OperatorCache::Impl {
   // safely across a concurrent SetDiskTier swap; the store flushes its
   // index checkpoint when the last holder releases it.
   std::shared_ptr<store::DiskArtifactStore> disk;
+  // Write-behind consumer for disk spills (null = synchronous writes).
+  // Swapped together with `disk`; jobs capture their own shared_ptr to
+  // the store, so a queue outliving a tier swap stays safe.
+  std::shared_ptr<store::WriteBehindQueue> wb;
   std::size_t disk_hits = 0, disk_misses = 0, disk_writes = 0;
+  // Drops accumulated from queues already retired by SetDiskTier; the
+  // live queue's drop count is added on top in stats().
+  std::size_t disk_write_drops_base = 0;
 
   std::shared_ptr<store::DiskArtifactStore> DiskSnapshot() {
     std::lock_guard<std::mutex> lock(mu);
     return disk;
+  }
+
+  std::shared_ptr<store::WriteBehindQueue> WbSnapshot() {
+    std::lock_guard<std::mutex> lock(mu);
+    return wb;
   }
 
   static uint64_t IndexKey(uint64_t hash, int kind) {
@@ -857,11 +870,22 @@ struct OperatorCache::Impl {
       InsertValue(key, hash, kind, fill, value);
     }
     if (persistable) {
-      store::ByteWriter w;
-      if (encode(*key, value, &w) &&
-          d->Put({hash, uint32_t(kind)}, w.bytes())) {
-        std::lock_guard<std::mutex> lock(mu);
-        ++disk_writes;
+      // The spill captures shared ownership of the store and the value,
+      // so it is safe to run on the write-behind consumer after an
+      // arbitrary tier swap; with no queue attached it runs inline.
+      auto spill = [this, d, key, value, hash, kind, encode] {
+        store::ByteWriter w;
+        if (encode(*key, value, &w) &&
+            d->Put({hash, uint32_t(kind)}, w.bytes())) {
+          std::lock_guard<std::mutex> lock(mu);
+          ++disk_writes;
+        }
+      };
+      auto q = WbSnapshot();
+      if (q) {
+        (void)q->Enqueue(std::move(spill));  // full queue = counted drop
+      } else {
+        spill();
       }
     }
     return value;
@@ -927,6 +951,62 @@ std::optional<double> DecodeScalarArtifact(
   return v;
 }
 
+/// Strict non-negative integer parse (same contract as the
+/// EKTELO_CACHE_DISK_BYTES handling): the whole token must be digits.
+bool ParseUll(const char* begin, const char* end_limit,
+              unsigned long long* out) {
+  if (begin == end_limit || *begin < '0' || *begin > '9') return false;
+  char* end = nullptr;
+  *out = std::strtoull(begin, &end, 10);
+  return end == end_limit;
+}
+
+/// EKTELO_CACHE_KIND_QUOTAS is "kind:bytes[,kind:bytes...]" (both sides
+/// strictly numeric; kind values are the CacheKind enum).  Unparsable
+/// tokens are reported and skipped rather than silently mis-read.
+void ParseKindQuotas(const char* spec,
+                     std::vector<std::pair<uint32_t, std::size_t>>* out) {
+  const char* p = spec;
+  while (*p != '\0') {
+    const char* comma = std::strchr(p, ',');
+    const char* tok_end = comma != nullptr ? comma : p + std::strlen(p);
+    const char* colon =
+        static_cast<const char*>(std::memchr(p, ':', std::size_t(tok_end - p)));
+    unsigned long long kind = 0, bytes = 0;
+    if (colon != nullptr && ParseUll(p, colon, &kind) &&
+        ParseUll(colon + 1, tok_end, &bytes) && kind <= 0xffffffffull) {
+      out->emplace_back(uint32_t(kind), std::size_t(bytes));
+    } else {
+      std::fprintf(stderr,
+                   "ektelo: ignoring unparsable EKTELO_CACHE_KIND_QUOTAS "
+                   "token \"%.*s\" (want kind:bytes)\n",
+                   int(tok_end - p), p);
+    }
+    p = comma != nullptr ? comma + 1 : tok_end;
+  }
+}
+
+/// Builds the write-behind queue for a freshly attached disk tier.
+/// EKTELO_CACHE_WRITE_BEHIND: unset/empty = on with the default
+/// capacity; "0" = disabled (synchronous spills); a positive integer =
+/// on with that queue capacity.  Anything else warns and uses the
+/// default.
+std::shared_ptr<store::WriteBehindQueue> MakeWriteBehindFromEnv() {
+  const char* v = std::getenv("EKTELO_CACHE_WRITE_BEHIND");
+  if (v == nullptr || *v == '\0')
+    return std::make_shared<store::WriteBehindQueue>();
+  unsigned long long cap = 0;
+  if (ParseUll(v, v + std::strlen(v), &cap)) {
+    if (cap == 0) return nullptr;
+    return std::make_shared<store::WriteBehindQueue>(std::size_t(cap));
+  }
+  std::fprintf(stderr,
+               "ektelo: ignoring unparsable EKTELO_CACHE_WRITE_BEHIND=%s "
+               "(keeping the default write-behind queue)\n",
+               v);
+  return std::make_shared<store::WriteBehindQueue>();
+}
+
 }  // namespace
 
 OperatorCache::OperatorCache() : impl_(new Impl) {}
@@ -960,6 +1040,8 @@ OperatorCache& OperatorCache::Global() {
                        b, opts.max_bytes);
         }
       }
+      if (const char* kq = std::getenv("EKTELO_CACHE_KIND_QUOTAS"))
+        ParseKindQuotas(kq, &opts.kind_quotas);
       auto tier = store::DiskArtifactStore::Open(dir, opts);
       if (!tier) {
         std::fprintf(stderr,
@@ -968,6 +1050,7 @@ OperatorCache& OperatorCache::Global() {
                      dir);
       } else {
         c->impl_->disk = std::move(tier);
+        c->impl_->wb = MakeWriteBehindFromEnv();
         // The instance is intentionally leaked, so the store destructor
         // never runs for the env-attached tier; checkpoint the index at
         // exit.  (Missing it is safe — reopen recovers by scanning the
@@ -1190,10 +1273,24 @@ LinOpPtr OperatorCache::CachedGramOrNull(const LinOp& a) {
 void OperatorCache::SetDiskTier(
     std::unique_ptr<store::DiskArtifactStore> tier) {
   std::shared_ptr<store::DiskArtifactStore> old;
+  std::shared_ptr<store::WriteBehindQueue> old_wb;
+  std::shared_ptr<store::WriteBehindQueue> next_wb =
+      tier != nullptr ? MakeWriteBehindFromEnv() : nullptr;
   {
     std::lock_guard<std::mutex> lock(impl_->mu);
     old = std::move(impl_->disk);
+    old_wb = std::move(impl_->wb);
     impl_->disk = std::move(tier);
+    impl_->wb = std::move(next_wb);
+  }
+  if (old_wb != nullptr) {
+    // Land every spill already queued for the old tier before it closes
+    // (spills hold their own store reference, so stragglers enqueued by
+    // threads still using a pre-swap snapshot stay safe too — they just
+    // land whenever the old queue's last holder releases it).
+    old_wb->Drain();
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->disk_write_drops_base += old_wb->stats().dropped;
   }
   // `old` flushes and closes here (or when its last in-flight user
   // releases the snapshot).
@@ -1205,6 +1302,7 @@ store::DiskArtifactStore* OperatorCache::disk_tier() const {
 }
 
 void OperatorCache::FlushDiskTier() {
+  if (auto q = impl_->WbSnapshot()) q->Drain();
   if (auto d = impl_->DiskSnapshot()) d->Flush();
 }
 
@@ -1227,6 +1325,8 @@ OperatorCache::Stats OperatorCache::stats() const {
   s.disk_hits = impl_->disk_hits;
   s.disk_misses = impl_->disk_misses;
   s.disk_writes = impl_->disk_writes;
+  s.disk_write_drops = impl_->disk_write_drops_base;
+  if (impl_->wb != nullptr) s.disk_write_drops += impl_->wb->stats().dropped;
   return s;
 }
 

@@ -125,6 +125,9 @@ class OperatorCache {
     std::size_t disk_hits = 0;
     std::size_t disk_misses = 0;
     std::size_t disk_writes = 0;
+    /// Writes the bounded write-behind queue refused (full / shutting
+    /// down).  A drop only costs a future recompute, never correctness.
+    std::size_t disk_write_drops = 0;
   };
 
   /// The process-wide instance every consumer shares.
@@ -183,16 +186,25 @@ class OperatorCache {
   static LinOpPtr CachedGramOrNull(const LinOp& a);
 
   /// Attaches (or, with nullptr, detaches) the persistent disk tier.
-  /// The previous tier, if any, is flushed and closed.  Called with the
+  /// The previous tier, if any, has its pending write-behind jobs
+  /// drained, then is flushed and closed before this returns — so a
+  /// detach/attach cycle on the same directory always reopens a store
+  /// holding every artifact computed before the detach.  Called with the
   /// EKTELO_CACHE_DIR store at process start; tests and benches swap
   /// tiers explicitly.
+  ///
+  /// Disk spills run on a background write-behind consumer (bounded
+  /// queue; a full queue drops the spill and counts disk_write_drops)
+  /// unless EKTELO_CACHE_WRITE_BEHIND=0 forces the synchronous path.
   void SetDiskTier(std::unique_ptr<store::DiskArtifactStore> tier);
 
   /// The attached tier (nullptr when none) — for stats inspection; the
   /// pointer stays owned by the cache and is invalidated by SetDiskTier.
   store::DiskArtifactStore* disk_tier() const;
 
-  /// Flushes the disk tier's index checkpoint (no-op without a tier).
+  /// Barrier + checkpoint: drains the write-behind queue (every insert
+  /// that happened before this call reaches the store) and flushes the
+  /// tier's index checkpoint.  No-op without a tier.
   void FlushDiskTier();
 
   /// Capacity bounds; entries older than the bound are evicted LRU-first.

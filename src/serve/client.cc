@@ -1,0 +1,81 @@
+#include "serve/client.h"
+
+#include <utility>
+
+#include "util/net.h"
+
+namespace ektelo::serve {
+
+namespace {
+
+/// Request/reply round trip with reply-type checking.
+Status RoundTrip(int fd, MsgType send_type,
+                 const std::vector<uint8_t>& payload, MsgType want_reply,
+                 std::vector<uint8_t>* reply_payload) {
+  if (fd < 0) return Status::Internal("client is closed");
+  Status s = WriteFrame(fd, send_type, payload);
+  if (!s.ok()) return s;
+  MsgType got;
+  s = ReadFrame(fd, &got, reply_payload);
+  if (!s.ok()) {
+    if (s.code() == StatusCode::kUnavailable)
+      return Status::Internal("server closed the connection");
+    return s;
+  }
+  if (got != want_reply)
+    return Status::Internal("unexpected reply message type");
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<Client> Client::Connect(const std::string& socket_path) {
+  StatusOr<int> fd = net::ConnectUnix(socket_path);
+  if (!fd.ok()) return fd.status();
+  return Client(*fd);
+}
+
+Client::Client(Client&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+
+Client& Client::operator=(Client&& o) noexcept {
+  if (this != &o) {
+    if (fd_ >= 0) net::CloseFd(fd_);
+    fd_ = o.fd_;
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) net::CloseFd(fd_);
+}
+
+StatusOr<InvokeReply> Client::Invoke(const InvokeRequest& req) {
+  std::vector<uint8_t> payload;
+  Status s = RoundTrip(fd_, MsgType::kInvoke, EncodeInvokeRequest(req),
+                       MsgType::kInvokeReply, &payload);
+  if (!s.ok()) return s;
+  InvokeReply reply;
+  if (!DecodeInvokeReply(payload, &reply))
+    return Status::Internal("malformed invoke reply");
+  return reply;
+}
+
+StatusOr<StatsReply> Client::Stats() {
+  std::vector<uint8_t> payload;
+  Status s =
+      RoundTrip(fd_, MsgType::kStats, {}, MsgType::kStatsReply, &payload);
+  if (!s.ok()) return s;
+  StatsReply stats;
+  if (!DecodeStatsReply(payload, &stats))
+    return Status::Internal("malformed stats reply");
+  return stats;
+}
+
+Status Client::Shutdown() {
+  std::vector<uint8_t> payload;
+  return RoundTrip(fd_, MsgType::kShutdown, {}, MsgType::kShutdownReply,
+                   &payload);
+}
+
+}  // namespace ektelo::serve

@@ -1,0 +1,46 @@
+// Client library for the serving daemon: a synchronous connection
+// speaking the serve/protocol.h framing.  One Client is one socket;
+// requests on a single Client serialize (request, then reply), so
+// concurrency is expressed by opening more Clients — which is also how
+// the daemon's admission control and coalescing are exercised.
+// Thread-compatible, not thread-safe: share nothing, or lock around it.
+#ifndef EKTELO_SERVE_CLIENT_H_
+#define EKTELO_SERVE_CLIENT_H_
+
+#include <string>
+
+#include "serve/protocol.h"
+#include "util/status.h"
+
+namespace ektelo::serve {
+
+class Client {
+ public:
+  /// Connects to a daemon's socket.
+  static StatusOr<Client> Connect(const std::string& socket_path);
+
+  Client(Client&& o) noexcept;
+  Client& operator=(Client&& o) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  /// One plan invocation; blocks for the reply.  A non-OK status means
+  /// the *connection* failed — refusals (budget, queue, bad request)
+  /// come back as an InvokeReply with the corresponding code.
+  StatusOr<InvokeReply> Invoke(const InvokeRequest& req);
+
+  /// Server counters and per-tenant balances.
+  StatusOr<StatsReply> Stats();
+
+  /// Asks the daemon to shut down; resolves once it acknowledges.
+  Status Shutdown();
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+  int fd_ = -1;
+};
+
+}  // namespace ektelo::serve
+
+#endif  // EKTELO_SERVE_CLIENT_H_

@@ -125,6 +125,10 @@ struct DiskArtifactStore::Impl {
   uint64_t clock = 0;
   uint64_t append_off = kDataHeaderBytes;
   std::size_t live_bytes = 0;
+  // Live bytes per artifact kind, maintained by IndexInsert/DropEntry;
+  // only consulted for kinds that carry a quota.
+  std::unordered_map<uint32_t, std::size_t> kind_bytes;
+  std::unordered_map<uint32_t, std::size_t> kind_quota;
   std::unordered_map<MapKey, IndexEntry, MapKeyHash> index;
   std::list<MapKey> lru;  // front = most recently used
   std::size_t puts_since_flush = 0;
@@ -139,12 +143,14 @@ struct DiskArtifactStore::Impl {
     auto it = index.find(k);
     if (it != index.end()) {
       live_bytes -= std::size_t(it->second.length);
+      kind_bytes[k.kind] -= std::size_t(it->second.length);
       lru.erase(it->second.lru_it);
       index.erase(it);
     }
     lru.push_front(k);
     index[k] = {offset, length, last_use, lru.begin()};
     live_bytes += std::size_t(length);
+    kind_bytes[k.kind] += std::size_t(length);
   }
 
   void Touch(
@@ -157,6 +163,7 @@ struct DiskArtifactStore::Impl {
     index.clear();
     lru.clear();
     live_bytes = 0;
+    kind_bytes.clear();
   }
 
   ~Impl() {
@@ -355,6 +362,7 @@ struct DiskArtifactStore::Impl {
   void DropEntry(std::unordered_map<MapKey, IndexEntry, MapKeyHash>::iterator
                      it) {
     live_bytes -= std::size_t(it->second.length);
+    kind_bytes[it->first.kind] -= std::size_t(it->second.length);
     lru.erase(it->second.lru_it);
     index.erase(it);
   }
@@ -364,6 +372,34 @@ struct DiskArtifactStore::Impl {
            !lru.empty()) {
       DropEntry(index.find(lru.back()));
       ++st.evictions;
+    }
+  }
+
+  /// Enforce `kind`'s quota by evicting its own LRU entries — never
+  /// entries of other kinds, which is the whole point of the policy.
+  void EvictKindUntilBudgeted(uint32_t kind) {
+    const auto q = kind_quota.find(kind);
+    if (q == kind_quota.end() || q->second == 0) return;
+    while (kind_bytes[kind] > q->second) {
+      auto victim = lru.end();
+      for (auto it = std::prev(lru.end());; --it) {
+        if (it->kind == kind) {
+          victim = it;
+          break;
+        }
+        if (it == lru.begin()) break;
+      }
+      if (victim == lru.end()) return;  // bookkeeping drift guard
+      DropEntry(index.find(*victim));
+      ++st.evictions;
+      ++st.kind_evictions;
+    }
+  }
+
+  void EvictAllKindsUntilBudgeted() {
+    for (const auto& [kind, quota] : kind_quota) {
+      (void)quota;
+      EvictKindUntilBudgeted(kind);
     }
   }
 
@@ -487,6 +523,8 @@ DiskArtifactStore::DiskArtifactStore(std::string dir,
     : dir_(std::move(dir)), impl_(new Impl) {
   Impl& im = *impl_;
   im.opts = opts;
+  for (const auto& [kind, quota] : opts.kind_quotas)
+    if (quota != 0) im.kind_quota[kind] = quota;
   im.data_path = dir_ + "/artifacts.data";
   im.index_path = dir_ + "/artifacts.index";
   im.lock_path = dir_ + "/artifacts.lock";
@@ -536,6 +574,7 @@ DiskArtifactStore::DiskArtifactStore(std::string dir,
   const uint64_t covered = im.LoadIndexCheckpoint();
   im.ScanLog(covered >= kDataHeaderBytes ? covered : kDataHeaderBytes);
   im.EvictUntilBudgeted();
+  im.EvictAllKindsUntilBudgeted();
   im.open_ok = true;
 }
 
@@ -602,6 +641,11 @@ bool DiskArtifactStore::Put(const ArtifactKey& key,
   }
   const uint64_t len = kRecordHeaderBytes + payload.size();
   if (im.opts.max_bytes != 0 && len > im.opts.max_bytes) return false;
+  // A record alone bigger than its kind's whole quota would evict every
+  // sibling and still violate the quota; refuse it like max_bytes does.
+  if (auto q = im.kind_quota.find(key.kind);
+      q != im.kind_quota.end() && len > q->second)
+    return false;
   RecordHeader h;
   h.kind = key.kind;
   h.hash_version = im.opts.hash_version;
@@ -622,6 +666,7 @@ bool DiskArtifactStore::Put(const ArtifactKey& key,
   im.append_off += len;
   ++im.st.puts;
   im.EvictUntilBudgeted();
+  im.EvictKindUntilBudgeted(key.kind);
   // Compaction stalls every store user for a full log rewrite under the
   // mutex, so inline it only as a backstop against unbounded log growth
   // in a never-closing process (dead bytes > 4x live); the cheap 2x

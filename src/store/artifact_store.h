@@ -56,6 +56,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace ektelo::store {
@@ -73,6 +74,13 @@ struct DiskStoreOptions {
   /// Budget for live (indexed) record bytes; LRU entries beyond it are
   /// evicted.  0 means unbounded.
   std::size_t max_bytes = std::size_t{1} << 30;
+  /// Per-kind live-byte quotas, {artifact kind, max bytes}.  A Put that
+  /// pushes a kind past its quota evicts the LRU entries *of that kind*
+  /// first, so a flood of one-shot artifacts of one kind (ad-hoc query
+  /// materializations) can never evict another kind's hot entries (a
+  /// dashboard's Grams) the way the global LRU budget alone would.
+  /// Kinds without a quota are bounded only by max_bytes.
+  std::vector<std::pair<uint32_t, std::size_t>> kind_quotas;
   /// Version of the structural-hash function the keys were computed
   /// under (kHashVersion).  Records written under any other value are
   /// invisible — a hash-algorithm change invalidates cleanly instead of
@@ -92,6 +100,7 @@ class DiskArtifactStore {
     std::size_t hits = 0;
     std::size_t puts = 0;
     std::size_t evictions = 0;
+    std::size_t kind_evictions = 0;  // evictions forced by a kind quota
     std::size_t compactions = 0;
     std::size_t corrupt_drops = 0;  // records rejected by verification
     /// True when another process holds the directory's writer lock: this

@@ -1,0 +1,60 @@
+#include "store/write_behind.h"
+
+#include <utility>
+
+namespace ektelo::store {
+
+WriteBehindQueue::WriteBehindQueue(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      consumer_([this] { ConsumerLoop(); }) {}
+
+WriteBehindQueue::~WriteBehindQueue() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  consumer_.join();  // the loop drains every queued job before exiting
+}
+
+bool WriteBehindQueue::Enqueue(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ || jobs_.size() >= capacity_) {
+      ++st_.dropped;
+      return false;
+    }
+    jobs_.push_back(std::move(job));
+    ++st_.enqueued;
+  }
+  work_cv_.notify_one();
+  return true;
+}
+
+void WriteBehindQueue::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  const std::size_t target = st_.enqueued;
+  drain_cv_.wait(lock, [&] { return st_.completed >= target; });
+}
+
+WriteBehindQueue::Stats WriteBehindQueue::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return st_;
+}
+
+void WriteBehindQueue::ConsumerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stopping_ || !jobs_.empty(); });
+    if (jobs_.empty()) return;  // stopping and fully drained
+    std::function<void()> job = std::move(jobs_.front());
+    jobs_.pop_front();
+    lock.unlock();
+    job();  // encode + append run outside the queue mutex
+    lock.lock();
+    ++st_.completed;
+    drain_cv_.notify_all();
+  }
+}
+
+}  // namespace ektelo::store

@@ -1,0 +1,72 @@
+// Background write-behind for the disk artifact tier.
+//
+// Persisting a cache artifact costs an encode (serializing a CSR/dense
+// matrix) plus an append under the store mutex — work that used to run
+// on the thread that just computed the artifact, i.e. a solver or a
+// serving request thread.  A WriteBehindQueue moves both off that thread:
+// the producer enqueues a closure capturing shared ownership of the
+// artifact (a shared_ptr copy, not an encode) and returns immediately;
+// one consumer thread drains the queue in FIFO order and performs
+// encode+append.
+//
+// The queue is bounded.  A full queue DROPS the write (the store is a
+// cache — a dropped spill only costs a future recompute) rather than
+// block the request thread; drops are counted.  Drain() is the
+// flush-on-close barrier: it returns only after every job enqueued
+// before the call has completed, so `Drain(); store->Flush()` makes all
+// prior writes durable, and closing the queue (destruction) implies a
+// drain.  Jobs must capture shared ownership of everything they touch
+// (the store itself included), so queue and store lifetimes cannot race.
+#ifndef EKTELO_STORE_WRITE_BEHIND_H_
+#define EKTELO_STORE_WRITE_BEHIND_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace ektelo::store {
+
+class WriteBehindQueue {
+ public:
+  struct Stats {
+    std::size_t enqueued = 0;
+    std::size_t dropped = 0;    // queue-full refusals
+    std::size_t completed = 0;  // jobs fully executed
+  };
+
+  explicit WriteBehindQueue(std::size_t capacity = 256);
+  /// Drains outstanding jobs, then joins the consumer.
+  ~WriteBehindQueue();
+
+  WriteBehindQueue(const WriteBehindQueue&) = delete;
+  WriteBehindQueue& operator=(const WriteBehindQueue&) = delete;
+
+  /// Enqueue a write job; false (and a counted drop) when the queue is
+  /// full or shutting down.
+  bool Enqueue(std::function<void()> job);
+
+  /// Barrier: returns once every job enqueued before this call has run.
+  /// Jobs enqueued concurrently with the drain may or may not be covered.
+  void Drain();
+
+  Stats stats() const;
+
+ private:
+  void ConsumerLoop();
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // consumer waits for jobs/stop
+  std::condition_variable drain_cv_;  // Drain waits for completions
+  std::deque<std::function<void()>> jobs_;
+  Stats st_;
+  bool stopping_ = false;
+  std::thread consumer_;
+};
+
+}  // namespace ektelo::store
+
+#endif  // EKTELO_STORE_WRITE_BEHIND_H_

@@ -1,0 +1,195 @@
+#include "util/net.h"
+
+#ifndef _WIN32
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace ektelo::net {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::Internal(std::string(what) + ": " +
+                          std::strerror(errno));
+}
+
+/// Fills a sockaddr_un; false when the path does not fit (sun_path is a
+/// fixed ~108-byte array and silent truncation would bind the wrong file).
+bool FillAddr(const std::string& path, sockaddr_un* addr) {
+  if (path.empty() || path.size() >= sizeof(addr->sun_path)) return false;
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sun_family = AF_UNIX;
+  std::memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+}  // namespace
+
+StatusOr<UnixListener> UnixListener::Bind(const std::string& path,
+                                          int backlog) {
+  sockaddr_un addr;
+  if (!FillAddr(path, &addr))
+    return Status::InvalidArgument("socket path empty or too long: " + path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  // A stale socket file from a dead daemon would make bind fail with
+  // EADDRINUSE forever; remove it.  A *live* daemon is still protected:
+  // the ledger's single-writer lock refuses the second server instance
+  // before it ever binds.
+  ::unlink(path.c_str());
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status s = Errno("bind");
+    ::close(fd);
+    return s;
+  }
+  if (::listen(fd, backlog) != 0) {
+    Status s = Errno("listen");
+    ::close(fd);
+    ::unlink(path.c_str());
+    return s;
+  }
+  return UnixListener(fd, path);
+}
+
+UnixListener::UnixListener(UnixListener&& o) noexcept
+    : fd_(o.fd_), path_(std::move(o.path_)) {
+  o.fd_ = -1;
+}
+
+UnixListener& UnixListener::operator=(UnixListener&& o) noexcept {
+  if (this != &o) {
+    Close();
+    fd_ = o.fd_;
+    path_ = std::move(o.path_);
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+UnixListener::~UnixListener() { Close(); }
+
+void UnixListener::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+    if (!path_.empty()) ::unlink(path_.c_str());
+  }
+}
+
+StatusOr<int> UnixListener::Accept(int timeout_ms) {
+  if (fd_ < 0) return Status::FailedPrecondition("listener closed");
+  pollfd p{fd_, POLLIN, 0};
+  int rc;
+  do {
+    rc = ::poll(&p, 1, timeout_ms);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) return Errno("poll");
+  if (rc == 0) return Status::Unavailable("accept timeout");
+  int cfd;
+  do {
+    cfd = ::accept(fd_, nullptr, nullptr);
+  } while (cfd < 0 && errno == EINTR);
+  if (cfd < 0) return Errno("accept");
+  return cfd;
+}
+
+StatusOr<int> ConnectUnix(const std::string& path) {
+  sockaddr_un addr;
+  if (!FillAddr(path, &addr))
+    return Status::InvalidArgument("socket path empty or too long: " + path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    Status s = Errno("connect");
+    ::close(fd);
+    return s;
+  }
+  return fd;
+}
+
+Status SendAll(int fd, const uint8_t* data, std::size_t n) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    // MSG_NOSIGNAL: a peer that hung up yields EPIPE instead of killing
+    // the process with SIGPIPE.
+    const ssize_t rc = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    sent += std::size_t(rc);
+  }
+  return Status::Ok();
+}
+
+Status RecvAll(int fd, uint8_t* data, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t rc = ::recv(fd, data + got, n - got, 0);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+    if (rc == 0) {
+      // Clean hang-up between frames is the normal end of a connection;
+      // EOF inside a frame is a torn message.
+      return got == 0 ? Status::Unavailable("connection closed")
+                      : Status::Internal("connection closed mid-frame");
+    }
+    got += std::size_t(rc);
+  }
+  return Status::Ok();
+}
+
+void CloseFd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+}  // namespace ektelo::net
+
+#else  // _WIN32
+
+namespace ektelo::net {
+
+namespace {
+Status Unsupported() {
+  return Status::Unimplemented("AF_UNIX sockets are not available");
+}
+}  // namespace
+
+StatusOr<UnixListener> UnixListener::Bind(const std::string&, int) {
+  return Unsupported();
+}
+UnixListener::UnixListener(UnixListener&& o) noexcept
+    : fd_(o.fd_), path_(std::move(o.path_)) {
+  o.fd_ = -1;
+}
+UnixListener& UnixListener::operator=(UnixListener&& o) noexcept {
+  fd_ = o.fd_;
+  path_ = std::move(o.path_);
+  o.fd_ = -1;
+  return *this;
+}
+UnixListener::~UnixListener() = default;
+void UnixListener::Close() {}
+StatusOr<int> UnixListener::Accept(int) { return Unsupported(); }
+StatusOr<int> ConnectUnix(const std::string&) { return Unsupported(); }
+Status SendAll(int, const uint8_t*, std::size_t) { return Unsupported(); }
+Status RecvAll(int, uint8_t*, std::size_t) { return Unsupported(); }
+void CloseFd(int) {}
+
+}  // namespace ektelo::net
+
+#endif  // _WIN32

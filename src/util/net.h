@@ -1,0 +1,74 @@
+// Minimal local-socket plumbing for the serving daemon.
+//
+// The EKTELO serving protocol runs over an AF_UNIX stream socket: the
+// daemon and its clients share a machine (the kernel/client split of
+// paper Sec. 3 reified as a process boundary), so there is no TLS, no
+// address resolution, and filesystem permissions on the socket path are
+// the connection ACL.  This header wraps exactly the syscalls the server
+// and client need — bind/listen/accept with a poll-based timeout (so the
+// accept loop can observe a stop flag), connect, and EINTR-safe
+// whole-buffer send/recv — behind Status-returning calls.  Frame layout
+// on top of the byte stream lives in serve/protocol.h.
+//
+// POSIX-only: on platforms without AF_UNIX sockets every entry point
+// returns kUnimplemented and the serving subsystem is unavailable; the
+// rest of the library is unaffected.
+#ifndef EKTELO_UTIL_NET_H_
+#define EKTELO_UTIL_NET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace ektelo::net {
+
+/// A listening AF_UNIX stream socket.  Move-only; closes on destruction
+/// and removes the socket file it bound.
+class UnixListener {
+ public:
+  /// Binds and listens on `path` (an existing socket file at the path is
+  /// removed first — a previous daemon's leftover).  Path length is
+  /// limited by sockaddr_un (~100 bytes).
+  static StatusOr<UnixListener> Bind(const std::string& path,
+                                     int backlog = 64);
+
+  UnixListener(UnixListener&& o) noexcept;
+  UnixListener& operator=(UnixListener&& o) noexcept;
+  UnixListener(const UnixListener&) = delete;
+  UnixListener& operator=(const UnixListener&) = delete;
+  ~UnixListener();
+
+  /// Waits up to timeout_ms for a connection.  Returns the connected fd,
+  /// kUnavailable on timeout, or an error status (including after
+  /// Close()).  The caller owns the returned fd.
+  StatusOr<int> Accept(int timeout_ms);
+
+  /// Closes the listening socket; a concurrent Accept fails promptly.
+  void Close();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  UnixListener(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+  int fd_ = -1;
+  std::string path_;
+};
+
+/// Connects to a listening unix socket; the caller owns the returned fd.
+StatusOr<int> ConnectUnix(const std::string& path);
+
+/// Writes all n bytes (EINTR-safe, SIGPIPE suppressed).
+Status SendAll(int fd, const uint8_t* data, std::size_t n);
+
+/// Reads exactly n bytes.  kUnavailable on clean EOF at a frame boundary
+/// (n bytes requested, zero read), kInternal on mid-buffer EOF or error.
+Status RecvAll(int fd, uint8_t* data, std::size_t n);
+
+/// Close an fd obtained from Accept/ConnectUnix (EINTR-safe).
+void CloseFd(int fd);
+
+}  // namespace ektelo::net
+
+#endif  // EKTELO_UTIL_NET_H_

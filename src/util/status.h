@@ -28,6 +28,10 @@ enum class StatusCode {
   kBudgetExhausted,
   kUnimplemented,
   kInternal,
+  // The service cannot take the request right now (bounded queue full,
+  // server shutting down).  Retryable: unlike kBudgetExhausted nothing
+  // was consumed, the caller may simply try again later.
+  kUnavailable,
 };
 
 /// Result of a fallible kernel operation: a code plus a human-readable
@@ -59,6 +63,9 @@ class Status {
   }
   static Status Internal(std::string m) {
     return Status(StatusCode::kInternal, std::move(m));
+  }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

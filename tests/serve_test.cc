@@ -1,0 +1,366 @@
+// The serving daemon end to end over its real unix socket: multi-tenant
+// admission, restart durability (spent budget survives bit-for-bit),
+// exhaustion refused before any kernel-side charge, identical-request
+// coalescing hitting one execution, bitwise response determinism across
+// EKTELO_THREADS settings, malformed-frame rejection, and queue-full
+// backpressure.
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "data/generators.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "util/net.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace ektelo::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+// sockaddr_un paths cap near 107 bytes: keep sockets directly in /tmp.
+std::string FreshSock(const std::string& name) {
+  const std::string path = "/tmp/ek_serve_" + name + ".sock";
+  fs::remove(path);
+  return path;
+}
+
+std::string FreshLedgerDir(const std::string& name) {
+  const std::string dir =
+      (fs::temp_directory_path() / ("ektelo_serve_test_" + name)).string();
+  fs::remove_all(dir);
+  return dir;
+}
+
+TenantSpec MakeTenant(const std::string& name, uint64_t seed,
+                      double eps_total, std::size_t n = 128) {
+  Rng rng{seed};
+  const Vec hist =
+      MakeHistogram1D(Shape1D::kGaussianMix, n, /*scale=*/5000.0, &rng);
+  return TenantSpec{name, TableFromHistogram(hist, "v"), seed, eps_total};
+}
+
+InvokeRequest IdentityRequest(const std::string& tenant, double eps,
+                              uint64_t request_id = 0) {
+  InvokeRequest req;
+  req.request_id = request_id;
+  req.tenant = tenant;
+  req.plan = "Identity";
+  req.eps = eps;
+  return req;
+}
+
+ServerOptions BaseOptions(const std::string& tag) {
+  ServerOptions opts;
+  opts.socket_path = FreshSock(tag);
+  opts.ledger_dir = FreshLedgerDir(tag);
+  return opts;
+}
+
+void Cleanup(const ServerOptions& opts) {
+  fs::remove(opts.socket_path);
+  fs::remove_all(opts.ledger_dir);
+}
+
+TEST(Server, ServesTwoTenantsConcurrently) {
+  ServerOptions opts = BaseOptions("two");
+  auto server = Server::Start(
+      opts, {MakeTenant("alpha", 41, 1.0), MakeTenant("beta", 43, 1.0)});
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  std::vector<std::thread> threads;
+  std::vector<int> ok_counts(2, 0);
+  for (int t = 0; t < 2; ++t)
+    threads.emplace_back([&, t] {
+      const std::string tenant = t == 0 ? "alpha" : "beta";
+      auto client = Client::Connect(opts.socket_path);
+      ASSERT_TRUE(client.ok());
+      for (int i = 0; i < 4; ++i) {
+        auto reply =
+            client->Invoke(IdentityRequest(tenant, 0.05 + 0.01 * i));
+        ASSERT_TRUE(reply.ok());
+        if (reply->code == ReplyCode::kOk) ++ok_counts[std::size_t(t)];
+      }
+    });
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(ok_counts[0], 4);
+  EXPECT_EQ(ok_counts[1], 4);
+
+  const auto alpha = (*server)->ledger().Balance("alpha");
+  ASSERT_TRUE(alpha.has_value());
+  EXPECT_DOUBLE_EQ(alpha->spent, 0.05 + 0.06 + 0.07 + 0.08);
+  (*server)->Stop();
+  Cleanup(opts);
+}
+
+TEST(Server, RestartPreservesSpentBudgetExactly) {
+  ServerOptions opts = BaseOptions("restart");
+  double spent_before = 0.0;
+  {
+    auto server = Server::Start(opts, {MakeTenant("alpha", 41, 1.0)});
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+    auto client = Client::Connect(opts.socket_path);
+    ASSERT_TRUE(client.ok());
+    for (double eps : {0.1, 0.2, 0.15}) {
+      auto reply = client->Invoke(IdentityRequest("alpha", eps));
+      ASSERT_TRUE(reply.ok());
+      ASSERT_EQ(reply->code, ReplyCode::kOk);
+    }
+    spent_before = (*server)->ledger().Balance("alpha")->spent;
+    (*server)->Stop();
+  }
+  // Same ledger dir, same declared eps_total: the durable balance wins
+  // over the TenantSpec registration — restarting refreshes nothing.
+  auto server = Server::Start(opts, {MakeTenant("alpha", 41, 1.0)});
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  const auto after = (*server)->ledger().Balance("alpha");
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(after->spent, spent_before);  // bitwise, not approximately
+  (*server)->Stop();
+  Cleanup(opts);
+}
+
+TEST(Server, ExhaustedTenantRefusedWithoutExecution) {
+  ServerOptions opts = BaseOptions("exhaust");
+  auto server = Server::Start(opts, {MakeTenant("alpha", 41, 0.1)});
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  auto client = Client::Connect(opts.socket_path);
+  ASSERT_TRUE(client.ok());
+
+  auto ok = client->Invoke(IdentityRequest("alpha", 0.1));
+  ASSERT_TRUE(ok.ok());
+  ASSERT_EQ(ok->code, ReplyCode::kOk);
+  const auto execs_before = (*server)->Stats().executions;
+
+  // Over-budget request: refused at admission, no kernel ever runs and
+  // the durable ledger never sees a charge attempt's side effects.
+  auto refused = client->Invoke(IdentityRequest("alpha", 0.05));
+  ASSERT_TRUE(refused.ok());
+  EXPECT_EQ(refused->code, ReplyCode::kBudgetExhausted);
+  EXPECT_EQ(refused->eps_charged, 0.0);
+  EXPECT_EQ(refused->estimate.size(), 0u);
+  EXPECT_EQ((*server)->Stats().executions, execs_before);
+  EXPECT_DOUBLE_EQ((*server)->ledger().Balance("alpha")->spent, 0.1);
+  (*server)->Stop();
+  Cleanup(opts);
+}
+
+TEST(Server, CoalescesIdenticalConcurrentRequests) {
+  ServerOptions opts = BaseOptions("coalesce");
+  opts.workers = 4;
+  // Long enough for the storm to pile onto the in-flight leader.
+  opts.test_execution_delay_ms = 100;
+  auto server = Server::Start(opts, {MakeTenant("alpha", 41, 1.0)});
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  constexpr int kClients = 8;
+  std::vector<std::thread> threads;
+  std::vector<InvokeReply> replies(kClients);
+  for (int i = 0; i < kClients; ++i)
+    threads.emplace_back([&, i] {
+      auto client = Client::Connect(opts.socket_path);
+      ASSERT_TRUE(client.ok());
+      // Distinct request ids, identical structure: one content hash.
+      auto reply =
+          client->Invoke(IdentityRequest("alpha", 0.25, uint64_t(i)));
+      ASSERT_TRUE(reply.ok());
+      replies[std::size_t(i)] = std::move(*reply);
+    });
+  for (auto& th : threads) th.join();
+
+  // One execution, one durable charge, identical bytes for everyone.
+  for (const auto& r : replies) {
+    ASSERT_EQ(r.code, ReplyCode::kOk);
+    ASSERT_EQ(r.estimate.size(), replies[0].estimate.size());
+    EXPECT_EQ(std::memcmp(r.estimate.data(), replies[0].estimate.data(),
+                          r.estimate.size() * sizeof(double)),
+              0);
+  }
+  EXPECT_EQ((*server)->Stats().executions, 1u);
+  EXPECT_EQ((*server)->Stats().coalesced, std::uint64_t(kClients - 1));
+  EXPECT_DOUBLE_EQ((*server)->ledger().Balance("alpha")->spent, 0.25);
+  (*server)->Stop();
+  Cleanup(opts);
+}
+
+// The other half of the hot-dashboard story: even when every request
+// executes (response cache off, no concurrency to coalesce), identical
+// structure means the OperatorCache serves the measurement operators —
+// re-executions skip materialization and the answers stay identical.
+TEST(Server, RepeatedExecutionsHitTheOperatorCache) {
+  ServerOptions opts = BaseOptions("opcache");
+  opts.coalesce = false;
+  opts.response_cache_entries = 0;
+  auto server = Server::Start(opts, {MakeTenant("alpha", 41, 2.0, 512)});
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  auto client = Client::Connect(opts.socket_path);
+  ASSERT_TRUE(client.ok());
+
+  InvokeRequest req = IdentityRequest("alpha", 0.1);
+  req.plan = "H2";  // hierarchical select: real cacheable operator work
+  auto first = client->Invoke(req);
+  ASSERT_TRUE(first.ok());
+  ASSERT_EQ(first->code, ReplyCode::kOk);
+  const auto hits_after_first = (*server)->Stats().cache_hits;
+
+  for (int i = 0; i < 3; ++i) {
+    auto reply = client->Invoke(req);
+    ASSERT_TRUE(reply.ok());
+    ASSERT_EQ(reply->code, ReplyCode::kOk);
+    ASSERT_EQ(reply->estimate.size(), first->estimate.size());
+    EXPECT_EQ(std::memcmp(reply->estimate.data(), first->estimate.data(),
+                          reply->estimate.size() * sizeof(double)),
+              0);
+  }
+  EXPECT_EQ((*server)->Stats().executions, 4u);
+  EXPECT_GT((*server)->Stats().cache_hits, hits_after_first);
+  (*server)->Stop();
+  Cleanup(opts);
+}
+
+// The serving determinism contract: the same request stream produces
+// bitwise-identical responses per tenant whether the kernel runs
+// serially (EKTELO_THREADS=0) or on 4 pool threads, with coalescing on
+// or off.  Fresh ledger each run so admission decisions match too.
+TEST(Server, ResponsesBitwiseIdenticalAcrossThreadCounts) {
+  std::vector<InvokeRequest> stream;
+  for (int i = 0; i < 3; ++i) {
+    stream.push_back(IdentityRequest("alpha", 0.05 + 0.01 * i));
+    stream.push_back(IdentityRequest("beta", 0.07 + 0.01 * i));
+  }
+  stream.push_back(IdentityRequest("alpha", 0.05));  // coalescable repeat
+
+  auto run = [&stream](std::size_t threads, bool coalesce,
+                       const std::string& tag) {
+    ThreadPool::Global().Resize(threads);
+    ServerOptions opts = BaseOptions(tag);
+    opts.coalesce = coalesce;
+    auto server = Server::Start(
+        opts, {MakeTenant("alpha", 41, 1.0), MakeTenant("beta", 43, 1.0)});
+    EXPECT_TRUE(server.ok()) << server.status().ToString();
+    auto client = Client::Connect(opts.socket_path);
+    EXPECT_TRUE(client.ok());
+    std::vector<Vec> estimates;
+    for (const auto& req : stream) {
+      auto reply = client->Invoke(req);
+      EXPECT_TRUE(reply.ok());
+      EXPECT_EQ(reply->code, ReplyCode::kOk);
+      estimates.push_back(reply->estimate);
+    }
+    (*server)->Stop();
+    Cleanup(opts);
+    return estimates;
+  };
+
+  const auto serial = run(0, true, "det0");
+  const auto pooled = run(4, true, "det4");
+  const auto uncoalesced = run(4, false, "det4nc");
+  ThreadPool::Global().Resize(ThreadPool::DefaultThreadCount());
+
+  ASSERT_EQ(serial.size(), pooled.size());
+  ASSERT_EQ(serial.size(), uncoalesced.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(serial[i].size(), pooled[i].size());
+    EXPECT_EQ(std::memcmp(serial[i].data(), pooled[i].data(),
+                          serial[i].size() * sizeof(double)),
+              0)
+        << "reply " << i << " differs between EKTELO_THREADS=0 and =4";
+    ASSERT_EQ(serial[i].size(), uncoalesced[i].size());
+    EXPECT_EQ(std::memcmp(serial[i].data(), uncoalesced[i].data(),
+                          serial[i].size() * sizeof(double)),
+              0)
+        << "reply " << i << " differs with coalescing off";
+  }
+}
+
+TEST(Server, MalformedFramesRejectedWithoutTakingServerDown) {
+  ServerOptions opts = BaseOptions("garbage");
+  auto server = Server::Start(opts, {MakeTenant("alpha", 41, 1.0)});
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  // Raw garbage: the connection is dropped, the server lives on.
+  {
+    auto fd = net::ConnectUnix(opts.socket_path);
+    ASSERT_TRUE(fd.ok());
+    const uint8_t junk[] = "definitely not a frame";
+    ASSERT_TRUE(net::SendAll(*fd, junk, sizeof(junk)).ok());
+    uint8_t buf;
+    EXPECT_FALSE(net::RecvAll(*fd, &buf, 1).ok());  // closed, no reply
+    net::CloseFd(*fd);
+  }
+  // An intact frame whose invoke payload is garbage gets kBadRequest
+  // on the same (still healthy) connection.
+  {
+    auto fd = net::ConnectUnix(opts.socket_path);
+    ASSERT_TRUE(fd.ok());
+    ASSERT_TRUE(
+        WriteFrame(*fd, MsgType::kInvoke, {0xDE, 0xAD, 0xBE, 0xEF}).ok());
+    MsgType type;
+    std::vector<uint8_t> payload;
+    ASSERT_TRUE(ReadFrame(*fd, &type, &payload).ok());
+    EXPECT_EQ(type, MsgType::kInvokeReply);
+    InvokeReply reply;
+    ASSERT_TRUE(DecodeInvokeReply(payload, &reply));
+    EXPECT_EQ(reply.code, ReplyCode::kBadRequest);
+    net::CloseFd(*fd);
+  }
+  // Bad requests (unknown tenant / plan / absurd eps) refuse cleanly.
+  auto client = Client::Connect(opts.socket_path);
+  ASSERT_TRUE(client.ok());
+  auto reply = client->Invoke(IdentityRequest("ghost", 0.1));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->code, ReplyCode::kBadRequest);
+  reply = client->Invoke(IdentityRequest("alpha", -1.0));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->code, ReplyCode::kBadRequest);
+  // And the server still serves real work afterwards.
+  reply = client->Invoke(IdentityRequest("alpha", 0.1));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->code, ReplyCode::kOk);
+  (*server)->Stop();
+  Cleanup(opts);
+}
+
+TEST(Server, BoundedQueueRefusesOverloadWithQueueFull) {
+  ServerOptions opts = BaseOptions("qfull");
+  opts.workers = 1;
+  opts.queue_capacity = 1;
+  opts.coalesce = false;  // distinct handling not needed; force queueing
+  opts.test_execution_delay_ms = 300;
+  auto server = Server::Start(opts, {MakeTenant("alpha", 41, 8.0)});
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  constexpr int kClients = 6;
+  std::vector<std::thread> threads;
+  std::atomic<int> ok{0}, queue_full{0};
+  for (int i = 0; i < kClients; ++i)
+    threads.emplace_back([&, i] {
+      auto client = Client::Connect(opts.socket_path);
+      ASSERT_TRUE(client.ok());
+      // Distinct eps so no two requests share a content hash.
+      auto reply =
+          client->Invoke(IdentityRequest("alpha", 0.1 + 0.01 * i));
+      ASSERT_TRUE(reply.ok());
+      if (reply->code == ReplyCode::kOk) ++ok;
+      if (reply->code == ReplyCode::kQueueFull) ++queue_full;
+    });
+  for (auto& th : threads) th.join();
+
+  // One in flight + one queued; the rest of the burst must bounce.
+  EXPECT_GT(queue_full.load(), 0);
+  EXPECT_GT(ok.load(), 0);
+  EXPECT_EQ(ok.load() + queue_full.load(), kClients);
+  // A refused request costs nothing.
+  const auto stats = (*server)->Stats();
+  EXPECT_EQ(stats.refused_queue, std::uint64_t(queue_full.load()));
+  (*server)->Stop();
+  Cleanup(opts);
+}
+
+}  // namespace
+}  // namespace ektelo::serve

@@ -400,6 +400,64 @@ TEST(DiskArtifactStoreTest, ByteBudgetedLruEviction) {
   fs::remove_all(dir);
 }
 
+TEST(DiskArtifactStoreTest, KindQuotaEvictsWithinKindOnly) {
+  const std::string dir = FreshDir("kindquota");
+  DiskStoreOptions opts;
+  opts.hash_version = 1;
+  opts.max_bytes = 1 << 20;            // global budget never binds here
+  opts.kind_quotas = {{1, 1024}};      // kind 1 capped; kind 0 unbounded
+  auto s = DiskArtifactStore::Open(dir, opts);
+  ASSERT_TRUE(s);
+  const std::vector<uint8_t> blob(300, 0x3C);
+  // Kind 0 entries inserted FIRST — globally the least recently used, so
+  // an unscoped LRU pass would evict them before any kind-1 entry.
+  for (uint64_t h = 0; h < 4; ++h) ASSERT_TRUE(s->Put({h, 0}, blob));
+  // A flood of kind-1 entries blows through the kind-1 quota.
+  for (uint64_t h = 100; h < 110; ++h) ASSERT_TRUE(s->Put({h, 1}, blob));
+  const auto st = s->stats();
+  EXPECT_GT(st.kind_evictions, 0u);
+  std::vector<uint8_t> got;
+  // Every kind-0 entry survived the flood untouched...
+  for (uint64_t h = 0; h < 4; ++h)
+    EXPECT_TRUE(s->Get({h, 0}, &got)) << "kind-0 hash " << h;
+  // ...while kind 1 holds only its newest quota's worth: the freshest
+  // entry is live, the oldest was evicted within its own kind.
+  EXPECT_TRUE(s->Get({109, 1}, &got));
+  EXPECT_FALSE(s->Get({100, 1}, &got));
+  // A single record over its kind quota is refused outright (it could
+  // never fit even after evicting every sibling).
+  EXPECT_FALSE(s->Put({999, 1}, std::vector<uint8_t>(2048, 1)));
+  EXPECT_TRUE(s->Put({999, 0}, std::vector<uint8_t>(2048, 1)));
+  fs::remove_all(dir);
+}
+
+TEST(DiskArtifactStoreTest, KindQuotaEnforcedOnReopen) {
+  const std::string dir = FreshDir("kindquota_reopen");
+  DiskStoreOptions unbounded;
+  unbounded.hash_version = 1;
+  const std::vector<uint8_t> blob(300, 0x3D);
+  {
+    auto s = DiskArtifactStore::Open(dir, unbounded);
+    ASSERT_TRUE(s);
+    for (uint64_t h = 0; h < 8; ++h) ASSERT_TRUE(s->Put({h, 2}, blob));
+  }
+  DiskStoreOptions quota = unbounded;
+  quota.kind_quotas = {{2, 1024}};
+  auto s = DiskArtifactStore::Open(dir, quota);
+  ASSERT_TRUE(s);
+  // Opening with a tighter per-kind policy trims the recovered index
+  // down to the quota immediately, not on the next Put.
+  const auto st = s->stats();
+  EXPECT_GT(st.kind_evictions, 0u);
+  std::size_t live = 0;
+  std::vector<uint8_t> got;
+  for (uint64_t h = 0; h < 8; ++h)
+    if (s->Get({h, 2}, &got)) ++live;
+  EXPECT_LT(live, 8u);
+  EXPECT_GT(live, 0u);
+  fs::remove_all(dir);
+}
+
 TEST(DiskArtifactStoreTest, CompactionDropsDeadBytesAndKeepsLiveRecords) {
   const std::string dir = FreshDir("compact");
   DiskStoreOptions opts;
@@ -615,6 +673,8 @@ TEST(CacheDiskTierTest, ArtifactsSurviveAMemoryClearViaDisk) {
     auto mat_cold = cache.MaterializeSparse(op);
     auto gram_cold = cache.GramDense(op);
     const double sens_cold = op->SensitivityL1();
+    // Spills are write-behind: barrier before counting / relying on them.
+    cache.FlushDiskTier();
     const auto st0 = cache.stats();
     EXPECT_GT(st0.disk_writes, 0u);
 

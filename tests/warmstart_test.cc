@@ -144,6 +144,8 @@ TEST(WarmStartTest, EveryPlanIsBitwiseIdenticalColdAndWarmAcrossTwoCycles) {
     ExpectBitwiseEqual(baseline[i], cold,
                        ("cold: " + catalog[i]->name()).c_str());
   }
+  // Spills run on the write-behind consumer; barrier before counting.
+  OperatorCache::Global().FlushDiskTier();
   const auto after_cold = OperatorCache::Global().stats();
   EXPECT_GT(after_cold.disk_writes, 0u);
   DetachTier();  // close cycle 1: flush + release the store

@@ -1,0 +1,224 @@
+// CLI client for the serving daemon.
+//
+//   ektelo_client --socket PATH invoke --tenant alpha --plan Identity
+//       --eps 0.1 [--ranges 0-3,5-9] [--dims 16x16] [--known-total 1e4]
+//       [--mode implicit|dense|sparse] [--stripe-dim K] [--no-coalesce]
+//       [--request-id N]
+//   ektelo_client --socket PATH stats
+//   ektelo_client --socket PATH shutdown
+//
+// Exit codes make refusals scriptable: 0 ok, 1 connection/protocol
+// error, 2 budget exhausted, 3 queue full, 4 execution failed, 5 bad
+// request, 6 server shutting down.  Invoke prints a single summary line
+// including a checksum of the estimate's exact bytes, so scripts can
+// assert bitwise determinism across runs without parsing floats.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "serve/client.h"
+#include "store/serialize.h"
+
+namespace {
+
+using ektelo::serve::InvokeRequest;
+using ektelo::serve::ReplyCode;
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --socket PATH invoke --tenant T --plan P --eps E\n"
+               "           [--ranges a-b,c-d] [--dims AxBxC] [--mode m]\n"
+               "           [--known-total X] [--stripe-dim K]\n"
+               "           [--no-coalesce] [--request-id N]\n"
+               "       %s --socket PATH stats\n"
+               "       %s --socket PATH shutdown\n",
+               argv0, argv0, argv0);
+  return 64;
+}
+
+bool ParseRanges(const std::string& s, std::vector<ektelo::RangeQuery>* out) {
+  std::size_t start = 0;
+  while (start < s.size()) {
+    std::size_t comma = s.find(',', start);
+    if (comma == std::string::npos) comma = s.size();
+    const std::string tok = s.substr(start, comma - start);
+    const std::size_t dash = tok.find('-');
+    if (dash == std::string::npos || dash == 0 || dash + 1 >= tok.size())
+      return false;
+    char* end = nullptr;
+    const unsigned long long lo = std::strtoull(tok.c_str(), &end, 10);
+    if (end != tok.c_str() + dash) return false;
+    const unsigned long long hi =
+        std::strtoull(tok.c_str() + dash + 1, &end, 10);
+    if (*end != '\0' || hi < lo) return false;
+    out->push_back({std::size_t(lo), std::size_t(hi)});
+    start = comma + 1;
+  }
+  return !out->empty();
+}
+
+bool ParseDims(const std::string& s, std::vector<std::size_t>* out) {
+  std::size_t start = 0;
+  while (start < s.size()) {
+    std::size_t x = s.find('x', start);
+    if (x == std::string::npos) x = s.size();
+    char* end = nullptr;
+    const std::string tok = s.substr(start, x - start);
+    const unsigned long long v = std::strtoull(tok.c_str(), &end, 10);
+    if (end == tok.c_str() || *end != '\0' || v == 0) return false;
+    out->push_back(std::size_t(v));
+    start = x + 1;
+  }
+  return !out->empty();
+}
+
+int CodeToExit(ReplyCode code) {
+  switch (code) {
+    case ReplyCode::kOk: return 0;
+    case ReplyCode::kBadRequest: return 5;
+    case ReplyCode::kBudgetExhausted: return 2;
+    case ReplyCode::kQueueFull: return 3;
+    case ReplyCode::kExecutionFailed: return 4;
+    case ReplyCode::kShuttingDown: return 6;
+  }
+  return 1;
+}
+
+const char* CodeName(ReplyCode code) {
+  switch (code) {
+    case ReplyCode::kOk: return "OK";
+    case ReplyCode::kBadRequest: return "BAD_REQUEST";
+    case ReplyCode::kBudgetExhausted: return "BUDGET_EXHAUSTED";
+    case ReplyCode::kQueueFull: return "QUEUE_FULL";
+    case ReplyCode::kExecutionFailed: return "EXECUTION_FAILED";
+    case ReplyCode::kShuttingDown: return "SHUTTING_DOWN";
+  }
+  return "UNKNOWN";
+}
+
+/// Checksum over the estimate's IEEE-754 bit patterns: equal checksums
+/// across runs certify bitwise-identical answers.
+uint64_t EstimateChecksum(const ektelo::Vec& v) {
+  ektelo::store::ByteWriter w;
+  w.F64s(v);
+  return ektelo::store::Checksum64(w.bytes());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path, command;
+  InvokeRequest req;
+  int i = 1;
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--socket" && i + 1 < argc) {
+      socket_path = argv[++i];
+    } else if (arg == "invoke" || arg == "stats" || arg == "shutdown") {
+      command = arg;
+      ++i;
+      break;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (socket_path.empty() || command.empty()) return Usage(argv[0]);
+
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    char* end = nullptr;
+    if (arg == "--tenant" && i + 1 < argc) {
+      req.tenant = argv[++i];
+    } else if (arg == "--plan" && i + 1 < argc) {
+      req.plan = argv[++i];
+    } else if (arg == "--eps" && i + 1 < argc) {
+      req.eps = std::strtod(argv[++i], &end);
+      if (end == argv[i] || *end != '\0') return Usage(argv[0]);
+    } else if (arg == "--ranges" && i + 1 < argc) {
+      if (!ParseRanges(argv[++i], &req.ranges)) return Usage(argv[0]);
+    } else if (arg == "--dims" && i + 1 < argc) {
+      if (!ParseDims(argv[++i], &req.dims)) return Usage(argv[0]);
+    } else if (arg == "--known-total" && i + 1 < argc) {
+      req.known_total = std::strtod(argv[++i], &end);
+      if (end == argv[i] || *end != '\0') return Usage(argv[0]);
+    } else if (arg == "--stripe-dim" && i + 1 < argc) {
+      req.stripe_dim = std::size_t(std::strtoull(argv[++i], &end, 10));
+      if (end == argv[i] || *end != '\0') return Usage(argv[0]);
+    } else if (arg == "--mode" && i + 1 < argc) {
+      const std::string m = argv[++i];
+      if (m == "dense") req.mode = 0;
+      else if (m == "sparse") req.mode = 1;
+      else if (m == "implicit") req.mode = 2;
+      else return Usage(argv[0]);
+    } else if (arg == "--no-coalesce") {
+      req.coalesce = false;
+    } else if (arg == "--request-id" && i + 1 < argc) {
+      req.request_id = std::strtoull(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0') return Usage(argv[0]);
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  auto client = ektelo::serve::Client::Connect(socket_path);
+  if (!client.ok()) {
+    std::fprintf(stderr, "ektelo_client: %s\n",
+                 client.status().ToString().c_str());
+    return 1;
+  }
+
+  if (command == "shutdown") {
+    const ektelo::Status s = client->Shutdown();
+    if (!s.ok()) {
+      std::fprintf(stderr, "ektelo_client: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("shutdown acknowledged\n");
+    return 0;
+  }
+
+  if (command == "stats") {
+    auto stats = client->Stats();
+    if (!stats.ok()) {
+      std::fprintf(stderr, "ektelo_client: %s\n",
+                   stats.status().ToString().c_str());
+      return 1;
+    }
+    std::printf(
+        "received=%llu admitted=%llu executions=%llu coalesced=%llu "
+        "refused_budget=%llu refused_queue=%llu refused_bad=%llu "
+        "cache_hits=%llu cache_disk_hits=%llu\n",
+        (unsigned long long)stats->received,
+        (unsigned long long)stats->admitted,
+        (unsigned long long)stats->executions,
+        (unsigned long long)stats->coalesced,
+        (unsigned long long)stats->refused_budget,
+        (unsigned long long)stats->refused_queue,
+        (unsigned long long)stats->refused_bad,
+        (unsigned long long)stats->cache_hits,
+        (unsigned long long)stats->cache_disk_hits);
+    for (const auto& t : stats->tenants)
+      std::printf("tenant=%s total=%.9g spent=%.9g\n", t.name.c_str(),
+                  t.total, t.spent);
+    return 0;
+  }
+
+  if (req.tenant.empty() || req.plan.empty()) return Usage(argv[0]);
+  auto reply = client->Invoke(req);
+  if (!reply.ok()) {
+    std::fprintf(stderr, "ektelo_client: %s\n",
+                 reply.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "code=%s coalesced=%d eps_charged=%.9g n=%zu "
+      "estimate_checksum=%016llx%s%s\n",
+      CodeName(reply->code), reply->coalesced ? 1 : 0, reply->eps_charged,
+      std::size_t(reply->estimate.size()),
+      (unsigned long long)EstimateChecksum(reply->estimate),
+      reply->message.empty() ? "" : " message=",
+      reply->message.c_str());
+  return CodeToExit(reply->code);
+}
