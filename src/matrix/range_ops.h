@@ -69,6 +69,8 @@ class RectangleSetOp final : public LinOp {
   bool StructuralEq(const LinOp& other) const override;
   bool HashProcessStable() const override { return true; }
   const std::vector<Rectangle>& rects() const { return rects_; }
+  std::size_t nx() const { return nx_; }
+  std::size_t ny() const { return ny_; }
 
  protected:
   double ComputeSensitivityL1() const override;

@@ -1,5 +1,6 @@
 #include "matrix/rewrite.h"
 
+#include <typeinfo>
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
@@ -12,10 +13,14 @@
 #include <vector>
 
 #include "matrix/combinators.h"
+#include "matrix/cost.h"
 #include "matrix/implicit_ops.h"
 #include "matrix/range_ops.h"
+#include "matrix/rules.h"
+#include "matrix/search.h"
 #include "store/artifact_store.h"
 #include "store/serialize.h"
+#include "store/tree_codec.h"
 #include "store/write_behind.h"
 #include "util/check.h"
 
@@ -27,562 +32,84 @@ namespace {
 
 std::atomic<int> g_force{-1};
 
-bool EnvEnabled() {
-  static const bool enabled = [] {
+RewriteMode EnvMode() {
+  static const RewriteMode mode = [] {
     const char* v = std::getenv("EKTELO_REWRITE");
-    return !(v != nullptr && std::strcmp(v, "0") == 0);
+    if (v != nullptr && (std::strcmp(v, "0") == 0 || std::strcmp(v, "off") == 0))
+      return RewriteMode::kOff;
+    if (v != nullptr && std::strcmp(v, "search") == 0)
+      return RewriteMode::kSearch;
+    // Unset, "1", "rules", and historically any non-"0" value: rules.
+    return RewriteMode::kRules;
   }();
-  return enabled;
+  return mode;
 }
 
 }  // namespace
 
-bool RewriteEnabled() {
+RewriteMode GetRewriteMode() {
   const int f = g_force.load(std::memory_order_relaxed);
-  if (f >= 0) return f != 0;
-  return EnvEnabled();
+  if (f == 0) return RewriteMode::kOff;
+  if (f == 1) return RewriteMode::kRules;
+  if (f == 2) return RewriteMode::kSearch;
+  return EnvMode();
 }
 
-void SetRewriteEnabled(int force) {
-  g_force.store(force < 0 ? -1 : (force != 0 ? 1 : 0),
+void SetRewriteMode(int force) {
+  g_force.store(force < 0 || force > 2 ? -1 : force,
                 std::memory_order_relaxed);
 }
 
-// ----------------------------------------------------------- rewrite pass
+bool RewriteEnabled() { return GetRewriteMode() != RewriteMode::kOff; }
 
-namespace {
+void SetRewriteEnabled(int force) { SetRewriteMode(force); }
 
-template <typename T>
-std::shared_ptr<const T> As(const LinOpPtr& p) {
-  return std::dynamic_pointer_cast<const T>(p);
-}
+LinOpPtr Rewrite(LinOpPtr op) { return rules::Canonicalize(op); }
 
-bool AllOnes(const Vec& w) {
-  for (double v : w)
-    if (!BitwiseEq(v, 1.0)) return false;
-  return true;
-}
-
-/// What a VStack/HStack/Sum child can merge into.
-enum class MergeKind { kNone, kRange, kSparse, kDense };
-
-MergeKind MergeKindOf(const LinOpPtr& op) {
-  if (As<RangeSetOp>(op)) return MergeKind::kRange;
-  // Every row of Ones(m, n) is the full interval [0, n-1]: the prefix-sum
-  // evaluation of the merged RangeSet reproduces the direct row sums
-  // bitwise (both are the same left-to-right accumulation of x).
-  if (As<OnesOp>(op) && op->cols() > 0) return MergeKind::kRange;
-  if (As<SparseOp>(op)) return MergeKind::kSparse;
-  if (As<DenseOp>(op)) return MergeKind::kDense;
-  return MergeKind::kNone;
-}
-
-void AppendRanges(const LinOpPtr& op, std::vector<Interval>* out) {
-  if (auto rs = As<RangeSetOp>(op)) {
-    out->insert(out->end(), rs->ranges().begin(), rs->ranges().end());
-    return;
-  }
-  auto ones = As<OnesOp>(op);
-  EK_CHECK(ones != nullptr);
-  for (std::size_t i = 0; i < ones->rows(); ++i)
-    out->push_back({0, ones->cols() - 1});
-}
-
-DenseMatrix VConcatDense(const std::vector<LinOpPtr>& run) {
-  std::size_t rows = 0;
-  const std::size_t cols = run[0]->cols();
-  for (const auto& c : run) rows += c->rows();
-  DenseMatrix m(rows, cols);
-  std::size_t r0 = 0;
-  for (const auto& c : run) {
-    const DenseMatrix& d = As<DenseOp>(c)->dense();
-    std::copy(d.data().begin(), d.data().end(), m.RowPtr(r0));
-    r0 += d.rows();
-  }
-  return m;
-}
-
-// Budget for eagerly multiplying two CSR leaves during rewriting: the
-// update count of the row-wise product must stay modest, and the fused
-// result is kept only when it is no denser than its factors (so per-apply
-// cost can only improve — e.g. P P^T of a partition collapses to a
-// diagonal).
-constexpr std::size_t kSparseFuseMaxUpdates = std::size_t{1} << 24;
-
-class Rewriter {
- public:
-  LinOpPtr Run(const LinOpPtr& op) {
-    auto it = memo_.find(op.get());
-    if (it != memo_.end()) return it->second.second;
-    LinOpPtr out = Dispatch(op);
-    // The map holds the KEY operator alive too: Gram re-derivation feeds
-    // freshly built temporary trees through Run, and without the
-    // keep-alive a freed node's address could be reused by a later
-    // allocation in the same pass and hit a stale entry.
-    memo_.emplace(op.get(), std::make_pair(op, out));
-    return out;
-  }
-
- private:
-  // ---- small constructors that re-apply local rules on already-rewritten
-  // ---- children (each returns a canonical node, never recursing into
-  // ---- Run, so termination is by structural descent only).
-
-  LinOpPtr Scaled(LinOpPtr child, double c) {
-    while (auto s = As<ScaleOp>(child)) {
-      c *= s->scale();
-      child = s->child();
-    }
-    if (auto rw = As<RowWeightOp>(child)) {
-      Vec w = rw->weights();
-      for (double& v : w) v *= c;
-      return RowWeighted(rw->child(), std::move(w));
-    }
-    if (c == 1.0) return child;
-    if (auto sp = As<SparseOp>(child)) {
-      CsrMatrix m = sp->csr();
-      for (double& v : m.values()) v *= c;
-      return MakeSparse(std::move(m));
-    }
-    if (auto d = As<DenseOp>(child)) {
-      DenseMatrix m = d->dense();
-      for (double& v : m.data()) v *= c;
-      return MakeDense(std::move(m));
-    }
-    return MakeScaled(std::move(child), c);
-  }
-
-  LinOpPtr RowWeighted(LinOpPtr child, Vec w) {
-    for (;;) {
-      if (auto s = As<ScaleOp>(child)) {
-        for (double& v : w) v *= s->scale();
-        child = s->child();
-        continue;
-      }
-      if (auto rw = As<RowWeightOp>(child)) {
-        for (std::size_t i = 0; i < w.size(); ++i) w[i] *= rw->weights()[i];
-        child = rw->child();
-        continue;
-      }
-      break;
-    }
-    if (AllOnes(w)) return child;
-    if (auto sp = As<SparseOp>(child)) return MakeSparse(sp->csr().ScaleRows(w));
-    if (auto d = As<DenseOp>(child)) {
-      DenseMatrix m = d->dense();
-      for (std::size_t i = 0; i < m.rows(); ++i) {
-        double* row = m.RowPtr(i);
-        for (std::size_t j = 0; j < m.cols(); ++j) row[j] *= w[i];
-      }
-      return MakeDense(std::move(m));
-    }
-    return MakeRowWeight(std::move(child), std::move(w));
-  }
-
-  LinOpPtr Transposed(const LinOpPtr& child) {
-    if (auto t = As<TransposeOp>(child)) return t->child();
-    if (auto s = As<ScaleOp>(child))
-      return Scaled(Transposed(s->child()), s->scale());
-    if (auto p = As<ProductOp>(child))
-      return Producted(Transposed(p->b()), Transposed(p->a()), false);
-    if (auto k = As<KroneckerOp>(child))
-      return Kroned(Transposed(k->a()), Transposed(k->b()));
-    if (auto v = As<VStackOp>(child)) {
-      std::vector<LinOpPtr> ts;
-      ts.reserve(v->children().size());
-      for (const auto& c : v->children()) ts.push_back(Transposed(c));
-      return HStacked(std::move(ts));
-    }
-    if (auto hs = As<HStackOp>(child)) {
-      std::vector<LinOpPtr> ts;
-      ts.reserve(hs->children().size());
-      for (const auto& c : hs->children()) ts.push_back(Transposed(c));
-      return VStacked(std::move(ts));
-    }
-    if (auto sm = As<SumOp>(child)) {
-      std::vector<LinOpPtr> ts;
-      ts.reserve(sm->children().size());
-      for (const auto& c : sm->children()) ts.push_back(Transposed(c));
-      return Summed(std::move(ts));
-    }
-    if (As<GramOp>(child)) return child;  // symmetric
-    if (As<IdentityOp>(child)) return child;
-    if (auto sp = As<SparseOp>(child)) return MakeSparse(sp->csr().Transpose());
-    if (auto d = As<DenseOp>(child)) return MakeDense(d->dense().Transpose());
-    return MakeTranspose(child);
-  }
-
-  LinOpPtr Producted(LinOpPtr a, LinOpPtr b, bool binary_hint) {
-    // Identity factors vanish (Product(I, A) evaluates A then copies).
-    if (As<IdentityOp>(a)) return b;
-    if (As<IdentityOp>(b)) return a;
-    // Hoist scalars so the structural factors can fuse below.
-    {
-      double c = 1.0;
-      bool hoisted = false;
-      while (auto sa = As<ScaleOp>(a)) {
-        c *= sa->scale();
-        a = sa->child();
-        hoisted = true;
-      }
-      while (auto sb = As<ScaleOp>(b)) {
-        c *= sb->scale();
-        b = sb->child();
-        hoisted = true;
-      }
-      if (hoisted)
-        return Scaled(Producted(std::move(a), std::move(b), binary_hint), c);
-    }
-    // Kronecker mixed-product identity: (A (x) B)(C (x) D) = AC (x) BD
-    // when the factor shapes conform.
-    {
-      auto ka = As<KroneckerOp>(a);
-      auto kb = As<KroneckerOp>(b);
-      if (ka && kb && ka->a()->cols() == kb->a()->rows() &&
-          ka->b()->cols() == kb->b()->rows())
-        return Kroned(Producted(ka->a(), kb->a(), false),
-                      Producted(ka->b(), kb->b(), false));
-    }
-    // Two CSR leaves: multiply now when affordable, keep only when the
-    // product is no denser than its factors (P P^T of a partition or
-    // selection collapses to a diagonal here, short-circuiting its Gram).
-    {
-      auto sa = As<SparseOp>(a);
-      auto sb = As<SparseOp>(b);
-      if (sa && sb) {
-        const CsrMatrix& ma = sa->csr();
-        const CsrMatrix& mb = sb->csr();
-        if (ma.MatmulUpdateBound(mb) <= kSparseFuseMaxUpdates) {
-          CsrMatrix fused = ma.Matmul(mb);
-          if (fused.nnz() <= ma.nnz() + mb.nnz())
-            return MakeSparse(std::move(fused));
-        }
-      }
-    }
-    return MakeProduct(std::move(a), std::move(b), binary_hint);
-  }
-
-  LinOpPtr Kroned(LinOpPtr a, LinOpPtr b) {
-    {
-      double c = 1.0;
-      bool hoisted = false;
-      while (auto sa = As<ScaleOp>(a)) {
-        c *= sa->scale();
-        a = sa->child();
-        hoisted = true;
-      }
-      while (auto sb = As<ScaleOp>(b)) {
-        c *= sb->scale();
-        b = sb->child();
-        hoisted = true;
-      }
-      if (hoisted) return Scaled(Kroned(std::move(a), std::move(b)), c);
-    }
-    auto ia = As<IdentityOp>(a);
-    auto ib = As<IdentityOp>(b);
-    if (ia && ib) return MakeIdentityOp(a->rows() * b->rows());
-    if (ia && a->rows() == 1) return b;  // I_1 (x) B = B
-    if (ib && b->rows() == 1) return a;
-    return MakeKronecker(std::move(a), std::move(b));
-  }
-
-  LinOpPtr VStacked(std::vector<LinOpPtr> children) {
-    // Flatten nested stacks.
-    std::vector<LinOpPtr> flat;
-    flat.reserve(children.size());
-    for (auto& c : children) {
-      if (auto v = As<VStackOp>(c))
-        flat.insert(flat.end(), v->children().begin(), v->children().end());
-      else
-        flat.push_back(std::move(c));
-    }
-    // Hoist per-child Scale/RowWeight wrappers into one row-weight vector
-    // when doing so exposes an adjacent mergeable pair underneath (the
-    // weighted measurement stacks of NNLS/LSMR inference).
-    bool any_wrapped = false;
-    std::vector<LinOpPtr> stripped;
-    stripped.reserve(flat.size());
-    for (const auto& c : flat) {
-      if (auto s = As<ScaleOp>(c)) {
-        stripped.push_back(s->child());
-        any_wrapped = true;
-      } else if (auto rw = As<RowWeightOp>(c)) {
-        stripped.push_back(rw->child());
-        any_wrapped = true;
-      } else {
-        stripped.push_back(c);
-      }
-    }
-    bool mergeable_pair = false;
-    for (std::size_t i = 0; i + 1 < stripped.size() && !mergeable_pair; ++i) {
-      const MergeKind k = MergeKindOf(stripped[i]);
-      mergeable_pair = k != MergeKind::kNone && k == MergeKindOf(stripped[i + 1]);
-    }
-    if (any_wrapped && mergeable_pair) {
-      Vec w;
-      for (const auto& c : flat) {
-        if (auto s = As<ScaleOp>(c)) {
-          w.insert(w.end(), c->rows(), s->scale());
-        } else if (auto rw = As<RowWeightOp>(c)) {
-          w.insert(w.end(), rw->weights().begin(), rw->weights().end());
-        } else {
-          w.insert(w.end(), c->rows(), 1.0);
-        }
-      }
-      return RowWeighted(VStacked(std::move(stripped)), std::move(w));
-    }
-    // Merge adjacent mergeable runs: RangeSet/Total rows concatenate into
-    // one RangeSetOp (one prefix-sum pass per apply — the MWEM
-    // measurement-union fast path); CSR and dense leaves concatenate by
-    // rows.
-    std::vector<LinOpPtr> merged;
-    merged.reserve(flat.size());
-    for (std::size_t i = 0; i < flat.size();) {
-      const MergeKind kind = MergeKindOf(flat[i]);
-      std::size_t j = i + 1;
-      if (kind != MergeKind::kNone)
-        while (j < flat.size() && MergeKindOf(flat[j]) == kind) ++j;
-      if (kind == MergeKind::kNone || j == i + 1) {
-        merged.push_back(flat[i]);
-        i = j > i + 1 ? j : i + 1;
-        continue;
-      }
-      std::vector<LinOpPtr> run(flat.begin() + i, flat.begin() + j);
-      switch (kind) {
-        case MergeKind::kRange: {
-          std::vector<Interval> ranges;
-          for (const auto& c : run) AppendRanges(c, &ranges);
-          merged.push_back(
-              MakeRangeSetOp(std::move(ranges), run[0]->cols()));
-          break;
-        }
-        case MergeKind::kSparse: {
-          std::vector<CsrMatrix> parts;
-          parts.reserve(run.size());
-          for (const auto& c : run) parts.push_back(As<SparseOp>(c)->csr());
-          merged.push_back(MakeSparse(CsrMatrix::VStackMany(parts)));
-          break;
-        }
-        case MergeKind::kDense:
-          merged.push_back(MakeDense(VConcatDense(run)));
-          break;
-        case MergeKind::kNone:
-          break;
-      }
-      i = j;
-    }
-    return MakeVStack(std::move(merged));
-  }
-
-  LinOpPtr HStacked(std::vector<LinOpPtr> children) {
-    std::vector<LinOpPtr> flat;
-    flat.reserve(children.size());
-    for (auto& c : children) {
-      if (auto h = As<HStackOp>(c))
-        flat.insert(flat.end(), h->children().begin(), h->children().end());
-      else
-        flat.push_back(std::move(c));
-    }
-    // Merge adjacent CSR leaves (column offsets of adjacent children are
-    // contiguous, so HStackMany over the run is exact).
-    std::vector<LinOpPtr> merged;
-    merged.reserve(flat.size());
-    for (std::size_t i = 0; i < flat.size();) {
-      std::size_t j = i + 1;
-      if (As<SparseOp>(flat[i]))
-        while (j < flat.size() && As<SparseOp>(flat[j])) ++j;
-      if (j == i + 1) {
-        merged.push_back(flat[i]);
-        i = j;
-        continue;
-      }
-      std::vector<CsrMatrix> parts;
-      parts.reserve(j - i);
-      for (std::size_t k = i; k < j; ++k)
-        parts.push_back(As<SparseOp>(flat[k])->csr());
-      merged.push_back(MakeSparse(CsrMatrix::HStackMany(parts)));
-      i = j;
-    }
-    return MakeHStack(std::move(merged));
-  }
-
-  LinOpPtr Summed(std::vector<LinOpPtr> children) {
-    std::vector<LinOpPtr> flat;
-    flat.reserve(children.size());
-    for (auto& c : children) {
-      if (auto s = As<SumOp>(c))
-        flat.insert(flat.end(), s->children().begin(), s->children().end());
-      else
-        flat.push_back(std::move(c));
-    }
-    // Fold all CSR leaves into one (addition is order-insensitive up to
-    // roundoff; the merged leaf takes the first leaf's position), then all
-    // dense leaves likewise.
-    const auto replace_matching = [](std::vector<LinOpPtr> in,
-                                     const LinOpPtr& fused,
-                                     const auto& matches) {
-      std::vector<LinOpPtr> kept;
-      kept.reserve(in.size());
-      bool placed = false;
-      for (auto& c : in) {
-        if (matches(c)) {
-          if (!placed) kept.push_back(fused);
-          placed = true;
-        } else {
-          kept.push_back(std::move(c));
-        }
-      }
-      return kept;
-    };
-    std::vector<const CsrMatrix*> sparse;
-    std::vector<const DenseMatrix*> dense;
-    for (const auto& c : flat) {
-      if (auto sp = As<SparseOp>(c)) sparse.push_back(&sp->csr());
-      if (auto d = As<DenseOp>(c)) dense.push_back(&d->dense());
-    }
-    if (sparse.size() >= 2) {
-      std::vector<Triplet> t;
-      for (const CsrMatrix* m : sparse)
-        for (std::size_t r = 0; r < m->rows(); ++r)
-          for (std::size_t p = m->indptr()[r]; p < m->indptr()[r + 1]; ++p)
-            t.push_back({r, m->indices()[p], m->values()[p]});
-      LinOpPtr fused = MakeSparse(CsrMatrix::FromTriplets(
-          flat[0]->rows(), flat[0]->cols(), std::move(t)));
-      flat = replace_matching(std::move(flat), fused, [](const LinOpPtr& c) {
-        return As<SparseOp>(c) != nullptr;
-      });
-    }
-    if (dense.size() >= 2) {
-      DenseMatrix acc(flat[0]->rows(), flat[0]->cols());
-      for (const DenseMatrix* m : dense)
-        for (std::size_t i = 0; i < acc.data().size(); ++i)
-          acc.data()[i] += m->data()[i];
-      LinOpPtr fused = MakeDense(std::move(acc));
-      flat = replace_matching(std::move(flat), fused, [](const LinOpPtr& c) {
-        return As<DenseOp>(c) != nullptr;
-      });
-    }
-    return MakeSum(std::move(flat));
-  }
-
-  // ---- dispatch: rewrite children bottom-up, then canonicalize the node.
-  // ---- Returns the original pointer when nothing fires, so per-instance
-  // ---- caches (sensitivity, structural hash) survive a no-op pass.
-
-  LinOpPtr Dispatch(const LinOpPtr& op) {
-    if (auto s = As<ScaleOp>(op)) {
-      LinOpPtr c = Run(s->child());
-      LinOpPtr out = Scaled(c, s->scale());
-      if (c == s->child())
-        if (auto so = As<ScaleOp>(out))
-          if (so->child() == c && BitwiseEq(so->scale(), s->scale())) return op;
-      return out;
-    }
-    if (auto rw = As<RowWeightOp>(op)) {
-      LinOpPtr c = Run(rw->child());
-      LinOpPtr out = RowWeighted(c, rw->weights());
-      if (c == rw->child())
-        if (auto ro = As<RowWeightOp>(out))
-          if (ro->child() == c && BitwiseEq(ro->weights(), rw->weights()))
-            return op;
-      return out;
-    }
-    if (auto t = As<TransposeOp>(op)) {
-      LinOpPtr c = Run(t->child());
-      LinOpPtr out = Transposed(c);
-      if (c == t->child())
-        if (auto to = As<TransposeOp>(out))
-          if (to->child() == c) return op;
-      return out;
-    }
-    if (auto p = As<ProductOp>(op)) {
-      LinOpPtr a = Run(p->a());
-      LinOpPtr b = Run(p->b());
-      LinOpPtr out = Producted(a, b, p->is_nonneg_binary());
-      if (a == p->a() && b == p->b())
-        if (auto po = As<ProductOp>(out))
-          if (po->a() == a && po->b() == b) return op;
-      return out;
-    }
-    if (auto k = As<KroneckerOp>(op)) {
-      LinOpPtr a = Run(k->a());
-      LinOpPtr b = Run(k->b());
-      LinOpPtr out = Kroned(a, b);
-      if (a == k->a() && b == k->b())
-        if (auto ko = As<KroneckerOp>(out))
-          if (ko->a() == a && ko->b() == b) return op;
-      return out;
-    }
-    if (auto v = As<VStackOp>(op)) {
-      std::vector<LinOpPtr> cs = RunAll(v->children());
-      LinOpPtr out = VStacked(cs);
-      if (SameChildren(out, v, cs)) return op;
-      return out;
-    }
-    if (auto h = As<HStackOp>(op)) {
-      std::vector<LinOpPtr> cs = RunAll(h->children());
-      LinOpPtr out = HStacked(cs);
-      if (SameChildren(out, h, cs)) return op;
-      return out;
-    }
-    if (auto s = As<SumOp>(op)) {
-      std::vector<LinOpPtr> cs = RunAll(s->children());
-      LinOpPtr out = Summed(cs);
-      if (SameChildren(out, s, cs)) return op;
-      return out;
-    }
-    if (auto g = As<GramOp>(op)) {
-      LinOpPtr c = Run(g->child());
-      // Re-derive the structured Gram of the rewritten child: after a
-      // stack merge or product fusion the child may expose a closed form
-      // the original lazy wrapper predates.
-      LinOpPtr derived = c->Gram();
-      if (auto gd = As<GramOp>(derived)) {
-        if (gd->child() == c) return c == g->child() ? op : derived;
-      }
-      return Run(derived);
-    }
-    return op;  // leaves and unknown operators are already canonical
-  }
-
-  std::vector<LinOpPtr> RunAll(const std::vector<LinOpPtr>& cs) {
-    std::vector<LinOpPtr> out;
-    out.reserve(cs.size());
-    for (const auto& c : cs) out.push_back(Run(c));
-    return out;
-  }
-
-  /// True when `out` is an n-ary node of the same class as `orig` whose
-  /// children are exactly the (rewritten-in-place) originals.
-  template <typename NaryOp>
-  bool SameChildren(const LinOpPtr& out,
-                    const std::shared_ptr<const NaryOp>& orig,
-                    const std::vector<LinOpPtr>& rewritten) {
-    auto oo = As<NaryOp>(out);
-    if (!oo || oo->children().size() != orig->children().size()) return false;
-    for (std::size_t i = 0; i < rewritten.size(); ++i)
-      if (rewritten[i] != orig->children()[i] ||
-          oo->children()[i] != rewritten[i])
-        return false;
-    return true;
-  }
-
-  std::unordered_map<const LinOp*, std::pair<LinOpPtr, LinOpPtr>> memo_;
-};
-
-}  // namespace
-
-LinOpPtr Rewrite(LinOpPtr op) {
+LinOpPtr SearchRewrite(LinOpPtr op) {
   if (!op) return op;
-  Rewriter r;
-  LinOpPtr out = r.Run(op);
-  EK_CHECK_EQ(out->rows(), op->rows());
-  EK_CHECK_EQ(out->cols(), op->cols());
-  return out;
+  // A tree this cheap per apply cannot repay a search: the most it could
+  // ever save is its own score, which is already below what the hashing
+  // and cache traffic cost.  Fall straight through to the rules pass.
+  if (TreeScore(*op) < kSearchMinApplySeconds) return rules::Canonicalize(op);
+  // No Product/Kron anywhere means the beam provably returns the rules
+  // tree (see SearchCanImprove) — skip the search and cache entirely.
+  if (!SearchCanImprove(*op)) return rules::Canonicalize(op);
+  LinOpPtr canon;
+  if (auto cached = OperatorCache::Global().CanonicalTreeLookup(op)) {
+    canon = std::move(*cached);
+  } else {
+    bool improved = false;
+    canon = SearchCanonicalize(op, &improved);
+    // Only a genuine improvement is worth remembering: a winner the
+    // fixed-order rules pass would rebuild anyway (every iterative
+    // plan's one-shot measurement union) is pure cache traffic — the
+    // entry pins the tree, the disk tier encodes it, and nothing ever
+    // looks either up again.
+    if (improved) OperatorCache::Global().CanonicalTreeStore(op, canon);
+  }
+  if (canon == op) return op;
+  // A cached winner structurally identical to the input (kind first —
+  // different concrete types are never StructuralEq, and hashing a big
+  // freshly-built winner is O(tree); then hash — both sides memoize
+  // theirs) yields the input itself, preserving its per-instance
+  // sensitivity/hash caches exactly like a no-op rules pass.
+  if (typeid(*canon) == typeid(*op) &&
+      canon->StructuralHash() == op->StructuralHash() &&
+      canon->StructuralEq(*op))
+    return op;
+  return canon;
 }
 
 LinOpPtr MaybeRewrite(LinOpPtr op) {
-  if (!RewriteEnabled()) return op;
+  switch (GetRewriteMode()) {
+    case RewriteMode::kOff:
+      return op;
+    case RewriteMode::kSearch:
+      return SearchRewrite(std::move(op));
+    case RewriteMode::kRules:
+      break;
+  }
   return Rewrite(std::move(op));
 }
 
@@ -611,6 +138,7 @@ enum CacheKind : int {
   kKindDenseWrap = 6,
   kKindGramOp = 7,
   kKindNormSq = 8,
+  kKindCanonTree = 9,
 };
 
 // ---- disk-tier payload envelope: every persisted artifact embeds the
@@ -625,6 +153,7 @@ enum CacheKind : int {
 constexpr uint8_t kSubCsr = 0;
 constexpr uint8_t kSubDense = 1;
 constexpr uint8_t kSubScalar = 2;
+constexpr uint8_t kSubTree = 3;  // tag+payload operator tree (tree_codec)
 
 void EncodeEnvelope(const LinOp& key, uint8_t sub, store::ByteWriter* w) {
   w->U64(key.rows());
@@ -651,43 +180,6 @@ std::size_t CsrBytes(const CsrMatrix& m) {
 std::size_t DenseBytes(const DenseMatrix& m) {
   return m.data().size() * sizeof(double);
 }
-
-/// Approximate bytes an entry's key operator pins while cached: the byte
-/// bound must account for the retained source tree, not just the derived
-/// artifact — a sensitivity entry whose key is a large DenseOp strategy
-/// holds megabytes, not sizeof(Entry).  Shared subtrees are counted per
-/// entry (over-, never under-counting against the bound).
-std::size_t ApproxRetainedBytes(const LinOp& op) {
-  if (auto* d = dynamic_cast<const DenseOp*>(&op))
-    return 64 + DenseBytes(d->dense());
-  if (auto* s = dynamic_cast<const SparseOp*>(&op))
-    return 64 + CsrBytes(s->csr());
-  if (auto* r = dynamic_cast<const RangeSetOp*>(&op))
-    return 64 + r->ranges().size() * sizeof(Interval);
-  if (auto* r2 = dynamic_cast<const RectangleSetOp*>(&op))
-    return 64 + r2->rects().size() * sizeof(Rectangle);
-  if (auto* g = dynamic_cast<const GramOp*>(&op))
-    return 64 + ApproxRetainedBytes(*g->child());
-  if (auto* t = dynamic_cast<const TransposeOp*>(&op))
-    return 64 + ApproxRetainedBytes(*t->child());
-  if (auto* sc = dynamic_cast<const ScaleOp*>(&op))
-    return 64 + ApproxRetainedBytes(*sc->child());
-  if (auto* rw = dynamic_cast<const RowWeightOp*>(&op))
-    return 64 + rw->weights().size() * sizeof(double) +
-           ApproxRetainedBytes(*rw->child());
-  if (auto* p = dynamic_cast<const ProductOp*>(&op))
-    return 64 + ApproxRetainedBytes(*p->a()) + ApproxRetainedBytes(*p->b());
-  if (auto* k = dynamic_cast<const KroneckerOp*>(&op))
-    return 64 + ApproxRetainedBytes(*k->a()) + ApproxRetainedBytes(*k->b());
-  std::size_t total = 64;
-  const std::vector<LinOpPtr>* children = nullptr;
-  if (auto* v = dynamic_cast<const VStackOp*>(&op)) children = &v->children();
-  if (auto* h = dynamic_cast<const HStackOp*>(&op)) children = &h->children();
-  if (auto* sm = dynamic_cast<const SumOp*>(&op)) children = &sm->children();
-  if (children)
-    for (const auto& c : *children) total += ApproxRetainedBytes(*c);
-  return total;
-}
 }  // namespace
 
 struct OperatorCache::Impl {
@@ -713,7 +205,10 @@ struct OperatorCache::Impl {
   std::size_t max_bytes = std::size_t{256} << 20;
   std::size_t bytes = 0;
   std::size_t sens_entries = 0;
+  std::size_t tree_bytes = 0;  // bytes pinned by kKindCanonTree entries
   std::size_t hits = 0, misses = 0, evictions = 0;
+  // Canonical-tree subset counters (tree_hits <= hits, likewise disk).
+  std::size_t tree_hits = 0, tree_disk_hits = 0;
   // Persistent second tier (EKTELO_CACHE_DIR / SetDiskTier).  Held by
   // shared_ptr so accessors can snapshot it under mu and keep using it
   // safely across a concurrent SetDiskTier swap; the store flushes its
@@ -765,8 +260,21 @@ struct OperatorCache::Impl {
       }
     bytes -= victim->bytes;
     if (IsSensitivityKind(victim->kind)) --sens_entries;
+    if (victim->kind == kKindCanonTree) tree_bytes -= victim->bytes;
     lru.erase(victim);
     ++evictions;
+  }
+
+  /// Byte budget for canonical-tree entries, proportional to the cache
+  /// bound (4 MiB at the 256 MiB default).  Iterative plans (MWEM's
+  /// growing measurement unions) insert one strictly larger one-shot
+  /// tree per round; pinning the whole sequence makes every later
+  /// round's merge allocate cold pages instead of recycling the rounds
+  /// the plan just abandoned — measured as a ~4x slowdown of the merge
+  /// itself.  Evicting from memory loses nothing durable: winners are
+  /// still spilled to the disk tier, which is what warm restarts read.
+  std::size_t MaxTreeBytes() const {
+    return std::max<std::size_t>(max_bytes >> 6, std::size_t{1} << 20);
   }
 
   /// Must hold mu.
@@ -778,6 +286,10 @@ struct OperatorCache::Impl {
   /// Must hold mu.
   void Insert(Entry e) {
     if (e.bytes > max_bytes) return;  // larger than the whole cache
+    // A tree bigger than the whole tree budget would evict every other
+    // tree and be evicted itself by the next insert; skip memory and
+    // let the disk tier serve it.
+    if (e.kind == kKindCanonTree && e.bytes > MaxTreeBytes()) return;
     const bool sens = IsSensitivityKind(e.kind);
     if (sens) {
       // Sensitivity entries are cheap, high-volume (every shared node of
@@ -797,8 +309,21 @@ struct OperatorCache::Impl {
       ++sens_entries;
     }
     bytes += e.bytes;
+    if (e.kind == kKindCanonTree) tree_bytes += e.bytes;
     lru.push_front(std::move(e));
     index.emplace(IndexKey(lru.front().hash, lru.front().kind), lru.begin());
+    // Keep canonical trees within their sub-budget: evict the
+    // least-recently-used tree entry (never the one just inserted).
+    while (tree_bytes > MaxTreeBytes()) {
+      auto victim = lru.end();
+      for (auto it = std::prev(lru.end()); it != lru.begin(); --it)
+        if (it->kind == kKindCanonTree) {
+          victim = it;
+          break;
+        }
+      if (victim == lru.end()) break;
+      Evict(victim);
+    }
     EvictUntilBounded();
   }
 
@@ -836,6 +361,7 @@ struct OperatorCache::Impl {
       auto it = Find(hash, kind, *key);
       if (it != lru.end()) {
         ++hits;
+        if (kind == kKindCanonTree) ++tree_hits;
         return get(*it);
       }
       ++misses;
@@ -855,6 +381,7 @@ struct OperatorCache::Impl {
       std::lock_guard<std::mutex> lock(mu);
       if (decoded) {
         ++disk_hits;
+        if (kind == kKindCanonTree) ++tree_disk_hits;
         auto it = Find(hash, kind, *key);
         if (it != lru.end()) return get(*it);
         InsertValue(key, hash, kind, fill, *decoded);
@@ -1176,6 +703,93 @@ LinOpPtr OperatorCache::DenseWrapped(const LinOpPtr& op) {
       });
 }
 
+std::optional<LinOpPtr> OperatorCache::CanonicalTreeLookup(
+    const LinOpPtr& op) {
+  const uint64_t hash = op->StructuralHash();
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    auto it = impl_->Find(hash, kKindCanonTree, *op);
+    if (it != impl_->lru.end()) {
+      ++impl_->hits;
+      ++impl_->tree_hits;
+      return it->wrapped;
+    }
+    ++impl_->misses;
+  }
+  auto d = impl_->DiskSnapshot();
+  if (d == nullptr || !StructuralHashPersistable(*op)) return std::nullopt;
+  std::vector<uint8_t> payload;
+  std::optional<LinOpPtr> decoded;
+  const bool got = d->Get({hash, uint32_t(kKindCanonTree)}, &payload);
+  if (got) {
+    store::ByteReader r(payload);
+    LinOpPtr tree;
+    if (DecodeEnvelopeExpect(*op, kSubTree, &r))
+      tree = store::DecodeLinOpTree(&r);
+    if (tree && r.remaining() == 0 && tree->rows() == op->rows() &&
+        tree->cols() == op->cols())
+      decoded = std::move(tree);
+  }
+  // A checksum-valid record the decoder rejects (shape-guard collision,
+  // stale encoding) is dropped so a recompute can re-store a good one.
+  if (got && !decoded) d->Drop({hash, uint32_t(kKindCanonTree)});
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  if (!decoded) {
+    ++impl_->disk_misses;
+    return std::nullopt;
+  }
+  ++impl_->disk_hits;
+  ++impl_->tree_disk_hits;
+  auto it = impl_->Find(hash, kKindCanonTree, *op);
+  if (it != impl_->lru.end()) return it->wrapped;
+  impl_->InsertValue(
+      op, hash, kKindCanonTree,
+      [](Impl::Entry& e, const LinOpPtr& v) {
+        e.wrapped = v;
+        e.bytes = ApproxRetainedBytes(*v);
+      },
+      *decoded);
+  return decoded;
+}
+
+void OperatorCache::CanonicalTreeStore(const LinOpPtr& op,
+                                       const LinOpPtr& tree) {
+  const uint64_t hash = op->StructuralHash();
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    auto it = impl_->Find(hash, kKindCanonTree, *op);
+    if (it == impl_->lru.end())
+      impl_->InsertValue(
+          op, hash, kKindCanonTree,
+          [](Impl::Entry& e, const LinOpPtr& v) {
+            e.wrapped = v;
+            e.bytes = ApproxRetainedBytes(*v);
+          },
+          tree);
+  }
+  auto d = impl_->DiskSnapshot();
+  if (d == nullptr || !StructuralHashPersistable(*op)) return;
+  Impl* impl = impl_.get();
+  auto spill = [impl, d, op, tree, hash] {
+    // The codec fails closed on any node it cannot round-trip (unknown
+    // subclass, unstable hash, depth bound), in which case the winning
+    // tree stays memory-cached only.
+    store::ByteWriter w;
+    EncodeEnvelope(*op, kSubTree, &w);
+    if (store::EncodeLinOpTree(*tree, &w) &&
+        d->Put({hash, uint32_t(kKindCanonTree)}, w.bytes())) {
+      std::lock_guard<std::mutex> lock(impl->mu);
+      ++impl->disk_writes;
+    }
+  };
+  auto q = impl_->WbSnapshot();
+  if (q) {
+    (void)q->Enqueue(std::move(spill));  // full queue = counted drop
+  } else {
+    spill();
+  }
+}
+
 double OperatorCache::Sensitivity(const LinOp& op, int which,
                                   const std::function<double()>& compute) {
   const int kind = which == 1 ? kKindSensL1 : kKindSensL2;
@@ -1208,12 +822,19 @@ LinOpPtr OperatorCache::GramOperator(const LinOpPtr& op) {
         e.bytes = ApproxRetainedBytes(*v);
       },
       [](const LinOp& key, const LinOpPtr& v, store::ByteWriter* w) {
-        // Only materialized Grams persist; a lazy/structured Gram is
-        // cheap to re-derive and has no canonical byte form.
+        // Materialized Grams persist as typed leaves; a structured Gram
+        // (Kronecker of child Grams, scaled Gram, ...) persists as an
+        // encoded tree.  Only the plain lazy GramOp wrapper stays
+        // memory-only — it is free to re-derive from the key.
         if (auto* sp = dynamic_cast<const SparseOp*>(v.get()))
           return EncodeCsrArtifact(key, sp->csr(), w);
         if (auto* d = dynamic_cast<const DenseOp*>(v.get()))
           return EncodeDenseArtifact(key, d->dense(), w);
+        if (dynamic_cast<const GramOp*>(v.get()) == nullptr &&
+            v->HashProcessStable()) {
+          EncodeEnvelope(key, kSubTree, w);
+          return store::EncodeLinOpTree(*v, w);
+        }
         return false;
       },
       [](const LinOp& key,
@@ -1235,6 +856,13 @@ LinOpPtr OperatorCache::GramOperator(const LinOpPtr& op) {
               m.rows() != n || m.cols() != n)
             return std::nullopt;
           return MakeDense(std::move(m));
+        }
+        if (sub == kSubTree) {
+          LinOpPtr tree = store::DecodeLinOpTree(&r);
+          if (!tree || r.remaining() != 0 || tree->rows() != n ||
+              tree->cols() != n)
+            return std::nullopt;
+          return tree;
         }
         return std::nullopt;
       });
@@ -1320,6 +948,8 @@ OperatorCache::Stats OperatorCache::stats() const {
   s.hits = impl_->hits;
   s.misses = impl_->misses;
   s.evictions = impl_->evictions;
+  s.tree_hits = impl_->tree_hits;
+  s.tree_disk_hits = impl_->tree_disk_hits;
   s.entries = impl_->lru.size();
   s.bytes = impl_->bytes;
   s.disk_hits = impl_->disk_hits;
@@ -1336,6 +966,7 @@ void OperatorCache::Clear() {
   impl_->index.clear();
   impl_->bytes = 0;
   impl_->sens_entries = 0;
+  impl_->tree_bytes = 0;
 }
 
 }  // namespace ektelo

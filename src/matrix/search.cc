@@ -1,0 +1,343 @@
+#include "matrix/search.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "matrix/combinators.h"
+#include "matrix/cost.h"
+#include "matrix/rules.h"
+#include "util/check.h"
+
+namespace ektelo {
+
+namespace {
+
+std::atomic<uint64_t> g_searches{0};
+std::atomic<uint64_t> g_expansions{0};
+std::atomic<uint64_t> g_pruned{0};
+
+using rules::OpAs;
+
+struct Candidate {
+  LinOpPtr op;
+  double score = 0.0;
+  double footprint = 0.0;  ///< materialized bytes (cached from scoring)
+  uint64_t hash = 0;
+  bool from_rules = false;  ///< produced by the fixed-order rules pass
+};
+
+/// The searcher persists across SearchCanonicalize calls (behind one
+/// process-wide mutex): per-node beams are memoized by node *identity*,
+/// and iterative plans (MWEM) rebuild each round's measurement stack
+/// over the previous rounds' subtree pointers — so round k's search only
+/// expands the handful of genuinely new nodes instead of re-searching
+/// the whole stack.  The memo pins its keys alive (same discipline as
+/// rules::Canonicalizer), which also makes pointer-keyed reuse safe:
+/// an address can never be recycled while its entry is live.  Determinism
+/// is unaffected — a beam is a pure function of its subtree, so a memo
+/// hit returns exactly what recomputing would.
+class BeamSearcher {
+ public:
+  /// Chooses the canonical tree for `op`: the beam's best candidate if
+  /// it beats the rules tree by the improvement margin, else the rules
+  /// tree itself (which is the original pointer when nothing fired).
+  /// Caller holds mu().
+  LinOpPtr Root(const LinOpPtr& op, bool* improved) {
+    // Bound the cross-call memo — by entry count and by pinned bytes
+    // (kSearchMemoMaxBytes; iterative plans would otherwise pin every
+    // round's merged union and turn later merges page-fault-bound).
+    // Trimming only between searches keeps in-flight beam references
+    // valid.
+    if (memo_.size() > kMemoCap || memo_bytes_ > kSearchMemoMaxBytes) {
+      memo_.clear();
+      canon_ = rules::Canonicalizer();
+      memo_bytes_ = 0;
+    }
+    const std::vector<Candidate>& beam = Beam(op);
+    const Candidate* rules_c = nullptr;
+    for (const Candidate& c : beam)
+      if (c.from_rules) {
+        rules_c = &c;
+        break;
+      }
+    EK_CHECK(rules_c != nullptr);
+    const Candidate& best = beam.front();
+    if (!best.from_rules &&
+        best.score < kSearchImprovementRatio * rules_c->score) {
+      if (improved != nullptr) *improved = true;
+      return best.op;
+    }
+    if (improved != nullptr) *improved = false;
+    return rules_c->op;
+  }
+
+  std::mutex& mu() { return mu_; }
+
+  static BeamSearcher& Global() {
+    static BeamSearcher* s = new BeamSearcher;  // never destroyed
+    return *s;
+  }
+
+ private:
+  static constexpr std::size_t kMemoCap = std::size_t{1} << 14;
+  /// The ranked candidate beam for one node, memoized by node identity
+  /// (the memo holds the key alive, same discipline as Canonicalizer).
+  const std::vector<Candidate>& Beam(const LinOpPtr& op) {
+    auto it = memo_.find(op.get());
+    if (it != memo_.end()) return it->second.second;
+    std::vector<Candidate> beam = Expand(op);
+    // Account what this entry pins: the key tree plus every candidate
+    // tree (the canonicalizer memo behind canon_ retains roughly the
+    // same nodes, so this is the right order of magnitude, and over-
+    // counting shared subtrees only trims sooner).
+    memo_bytes_ += ApproxRetainedBytes(*op);
+    for (const Candidate& c : beam)
+      if (c.op != op) memo_bytes_ += ApproxRetainedBytes(*c.op);
+    auto ins = memo_.emplace(op.get(), std::make_pair(op, std::move(beam)));
+    return ins.first->second.second;
+  }
+
+  std::vector<Candidate> Expand(const LinOpPtr& op) {
+    std::vector<Candidate> cands;
+    uint64_t expanded = 0;
+    const auto add = [&](LinOpPtr c, bool from_rules) {
+      if (!c) return;
+      ++expanded;
+      Candidate cd;
+      cd.op = std::move(c);
+      cd.from_rules = from_rules;
+      cands.push_back(std::move(cd));
+    };
+
+    // The fixed-order rules result: always first, never pruned.
+    LinOpPtr rules_tree = canon_.Run(op);
+    add(rules_tree, true);
+
+    // The canonical reconstruction over the best child candidates — the
+    // step that lets a locally-suboptimal child choice win globally —
+    // kept only when it differs from both the input and the rules tree.
+    LinOpPtr plain = RebuildOverBest(op);
+    const bool have_plain =
+        plain != nullptr && plain != op && plain != rules_tree &&
+        !(plain->StructuralHash() == rules_tree->StructuralHash() &&
+          plain->StructuralEq(*rules_tree));
+    if (have_plain) add(plain, false);
+
+    // Rule proposals are generated from the *canonical* trees, not the
+    // raw input: every committed transform (merges, fusions) has already
+    // run there, so rules that would re-derive it propose nothing
+    // instead of re-doing O(tree) work per search, and proposals fire on
+    // nodes whose children are themselves canonical.
+    for (const rules::Rule* rule : rules::AllRules()) {
+      for (LinOpPtr& c : rule->Apply(rules_tree)) add(std::move(c), false);
+      if (have_plain)
+        for (LinOpPtr& c : rule->Apply(plain)) add(std::move(c), false);
+    }
+    g_expansions.fetch_add(expanded, std::memory_order_relaxed);
+
+    // A beam of one is the rules tree alone: nothing to dedup, rank or
+    // prune against, so skip hashing and scoring it entirely.  This is
+    // the hot path for iterative plans — a measurement union freshly
+    // merged into one leaf can hold tens of thousands of intervals, and
+    // its structural hash is O(intervals) (the hash is instance-cached,
+    // but each round mints a *new* merged instance).
+    if (cands.size() == 1) return cands;
+
+    // Hash (dedup identity) and score (rank) each candidate; the rules
+    // candidate sits at index 0 and wins every tie.
+    for (Candidate& c : cands) {
+      c.hash = c.op->StructuralHash();
+      const OpCost oc = EstimateOpCost(*c.op);
+      c.score = ApplySeconds(oc);
+      c.footprint = oc.footprint_bytes;
+    }
+    std::vector<Candidate> unique;
+    unique.reserve(cands.size());
+    for (Candidate& c : cands) {
+      bool dup = false;
+      for (const Candidate& u : unique)
+        if (u.hash == c.hash && u.op->StructuralEq(*c.op)) {
+          dup = true;
+          break;
+        }
+      if (!dup) unique.push_back(std::move(c));
+    }
+
+    // Footprint cap and monotone-cost pruning (never the rules entry).
+    double best = unique.front().score;
+    for (const Candidate& c : unique) best = std::min(best, c.score);
+    std::vector<Candidate> kept;
+    kept.reserve(unique.size());
+    uint64_t pruned = 0;
+    for (Candidate& c : unique) {
+      const bool over_footprint = c.footprint > kSearchMaxFootprintBytes;
+      const bool over_cost = c.score > kSearchPruneRatio * best;
+      if (!c.from_rules && (over_footprint || over_cost)) {
+        ++pruned;
+        continue;
+      }
+      kept.push_back(std::move(c));
+    }
+
+    // Deterministic rank: score, then rules-first, then structural hash.
+    std::sort(kept.begin(), kept.end(),
+              [](const Candidate& a, const Candidate& b) {
+                if (a.score != b.score) return a.score < b.score;
+                if (a.from_rules != b.from_rules) return a.from_rules;
+                return a.hash < b.hash;
+              });
+    if (kept.size() > kSearchBeamWidth) {
+      // Truncate, but the rules candidate always survives.
+      bool rules_kept = false;
+      for (std::size_t i = 0; i < kSearchBeamWidth; ++i)
+        rules_kept = rules_kept || kept[i].from_rules;
+      if (!rules_kept)
+        for (std::size_t i = kSearchBeamWidth; i < kept.size(); ++i)
+          if (kept[i].from_rules) {
+            kept[kSearchBeamWidth - 1] = std::move(kept[i]);
+            break;
+          }
+      pruned += kept.size() - kSearchBeamWidth;
+      kept.resize(kSearchBeamWidth);
+    }
+    g_pruned.fetch_add(pruned, std::memory_order_relaxed);
+    return kept;
+  }
+
+  /// Best candidate for one child.
+  const LinOpPtr& BestOf(const LinOpPtr& child) {
+    return Beam(child).front().op;
+  }
+
+  /// Rebuilds `op` over each child's best candidate via the canonical
+  /// constructors — nullptr for leaves, Grams and unknown kinds (their
+  /// beam is the rules candidate alone).  Also nullptr when every
+  /// child's best is the child itself: the rebuild would then run the
+  /// exact canonical-constructor path `canon_.Run(op)` already ran, so
+  /// constructing it again (an O(tree) merge for stacks) only produces
+  /// a duplicate for the dedup pass to throw away.
+  LinOpPtr RebuildOverBest(const LinOpPtr& op) {
+    if (auto s = OpAs<ScaleOp>(op)) {
+      const LinOpPtr& b = BestOf(s->child());
+      if (b == s->child()) return nullptr;
+      return canon_.Scaled(b, s->scale());
+    }
+    if (auto rw = OpAs<RowWeightOp>(op)) {
+      const LinOpPtr& b = BestOf(rw->child());
+      if (b == rw->child()) return nullptr;
+      return canon_.RowWeighted(b, rw->weights());
+    }
+    if (auto t = OpAs<TransposeOp>(op)) {
+      const LinOpPtr& b = BestOf(t->child());
+      if (b == t->child()) return nullptr;
+      return canon_.Transposed(b);
+    }
+    if (auto p = OpAs<ProductOp>(op)) {
+      const LinOpPtr& ba = BestOf(p->a());
+      const LinOpPtr& bb = BestOf(p->b());
+      if (ba == p->a() && bb == p->b()) return nullptr;
+      return canon_.Producted(ba, bb, p->is_nonneg_binary());
+    }
+    if (auto k = OpAs<KroneckerOp>(op)) {
+      const LinOpPtr& ba = BestOf(k->a());
+      const LinOpPtr& bb = BestOf(k->b());
+      if (ba == k->a() && bb == k->b()) return nullptr;
+      return canon_.Kroned(ba, bb);
+    }
+    if (auto v = OpAs<VStackOp>(op)) {
+      auto bests = BestsOf(v);
+      if (!bests) return nullptr;
+      return canon_.VStacked(std::move(*bests));
+    }
+    if (auto h = OpAs<HStackOp>(op)) {
+      auto bests = BestsOf(h);
+      if (!bests) return nullptr;
+      return canon_.HStacked(std::move(*bests));
+    }
+    if (auto sm = OpAs<SumOp>(op)) {
+      auto bests = BestsOf(sm);
+      if (!bests) return nullptr;
+      return canon_.Summed(std::move(*bests));
+    }
+    return nullptr;
+  }
+
+  /// Child bests for an n-ary node, or nullopt when none differ from
+  /// the originals (the caller then skips the redundant rebuild).
+  template <typename NaryOp>
+  std::optional<std::vector<LinOpPtr>> BestsOf(
+      const std::shared_ptr<const NaryOp>& op) {
+    std::vector<LinOpPtr> out;
+    out.reserve(op->children().size());
+    bool changed = false;
+    for (const LinOpPtr& c : op->children()) {
+      out.push_back(BestOf(c));
+      changed = changed || out.back() != c;
+    }
+    if (!changed) return std::nullopt;
+    return out;
+  }
+
+  rules::Canonicalizer canon_;
+  std::size_t memo_bytes_ = 0;
+  std::unordered_map<const LinOp*,
+                     std::pair<LinOpPtr, std::vector<Candidate>>>
+      memo_;
+  std::mutex mu_;
+};
+
+}  // namespace
+
+bool SearchCanImprove(const LinOp& op) {
+  if (dynamic_cast<const ProductOp*>(&op) != nullptr ||
+      dynamic_cast<const KroneckerOp*>(&op) != nullptr)
+    return true;
+  if (auto* s = dynamic_cast<const ScaleOp*>(&op))
+    return SearchCanImprove(*s->child());
+  if (auto* rw = dynamic_cast<const RowWeightOp*>(&op))
+    return SearchCanImprove(*rw->child());
+  if (auto* t = dynamic_cast<const TransposeOp*>(&op))
+    return SearchCanImprove(*t->child());
+  if (auto* g = dynamic_cast<const GramOp*>(&op))
+    return SearchCanImprove(*g->child());
+  const std::vector<LinOpPtr>* children = nullptr;
+  if (auto* v = dynamic_cast<const VStackOp*>(&op)) children = &v->children();
+  if (auto* h = dynamic_cast<const HStackOp*>(&op)) children = &h->children();
+  if (auto* sm = dynamic_cast<const SumOp*>(&op)) children = &sm->children();
+  if (children)
+    for (const auto& c : *children)
+      if (SearchCanImprove(*c)) return true;
+  return false;
+}
+
+SearchStats GetSearchStats() {
+  SearchStats s;
+  s.searches = g_searches.load(std::memory_order_relaxed);
+  s.expansions = g_expansions.load(std::memory_order_relaxed);
+  s.pruned = g_pruned.load(std::memory_order_relaxed);
+  return s;
+}
+
+void ResetSearchStats() {
+  g_searches.store(0, std::memory_order_relaxed);
+  g_expansions.store(0, std::memory_order_relaxed);
+  g_pruned.store(0, std::memory_order_relaxed);
+}
+
+LinOpPtr SearchCanonicalize(const LinOpPtr& op, bool* improved) {
+  if (!op) return op;
+  g_searches.fetch_add(1, std::memory_order_relaxed);
+  BeamSearcher& s = BeamSearcher::Global();
+  std::lock_guard<std::mutex> lock(s.mu());
+  LinOpPtr out = s.Root(op, improved);
+  EK_CHECK_EQ(out->rows(), op->rows());
+  EK_CHECK_EQ(out->cols(), op->cols());
+  return out;
+}
+
+}  // namespace ektelo

@@ -1,0 +1,63 @@
+// Cost-guided beam search over rewrite-rule applications: the `search`
+// mode of EKTELO_REWRITE (see matrix/rewrite.h for the mode plumbing and
+// the canonical-tree persistence that sits on top).
+//
+// The search runs bottom-up over the input tree.  At each node it keeps a
+// bounded beam (matrix/cost.h kSearchBeamWidth) of candidate subtrees:
+// the fixed-order rules result (always retained — it is the correctness
+// and performance baseline), the canonical reconstruction over the best
+// child candidates, and every proposal from the rule registry
+// (matrix/rules.h AllRules()), deduplicated by structural hash, scored by
+// the analytic cost model, and pruned by the monotone-cost rule (per-
+// apply cost is monotone under composition, so a candidate scoring worse
+// than kSearchPruneRatio x the beam best cannot be rescued by any
+// enclosing context).  At the root, a non-rules candidate wins only when
+// it is predicted at least (1 - kSearchImprovementRatio) cheaper than the
+// rules tree — so `search` degrades to `rules`, never below it.
+//
+// Determinism: candidates order by (score, rules-first, structural hash);
+// no randomness, no wall-clock — the same input tree always yields the
+// same canonical tree, which is what makes the result persistable.
+#ifndef EKTELO_MATRIX_SEARCH_H_
+#define EKTELO_MATRIX_SEARCH_H_
+
+#include <cstdint>
+
+#include "matrix/linop.h"
+
+namespace ektelo {
+
+/// Process-wide search counters (monotone; surfaced in serve Stats).
+struct SearchStats {
+  uint64_t searches = 0;    ///< root canonicalization searches run
+  uint64_t expansions = 0;  ///< candidates generated across all beams
+  uint64_t pruned = 0;      ///< candidates dropped by cost/footprint pruning
+};
+
+SearchStats GetSearchStats();
+void ResetSearchStats();
+
+/// One full beam-search canonicalization of `op`.  Returns the original
+/// pointer when the chosen tree is the node itself.  Pure and
+/// deterministic; does not consult the OperatorCache (rewrite.cc's
+/// SearchRewrite layers caching and persistence around this).  When
+/// `improved` is non-null it is set to whether the search found a tree
+/// that beat the fixed-order rules result by the improvement margin —
+/// the caller's cue that the winner is worth caching and persisting
+/// (a non-improved winner is exactly what the rules pass rebuilds).
+LinOpPtr SearchCanonicalize(const LinOpPtr& op, bool* improved = nullptr);
+
+/// Whether the beam search could possibly choose anything other than
+/// the fixed-order rules tree for `op`.  Every genuinely new candidate
+/// the search generates comes from the materialize rules, and both
+/// require a Product/Kronecker node (the constructor rules are
+/// idempotent on canonical trees — their proposals deduplicate against
+/// the rules candidate).  A tree with no such node anywhere therefore
+/// searches to exactly `rules::Canonicalize(op)`, and callers skip the
+/// search and its cache traffic outright — the fast path for iterative
+/// plans' measurement unions, which are stacks of range leaves.
+bool SearchCanImprove(const LinOp& op);
+
+}  // namespace ektelo
+
+#endif  // EKTELO_MATRIX_SEARCH_H_

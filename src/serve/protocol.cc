@@ -120,6 +120,9 @@ std::vector<uint8_t> EncodeStatsReply(const StatsReply& stats) {
   w.U64(stats.coalesced);
   w.U64(stats.cache_disk_hits);
   w.U64(stats.cache_hits);
+  w.U64(stats.rewrite_searches);
+  w.U64(stats.beam_expansions);
+  w.U64(stats.tree_hits);
   w.U64(stats.tenants.size());
   for (const auto& t : stats.tenants) {
     PutString(t.name, &w);
@@ -136,8 +139,9 @@ bool DecodeStatsReply(const std::vector<uint8_t>& bytes, StatsReply* stats) {
       !r.U64(&stats->refused_budget) || !r.U64(&stats->refused_queue) ||
       !r.U64(&stats->refused_bad) || !r.U64(&stats->executions) ||
       !r.U64(&stats->coalesced) || !r.U64(&stats->cache_disk_hits) ||
-      !r.U64(&stats->cache_hits) || !r.U64(&n) ||
-      r.remaining() / 24 < n)
+      !r.U64(&stats->cache_hits) || !r.U64(&stats->rewrite_searches) ||
+      !r.U64(&stats->beam_expansions) || !r.U64(&stats->tree_hits) ||
+      !r.U64(&n) || r.remaining() / 24 < n)
     return false;
   stats->tenants.resize(std::size_t(n));
   for (auto& t : stats->tenants)

@@ -24,6 +24,7 @@
 #include "kernel/handles.h"
 #include "kernel/kernel.h"
 #include "matrix/rewrite.h"
+#include "matrix/search.h"
 #include "plans/registry.h"
 #include "store/serialize.h"
 #include "util/bounded_queue.h"
@@ -420,6 +421,10 @@ struct Server::Impl {
     const OperatorCache::Stats cs = OperatorCache::Global().stats();
     s.cache_hits = cs.hits;
     s.cache_disk_hits = cs.disk_hits;
+    const SearchStats ss = GetSearchStats();
+    s.rewrite_searches = ss.searches;
+    s.beam_expansions = ss.expansions;
+    s.tree_hits = cs.tree_hits + cs.tree_disk_hits;
     for (const std::string& name : tenant_order) {
       if (auto b = ledger->Balance(name))
         s.tenants.push_back({name, b->total, b->spent});

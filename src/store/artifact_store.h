@@ -88,6 +88,13 @@ struct DiskStoreOptions {
   uint64_t hash_version = 0;
   /// Flush the index checkpoint every this many Puts (and on close).
   std::size_t flush_every_puts = 32;
+  /// Frequency-aware admission (TinyLFU-style doorkeeper): when a Put
+  /// would force an eviction, the newcomer is admitted only if a
+  /// count-min sketch of recent accesses estimates it hotter than the
+  /// entry it would evict — one-shot artifacts stop churning out
+  /// recurring ones once the store is full.  1 = on, 0 = off, -1
+  /// (default) = follow EKTELO_CACHE_ADMISSION ("1" enables).
+  int admission = -1;
 };
 
 class DiskArtifactStore {
@@ -101,6 +108,7 @@ class DiskArtifactStore {
     std::size_t puts = 0;
     std::size_t evictions = 0;
     std::size_t kind_evictions = 0;  // evictions forced by a kind quota
+    std::size_t admission_rejects = 0;  // Puts refused by the doorkeeper
     std::size_t compactions = 0;
     std::size_t corrupt_drops = 0;  // records rejected by verification
     /// True when another process holds the directory's writer lock: this

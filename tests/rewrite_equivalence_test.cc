@@ -1,8 +1,11 @@
-// Registry-wide rewrite A/B: every catalog plan must produce the same
-// result with the rewrite engine on and off — outputs within 1e-9
-// (relative), identical budget, and an identical order-normalized kernel
-// transcript (the privacy-relevant path is untouched by construction:
-// measurement operators are applied and charged as authored).
+// Registry-wide rewrite A/B/C: every catalog plan must produce the same
+// result at every EKTELO_REWRITE mode — `rules` within 1e-9 (relative)
+// of `off`, `search` within 1e-10 of `rules` (the beam search only picks
+// different *representations* of the same trees, so it sits tighter to
+// rules than rules sits to off) — with identical budget and an identical
+// order-normalized kernel transcript at every mode (the privacy-relevant
+// path is untouched by construction: measurement operators are applied
+// and charged as authored).
 //
 // Plans whose stacks the rewriter cannot change are bitwise-equal; the
 // MWEM family (merged measurement unions feeding iterative solvers)
@@ -31,11 +34,14 @@ struct RunResult {
   std::vector<std::tuple<std::string, double, double>> transcript;
 };
 
-RunResult RunPlan(const Plan& plan, bool rewrite_on) {
-  SetRewriteEnabled(rewrite_on ? 1 : 0);
+RunResult RunPlan(const Plan& plan, int mode) {
+  SetRewriteMode(mode);  // 0 = off, 1 = rules, 2 = search
+  // Each mode starts cold: no canonical trees or artifacts computed by
+  // another mode's run leak across.
+  OperatorCache::Global().Clear();
 
   const double eps = 0.5;
-  Rng rng(31);  // identical environment for both runs
+  Rng rng(31);  // identical environment for every mode
   Vec hist;
   std::vector<std::size_t> dims;
   switch (plan.domain()) {
@@ -86,30 +92,36 @@ RunResult RunPlan(const Plan& plan, bool rewrite_on) {
   return r;
 }
 
-TEST(RewriteEquivalenceTest, EveryPlanMatchesRewriteOffWithin1em9) {
+void ExpectAgree(const RunResult& base, const RunResult& other, double tol) {
+  ASSERT_EQ(other.xhat.size(), base.xhat.size());
+  for (std::size_t i = 0; i < base.xhat.size(); ++i) {
+    const double scale = std::max(1.0, std::abs(base.xhat[i]));
+    EXPECT_LE(std::abs(other.xhat[i] - base.xhat[i]), tol * scale)
+        << "component " << i;
+  }
+  // The privacy path is untouched: same charges, same noise draws, same
+  // (order-normalized) transcript rows.
+  EXPECT_EQ(other.budget, base.budget);
+  EXPECT_EQ(other.transcript, base.transcript);
+}
+
+TEST(RewriteEquivalenceTest, EveryPlanAgreesAcrossAllThreeModes) {
   const std::vector<const Plan*> catalog = PlanRegistry::Global().Catalog();
   ASSERT_FALSE(catalog.empty());
   for (const Plan* plan : catalog) {
     SCOPED_TRACE(plan->name());
-    const RunResult off = RunPlan(*plan, false);
-    const RunResult on = RunPlan(*plan, true);
-    SetRewriteEnabled(-1);
-    ASSERT_EQ(off.ok, on.ok) << off.error << " / " << on.error;
+    const RunResult off = RunPlan(*plan, 0);
+    const RunResult rules = RunPlan(*plan, 1);
+    const RunResult search = RunPlan(*plan, 2);
+    SetRewriteMode(-1);
+    ASSERT_EQ(off.ok, rules.ok) << off.error << " / " << rules.error;
+    ASSERT_EQ(rules.ok, search.ok) << rules.error << " / " << search.error;
     if (!off.ok) continue;
-    ASSERT_EQ(on.xhat.size(), off.xhat.size());
-    double worst = 0.0;
-    for (std::size_t i = 0; i < off.xhat.size(); ++i) {
-      const double tol = 1e-9 * std::max(1.0, std::abs(off.xhat[i]));
-      const double diff = std::abs(on.xhat[i] - off.xhat[i]);
-      worst = std::max(worst, diff / std::max(1.0, std::abs(off.xhat[i])));
-      EXPECT_LE(diff, tol) << "component " << i << " (rel " << worst << ")";
-    }
-    // The privacy path is untouched: same charges, same noise draws, same
-    // (order-normalized) transcript rows.
-    EXPECT_EQ(on.budget, off.budget);
-    EXPECT_EQ(on.transcript, off.transcript);
+    ExpectAgree(off, rules, 1e-9);
+    ExpectAgree(rules, search, 1e-10);
   }
-  SetRewriteEnabled(-1);
+  SetRewriteMode(-1);
+  OperatorCache::Global().Clear();
 }
 
 // The dense/sparse physical-representation sweep goes through the
@@ -120,8 +132,9 @@ TEST(RewriteEquivalenceTest, ModeSweepMatchesRewriteOff) {
     for (const Plan* plan : PlanRegistry::Global().Catalog()) {
       if (!plan->mode_sweep()) continue;
       SCOPED_TRACE(plan->name() + std::string("/") + MatrixModeName(mode));
-      auto run = [&](bool on) {
-        SetRewriteEnabled(on ? 1 : 0);
+      auto run = [&](int rewrite_mode) {
+        SetRewriteMode(rewrite_mode);
+        OperatorCache::Global().Clear();
         const double eps = 0.5;
         Rng rng(97);
         Vec hist = MakeHistogram1D(Shape1D::kStep, 32, 1500.0, &rng);
@@ -140,16 +153,23 @@ TEST(RewriteEquivalenceTest, ModeSweepMatchesRewriteOff) {
         EK_CHECK(xhat.ok());
         return *xhat;
       };
-      const Vec off = run(false);
-      const Vec on = run(true);
-      SetRewriteEnabled(-1);
-      ASSERT_EQ(on.size(), off.size());
-      for (std::size_t i = 0; i < off.size(); ++i)
-        EXPECT_NEAR(on[i], off[i], 1e-9 * std::max(1.0, std::abs(off[i])))
+      const Vec off = run(0);
+      const Vec rules = run(1);
+      const Vec search = run(2);
+      SetRewriteMode(-1);
+      ASSERT_EQ(rules.size(), off.size());
+      ASSERT_EQ(search.size(), off.size());
+      for (std::size_t i = 0; i < off.size(); ++i) {
+        EXPECT_NEAR(rules[i], off[i], 1e-9 * std::max(1.0, std::abs(off[i])))
             << i;
+        EXPECT_NEAR(search[i], rules[i],
+                    1e-10 * std::max(1.0, std::abs(rules[i])))
+            << i;
+      }
     }
   }
-  SetRewriteEnabled(-1);
+  SetRewriteMode(-1);
+  OperatorCache::Global().Clear();
 }
 
 }  // namespace

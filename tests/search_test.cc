@@ -1,0 +1,321 @@
+// Beam-search canonicalization (matrix/search.h) and the canonical-tree
+// persistence layered on top of it (rewrite.cc CanonicalTree): fuzzed
+// three-mode agreement on random operator trees, determinism of the
+// search, the stats counters the serving daemon surfaces, the
+// composed-vs-materialize decision the cost model is calibrated for, and
+// the persist -> reopen warm-load path through the disk tier.
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "matrix/combinators.h"
+#include "matrix/implicit_ops.h"
+#include "matrix/range_ops.h"
+#include "matrix/rewrite.h"
+#include "matrix/search.h"
+#include "store/artifact_store.h"
+#include "util/rng.h"
+
+namespace ektelo {
+namespace {
+
+namespace fs = std::filesystem;
+using store::DiskArtifactStore;
+using store::DiskStoreOptions;
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir =
+      (fs::temp_directory_path() / ("ektelo_search_test_" + name)).string();
+  fs::remove_all(dir);
+  return dir;
+}
+
+CsrMatrix RandomCsr(std::size_t m, std::size_t n, Rng* rng,
+                    double density = 0.3) {
+  std::vector<Triplet> t;
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      if (rng->Uniform() < density) t.push_back({i, j, rng->Normal()});
+  return CsrMatrix::FromTriplets(m, n, std::move(t));
+}
+
+Vec RandomVec(std::size_t n, Rng* rng) {
+  Vec v(n);
+  for (auto& x : v) x = rng->Normal();
+  return v;
+}
+
+/// Random operator trees with cols() pinned to `n` (a power of two, so
+/// Wavelet leaves are legal), exercising every rule family the search
+/// proposes over: implicit leaves, CSR leaves, scale/row-weight wrappers,
+/// stacks, and products with sparse reducers.
+LinOpPtr RandomLeaf(std::size_t n, Rng* rng) {
+  switch (std::size_t(rng->Uniform() * 6) % 6) {
+    case 0:
+      return MakeIdentityOp(n);
+    case 1:
+      return MakePrefixOp(n);
+    case 2:
+      return MakeWaveletOp(n);
+    case 3: {
+      std::vector<Interval> iv;
+      const std::size_t k = 2 + std::size_t(rng->Uniform() * 6);
+      for (std::size_t i = 0; i < k; ++i) {
+        const std::size_t lo = std::size_t(rng->Uniform() * double(n - 1));
+        const std::size_t hi =
+            lo + std::size_t(rng->Uniform() * double(n - lo - 1));
+        iv.push_back({lo, hi});
+      }
+      return MakeRangeSetOp(std::move(iv), n);
+    }
+    case 4:
+      return MakeOnesOp(1 + std::size_t(rng->Uniform() * 4), n);
+    default:
+      return MakeSparse(
+          RandomCsr(2 + std::size_t(rng->Uniform() * 10), n, rng, 0.25));
+  }
+}
+
+LinOpPtr RandomTree(std::size_t n, int depth, Rng* rng) {
+  if (depth <= 0) return RandomLeaf(n, rng);
+  switch (std::size_t(rng->Uniform() * 5) % 5) {
+    case 0:
+      return MakeScaled(RandomTree(n, depth - 1, rng),
+                        0.25 + rng->Uniform() * 4.0);
+    case 1: {
+      LinOpPtr c = RandomTree(n, depth - 1, rng);
+      Vec w(c->rows());
+      for (auto& x : w) x = 0.5 + rng->Uniform();
+      return MakeRowWeight(std::move(c), std::move(w));
+    }
+    case 2: {
+      std::vector<LinOpPtr> cs;
+      const std::size_t k = 2 + std::size_t(rng->Uniform() * 2);
+      for (std::size_t i = 0; i < k; ++i)
+        cs.push_back(RandomTree(n, depth - 1, rng));
+      return MakeVStack(std::move(cs));
+    }
+    case 3: {
+      // Product(sparse reducer, tree): the shape the materialize rule
+      // has to reason about.
+      LinOpPtr b = RandomTree(n, depth - 1, rng);
+      const std::size_t m = 2 + std::size_t(rng->Uniform() * 8);
+      return MakeProduct(MakeSparse(RandomCsr(m, b->rows(), rng, 0.3)), b);
+    }
+    default: {
+      LinOpPtr a = RandomTree(n, depth - 1, rng);
+      // Sum needs conformable shapes; stack the tree with itself scaled.
+      return MakeSum({a, MakeScaled(a, -0.5)});
+    }
+  }
+}
+
+/// MaybeRewrite under a forced mode, against a cleared cache so modes
+/// never see each other's canonical trees.
+LinOpPtr RewriteUnder(int mode, const LinOpPtr& op) {
+  SetRewriteMode(mode);
+  OperatorCache::Global().Clear();
+  LinOpPtr out = MaybeRewrite(op);
+  SetRewriteMode(-1);
+  return out;
+}
+
+double MaxRelDiff(const Vec& a, const Vec& b) {
+  EXPECT_EQ(a.size(), b.size());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double scale = std::max({1.0, std::abs(a[i]), std::abs(b[i])});
+    worst = std::max(worst, std::abs(a[i] - b[i]) / scale);
+  }
+  return worst;
+}
+
+// ------------------------------------------------------- mode agreement
+
+TEST(SearchTest, ThreeModesAgreeOnFuzzedTrees) {
+  Rng rng(424242);
+  for (int iter = 0; iter < 30; ++iter) {
+    const std::size_t n = 64;
+    LinOpPtr tree = RandomTree(n, 1 + iter % 3, &rng);
+    LinOpPtr off = RewriteUnder(0, tree);
+    LinOpPtr rules = RewriteUnder(1, tree);
+    LinOpPtr search = RewriteUnder(2, tree);
+    ASSERT_EQ(off.get(), tree.get());  // kOff must not touch the tree
+    ASSERT_EQ(rules->rows(), tree->rows());
+    ASSERT_EQ(rules->cols(), tree->cols());
+    ASSERT_EQ(search->rows(), tree->rows());
+    ASSERT_EQ(search->cols(), tree->cols());
+
+    const Vec x = RandomVec(n, &rng);
+    const Vec y_off = off->Apply(x);
+    const Vec y_rules = rules->Apply(x);
+    const Vec y_search = search->Apply(x);
+    EXPECT_LE(MaxRelDiff(y_off, y_rules), 1e-10) << "iter " << iter;
+    EXPECT_LE(MaxRelDiff(y_rules, y_search), 1e-10) << "iter " << iter;
+
+    const Vec yt = RandomVec(tree->rows(), &rng);
+    EXPECT_LE(MaxRelDiff(off->ApplyT(yt), search->ApplyT(yt)), 1e-10)
+        << "iter " << iter << " (transpose)";
+  }
+}
+
+TEST(SearchTest, SearchCanonicalizeIsDeterministic) {
+  Rng rng(777);
+  for (int iter = 0; iter < 10; ++iter) {
+    Rng ra(1000 + iter), rb(1000 + iter);
+    LinOpPtr t1 = RandomTree(64, 3, &ra);
+    LinOpPtr t2 = RandomTree(64, 3, &rb);  // identical construction
+    ASSERT_EQ(t1->StructuralHash(), t2->StructuralHash());
+    LinOpPtr c1 = SearchCanonicalize(t1);
+    LinOpPtr c2 = SearchCanonicalize(t2);
+    EXPECT_EQ(c1->StructuralHash(), c2->StructuralHash()) << "iter " << iter;
+    EXPECT_TRUE(c1->StructuralEq(*c2)) << "iter " << iter;
+  }
+  (void)rng;
+}
+
+TEST(SearchTest, AlreadyCanonicalLeafComesBackUntouched) {
+  // Nothing fires on a bare CSR leaf: the search must hand back the same
+  // pointer so per-instance caches survive, exactly like rules mode.
+  Rng rng(9);
+  LinOpPtr leaf = MakeSparse(RandomCsr(16, 16, &rng));
+  EXPECT_EQ(SearchCanonicalize(leaf).get(), leaf.get());
+}
+
+// ------------------------------------------------------------- counters
+
+TEST(SearchTest, StatsCountersAdvance) {
+  Rng rng(31337);
+  const SearchStats before = GetSearchStats();
+  LinOpPtr tree = RandomTree(64, 3, &rng);
+  (void)SearchCanonicalize(tree);
+  const SearchStats after = GetSearchStats();
+  EXPECT_EQ(after.searches, before.searches + 1);
+  EXPECT_GT(after.expansions, before.expansions);
+}
+
+// ------------------------------------------------- decision direction
+
+TEST(SearchTest, SearchMaterializesTheComposedRangeProduct) {
+  // The data-dependent decision rules mode cannot make: RangeSet x CSR
+  // grouping stays composed under `rules` but fuses to one small CSR
+  // leaf under `search` (the cost model prefers O(nnz) per apply).
+  const std::size_t n = 1024, g = n / 16;
+  std::vector<Interval> iv;
+  for (std::size_t i = 0; i + 256 < n; i += 16) iv.push_back({i, i + 255});
+  std::vector<Triplet> trips;
+  for (std::size_t c = 0; c < n; ++c) trips.push_back({c, c / 16, 1.0});
+  LinOpPtr composed =
+      MakeProduct(MakeRangeSetOp(std::move(iv), n),
+                  MakeSparse(CsrMatrix::FromTriplets(n, g, std::move(trips))));
+
+  LinOpPtr rules = RewriteUnder(1, composed);
+  LinOpPtr search = RewriteUnder(2, composed);
+  EXPECT_NE(dynamic_cast<const ProductOp*>(rules.get()), nullptr)
+      << "rules mode unexpectedly materialized: " << rules->DebugName();
+  EXPECT_NE(dynamic_cast<const SparseOp*>(search.get()), nullptr)
+      << "search mode kept the composed form: " << search->DebugName();
+
+  Rng rng(5150);
+  const Vec x = RandomVec(g, &rng);
+  EXPECT_LE(MaxRelDiff(rules->Apply(x), search->Apply(x)), 1e-10);
+}
+
+// ----------------------------------------------------- persistence
+
+TEST(SearchTest, CanonicalTreePersistsAcrossReopen) {
+  const std::string dir = FreshDir("canon_reopen");
+  DiskStoreOptions opts;
+  opts.hash_version = kHashVersion;
+
+  // A tree whose winner is a genuine improvement (the composed product
+  // fuses to one CSR leaf): only chosen improvements are persisted — a
+  // winner the rules pass would rebuild anyway is never written.
+  auto build = [] {
+    const std::size_t n = 1024;
+    std::vector<Interval> iv;
+    for (std::size_t i = 0; i + 256 < n; i += 16) iv.push_back({i, i + 255});
+    std::vector<Triplet> trips;
+    for (std::size_t c = 0; c < n; ++c) trips.push_back({c, c / 16, 1.0});
+    return MakeProduct(
+        MakeRangeSetOp(std::move(iv), n),
+        MakeSparse(CsrMatrix::FromTriplets(n, n / 16, std::move(trips))));
+  };
+
+  SetRewriteMode(2);
+  OperatorCache::Global().Clear();
+  {
+    auto tier = DiskArtifactStore::Open(dir, opts);
+    ASSERT_TRUE(tier);
+    OperatorCache::Global().SetDiskTier(std::move(tier));
+  }
+  LinOpPtr cold = MaybeRewrite(build());
+  OperatorCache::Global().FlushDiskTier();
+  // Simulate process death: drop the tier and every in-memory entry.
+  OperatorCache::Global().SetDiskTier(nullptr);
+  OperatorCache::Global().Clear();
+
+  // "Fresh process": reopen the same directory, rebuild the same plan.
+  {
+    auto tier = DiskArtifactStore::Open(dir, opts);
+    ASSERT_TRUE(tier);
+    OperatorCache::Global().SetDiskTier(std::move(tier));
+  }
+  const SearchStats searches_before = GetSearchStats();
+  const std::size_t tree_disk_before =
+      OperatorCache::Global().stats().tree_disk_hits;
+  LinOpPtr warm = MaybeRewrite(build());
+  EXPECT_EQ(OperatorCache::Global().stats().tree_disk_hits,
+            tree_disk_before + 1)
+      << "warm canonicalization did not load the persisted tree";
+  EXPECT_EQ(GetSearchStats().searches, searches_before.searches)
+      << "warm canonicalization re-ran the beam search";
+  ASSERT_NE(warm, nullptr);
+  EXPECT_EQ(warm->StructuralHash(), cold->StructuralHash());
+  EXPECT_TRUE(warm->StructuralEq(*cold));
+
+  // The loaded tree computes the same answers, bitwise-comparable.
+  Rng rng(616);
+  const Vec x = RandomVec(cold->cols(), &rng);
+  const Vec yc = cold->Apply(x);
+  const Vec yw = warm->Apply(x);
+  ASSERT_EQ(yc.size(), yw.size());
+  EXPECT_LE(MaxRelDiff(yc, yw), 0.0);
+
+  OperatorCache::Global().SetDiskTier(nullptr);
+  OperatorCache::Global().Clear();
+  SetRewriteMode(-1);
+  fs::remove_all(dir);
+}
+
+TEST(SearchTest, CanonicalTreeHitsInMemoryOnRepeat) {
+  SetRewriteMode(2);
+  OperatorCache::Global().Clear();
+  // Big enough to clear kSearchMinApplySeconds (tiny trees bypass the
+  // cache entirely — searching them could never pay off).
+  auto build = [] {
+    const std::size_t n = 4096;
+    std::vector<Interval> iv;
+    for (std::size_t i = 0; i + n / 4 < n; i += 16) iv.push_back({i, i + n / 4});
+    std::vector<Triplet> trips;
+    for (std::size_t c = 0; c < n; ++c) trips.push_back({c, c / 16, 1.0});
+    return MakeProduct(
+        MakeRangeSetOp(std::move(iv), n),
+        MakeSparse(CsrMatrix::FromTriplets(n, n / 16, std::move(trips))));
+  };
+  const std::size_t tree_hits_before =
+      OperatorCache::Global().stats().tree_hits;
+  LinOpPtr first = MaybeRewrite(build());
+  LinOpPtr again = MaybeRewrite(build());
+  EXPECT_GT(OperatorCache::Global().stats().tree_hits, tree_hits_before);
+  EXPECT_TRUE(first->StructuralEq(*again));
+  OperatorCache::Global().Clear();
+  SetRewriteMode(-1);
+}
+
+}  // namespace
+}  // namespace ektelo

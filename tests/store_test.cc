@@ -400,6 +400,57 @@ TEST(DiskArtifactStoreTest, ByteBudgetedLruEviction) {
   fs::remove_all(dir);
 }
 
+TEST(DiskArtifactStoreTest, AdmissionDoorkeeperProtectsHotEntries) {
+  const std::string dir = FreshDir("admission");
+  DiskStoreOptions opts;
+  opts.hash_version = 1;
+  opts.max_bytes = 1100;  // three ~356-byte records fit; a fourth evicts
+  opts.admission = 1;     // doorkeeper on, regardless of the env
+  auto s = DiskArtifactStore::Open(dir, opts);
+  ASSERT_TRUE(s);
+  const std::vector<uint8_t> blob(300, 0x7E);
+  for (uint64_t h = 1; h <= 3; ++h) ASSERT_TRUE(s->Put({h, 0}, blob));
+  // Heat up every resident: each Get feeds the frequency sketch.
+  std::vector<uint8_t> got;
+  for (int i = 0; i < 10; ++i)
+    for (uint64_t h = 1; h <= 3; ++h) ASSERT_TRUE(s->Get({h, 0}, &got));
+  // A cold newcomer would have to evict a hot entry: refused, nothing
+  // evicted, every resident still served.
+  EXPECT_FALSE(s->Put({50, 0}, blob));
+  EXPECT_GE(s->stats().admission_rejects, 1u);
+  EXPECT_FALSE(s->Get({50, 0}, &got));
+  for (uint64_t h = 1; h <= 3; ++h)
+    EXPECT_TRUE(s->Get({h, 0}, &got)) << "hot hash " << h;
+  // A newcomer hotter than the LRU victim (its misses fed the sketch
+  // harder than the victim's touches) is admitted and displaces it.
+  for (int i = 0; i < 40; ++i) EXPECT_FALSE(s->Get({60, 0}, &got));
+  EXPECT_TRUE(s->Put({60, 0}, blob));
+  EXPECT_TRUE(s->Get({60, 0}, &got));
+  EXPECT_EQ(got, blob);
+  fs::remove_all(dir);
+}
+
+TEST(DiskArtifactStoreTest, AdmissionOffAdmitsFreely) {
+  const std::string dir = FreshDir("admission_off");
+  DiskStoreOptions opts;
+  opts.hash_version = 1;
+  opts.max_bytes = 1100;
+  opts.admission = 0;  // default behavior: plain byte-budgeted LRU
+  auto s = DiskArtifactStore::Open(dir, opts);
+  ASSERT_TRUE(s);
+  const std::vector<uint8_t> blob(300, 0x11);
+  for (uint64_t h = 1; h <= 3; ++h) ASSERT_TRUE(s->Put({h, 0}, blob));
+  std::vector<uint8_t> got;
+  for (int i = 0; i < 10; ++i)
+    for (uint64_t h = 1; h <= 3; ++h) ASSERT_TRUE(s->Get({h, 0}, &got));
+  // Without the doorkeeper the same cold newcomer evicts the LRU entry.
+  EXPECT_TRUE(s->Put({50, 0}, blob));
+  EXPECT_TRUE(s->Get({50, 0}, &got));
+  EXPECT_EQ(s->stats().admission_rejects, 0u);
+  EXPECT_GT(s->stats().evictions, 0u);
+  fs::remove_all(dir);
+}
+
 TEST(DiskArtifactStoreTest, KindQuotaEvictsWithinKindOnly) {
   const std::string dir = FreshDir("kindquota");
   DiskStoreOptions opts;

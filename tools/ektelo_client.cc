@@ -189,7 +189,8 @@ int main(int argc, char** argv) {
     std::printf(
         "received=%llu admitted=%llu executions=%llu coalesced=%llu "
         "refused_budget=%llu refused_queue=%llu refused_bad=%llu "
-        "cache_hits=%llu cache_disk_hits=%llu\n",
+        "cache_hits=%llu cache_disk_hits=%llu rewrite_searches=%llu "
+        "beam_expansions=%llu tree_hits=%llu\n",
         (unsigned long long)stats->received,
         (unsigned long long)stats->admitted,
         (unsigned long long)stats->executions,
@@ -198,7 +199,10 @@ int main(int argc, char** argv) {
         (unsigned long long)stats->refused_queue,
         (unsigned long long)stats->refused_bad,
         (unsigned long long)stats->cache_hits,
-        (unsigned long long)stats->cache_disk_hits);
+        (unsigned long long)stats->cache_disk_hits,
+        (unsigned long long)stats->rewrite_searches,
+        (unsigned long long)stats->beam_expansions,
+        (unsigned long long)stats->tree_hits);
     for (const auto& t : stats->tenants)
       std::printf("tenant=%s total=%.9g spent=%.9g\n", t.name.c_str(),
                   t.total, t.spent);
