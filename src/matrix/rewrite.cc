@@ -957,6 +957,11 @@ OperatorCache::Stats OperatorCache::stats() const {
   s.disk_writes = impl_->disk_writes;
   s.disk_write_drops = impl_->disk_write_drops_base;
   if (impl_->wb != nullptr) s.disk_write_drops += impl_->wb->stats().dropped;
+  if (impl_->disk != nullptr) {
+    const store::DiskArtifactStore::Stats ds = impl_->disk->stats();
+    s.disk_degraded = ds.degraded;
+    s.disk_io_errors = ds.io_errors;
+  }
   return s;
 }
 

@@ -164,6 +164,12 @@ class OperatorCache {
     /// a warm process skipped.
     std::size_t tree_hits = 0;
     std::size_t tree_disk_hits = 0;
+    /// Disk-tier health snapshot (store::DiskArtifactStore::Stats).
+    /// disk_degraded means the tier tripped into sticky memory-only mode
+    /// after a post-open device error; the cache keeps serving from
+    /// memory and recomputation, it just stops touching the bad disk.
+    bool disk_degraded = false;
+    std::size_t disk_io_errors = 0;
   };
 
   /// The process-wide instance every consumer shares.

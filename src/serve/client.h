@@ -4,9 +4,20 @@
 // concurrency is expressed by opening more Clients — which is also how
 // the daemon's admission control and coalescing are exercised.
 // Thread-compatible, not thread-safe: share nothing, or lock around it.
+//
+// Fault handling: every attempt is bounded (connect and read deadlines)
+// and transport failures are retried with capped exponential backoff —
+// but ONLY where a resend cannot double-spend.  A timed-out invoke may
+// have executed and charged on the server, so Invoke retries only
+// requests with `coalesce` set: an identical resend lands in the
+// daemon's response cache or in-flight entry and is answered as a
+// replay with eps_charged = 0 (idempotency by coalescing).  Stats is
+// read-only and always retryable; Shutdown is never retried.  Backoff
+// jitter is seeded (retry_seed) so tests replay identical schedules.
 #ifndef EKTELO_SERVE_CLIENT_H_
 #define EKTELO_SERVE_CLIENT_H_
 
+#include <cstdint>
 #include <string>
 
 #include "serve/protocol.h"
@@ -14,10 +25,30 @@
 
 namespace ektelo::serve {
 
+struct ClientOptions {
+  /// Bound on each connect attempt; 0 blocks indefinitely.
+  int connect_timeout_ms = 5000;
+  /// Bound on each request/reply round trip's socket reads and writes;
+  /// expiry surfaces as kDeadlineExceeded.  0 blocks indefinitely.
+  int read_timeout_ms = 30000;
+  /// Retries after the first attempt (so max_retries = 2 means up to 3
+  /// attempts).  Applies to transport failures only — refusal replies
+  /// (budget, queue, bad request) are answers, not failures.
+  int max_retries = 2;
+  /// Backoff before retry k (0-based) is uniform in
+  /// [d/2, d], d = min(backoff_cap_ms, backoff_base_ms << k).
+  int backoff_base_ms = 20;
+  int backoff_cap_ms = 1000;
+  /// Seed for the deterministic backoff jitter stream.
+  uint64_t retry_seed = 0;
+};
+
 class Client {
  public:
-  /// Connects to a daemon's socket.
-  static StatusOr<Client> Connect(const std::string& socket_path);
+  /// Connects to a daemon's socket (one attempt, bounded by
+  /// connect_timeout_ms; retries happen per-operation afterwards).
+  static StatusOr<Client> Connect(const std::string& socket_path,
+                                  ClientOptions opts = {});
 
   Client(Client&& o) noexcept;
   Client& operator=(Client&& o) noexcept;
@@ -28,17 +59,32 @@ class Client {
   /// One plan invocation; blocks for the reply.  A non-OK status means
   /// the *connection* failed — refusals (budget, queue, bad request)
   /// come back as an InvokeReply with the corresponding code.
+  /// Transport failures are retried (reconnect + backoff) only when
+  /// req.coalesce is set; kDeadlineExceeded after the last attempt
+  /// means the request MAY still have executed server-side.
   StatusOr<InvokeReply> Invoke(const InvokeRequest& req);
 
-  /// Server counters and per-tenant balances.
+  /// Server counters and per-tenant balances.  Read-only; retried.
   StatusOr<StatsReply> Stats();
 
   /// Asks the daemon to shut down; resolves once it acknowledges.
+  /// Never retried (a resend could kill a freshly restarted daemon).
   Status Shutdown();
 
  private:
-  explicit Client(int fd) : fd_(fd) {}
+  Client(int fd, std::string path, ClientOptions opts)
+      : fd_(fd), path_(std::move(path)), opts_(opts) {}
+
+  /// Arms the per-attempt read/write deadlines on a fresh fd.
+  Status ArmDeadlines(int fd) const;
+  /// Drops the (poisoned) connection and dials again.
+  Status Reconnect();
+  /// Sleeps the jittered backoff before 0-based retry `attempt`.
+  void Backoff(int attempt) const;
+
   int fd_ = -1;
+  std::string path_;
+  ClientOptions opts_;
 };
 
 }  // namespace ektelo::serve

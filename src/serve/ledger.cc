@@ -14,9 +14,12 @@
 #include <unistd.h>
 #endif
 
+#include "store/io.h"
 #include "store/serialize.h"
 
 namespace ektelo::serve {
+
+namespace io = ::ektelo::store::io;
 
 namespace {
 
@@ -102,43 +105,6 @@ bool DecodeRecord(store::ByteReader* r, DecodedRecord* out) {
   return true;
 }
 
-bool AtomicWriteFile(const std::string& path,
-                     const std::vector<uint8_t>& bytes) {
-  const std::string tmp = path + ".tmp";
-  std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (!f) return false;
-  const bool wrote =
-      bytes.empty() ||
-      std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
-  const bool flushed = std::fflush(f) == 0;
-  std::fclose(f);
-  if (!wrote || !flushed) {
-    std::remove(tmp.c_str());
-    return false;
-  }
-  std::error_code ec;
-  fs::rename(tmp, path, ec);
-  if (ec) std::remove(tmp.c_str());
-  return !ec;
-}
-
-bool ReadWholeFile(const std::string& path, std::vector<uint8_t>* out) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (!f) return false;
-  std::fseek(f, 0, SEEK_END);
-  const long n = std::ftell(f);
-  if (n < 0) {
-    std::fclose(f);
-    return false;
-  }
-  out->resize(std::size_t(n));
-  std::fseek(f, 0, SEEK_SET);
-  const bool ok =
-      n == 0 || std::fread(out->data(), 1, out->size(), f) == out->size();
-  std::fclose(f);
-  return ok;
-}
-
 }  // namespace
 
 struct BudgetLedger::Impl {
@@ -197,7 +163,9 @@ struct BudgetLedger::Impl {
   /// bytes it covers, or 0 when absent/corrupt/oversized (full replay).
   uint64_t LoadCheckpoint(uint64_t data_size) {
     std::vector<uint8_t> bytes;
-    if (!ReadWholeFile(ckpt_path, &bytes) || bytes.size() < 8 + 8) return 0;
+    if (!io::ReadWholeFile(ckpt_path, &bytes, "ledger.ckpt") ||
+        bytes.size() < 8 + 8)
+      return 0;
     // Trailing whole-file checksum covers everything before it.
     store::ByteReader tail(bytes.data() + bytes.size() - 8, 8);
     uint64_t want;
@@ -287,16 +255,35 @@ struct BudgetLedger::Impl {
     if (fseeko(f, off_t(append_off), SEEK_SET) != 0) return false;
 #endif
     const std::vector<uint8_t> frame = EncodeRecord(kind, name, amount);
-    if (std::fwrite(frame.data(), 1, frame.size(), f) != frame.size())
+    // A failed (possibly partial) write leaves append_off where it was:
+    // the NEXT append seeks back and overwrites the torn bytes, and a
+    // reopen drops them as a torn tail.  Either way the frame that
+    // failed here was never reported durable, so nothing was released
+    // against it.
+    if (!io::Write(f, frame.data(), frame.size(), "ledger.append") ||
+        !io::Flush(f, "ledger.flush")) {
+      ++st.io_errors;
       return false;
-    if (std::fflush(f) != 0) return false;
-#ifndef _WIN32
-    if (opts.fsync_each_charge && fsync(fileno(f)) != 0) return false;
-#endif
+    }
+    if (opts.fsync_each_charge && !io::Fsync(f, "ledger.fsync")) {
+      ++st.io_errors;
+      return false;
+    }
     append_off += frame.size();
     ++st.appends;
-    if (++appends_since_ckpt >= opts.checkpoint_every) WriteCheckpoint();
+    ++appends_since_ckpt;
     return true;
+  }
+
+  /// Checkpoint cadence.  Must run AFTER the caller applied the
+  /// just-appended record to `balances`: a checkpoint taken inside
+  /// Append would stamp `covered = append_off` (including the new
+  /// record's bytes) over a balance snapshot that does not yet hold its
+  /// mutation, and recovery would silently skip the record — an
+  /// under-count of spent budget, the one failure the ledger exists to
+  /// rule out (the crash matrix catches exactly this).
+  void MaybeCheckpoint() {
+    if (appends_since_ckpt >= opts.checkpoint_every) WriteCheckpoint();
   }
 
   /// Atomically rewrites the balance checkpoint (mu held).
@@ -313,9 +300,13 @@ struct BudgetLedger::Impl {
       w.F64(tb.spent);
     }
     w.U64(store::Checksum64(w.bytes()));
-    if (AtomicWriteFile(ckpt_path, w.bytes())) {
+    if (io::AtomicWriteFile(ckpt_path, w.bytes(), "ledger.ckpt")) {
       ++st.checkpoints;
       appends_since_ckpt = 0;
+    } else {
+      // The log already holds every record a checkpoint would cover;
+      // losing the rewrite only lengthens the next replay.
+      ++st.io_errors;
     }
   }
 };
@@ -347,7 +338,7 @@ std::unique_ptr<BudgetLedger> BudgetLedger::Open(const std::string& dir,
   if (!im.AcquireLock()) return nullptr;
 
   std::vector<uint8_t> data;
-  bool fresh = !ReadWholeFile(im.data_path, &data);
+  bool fresh = !io::ReadWholeFile(im.data_path, &data, "ledger.data");
   if (!fresh) {
     store::ByteReader r(data);
     uint32_t magic = 0, version = 0;
@@ -366,7 +357,8 @@ std::unique_ptr<BudgetLedger> BudgetLedger::Open(const std::string& dir,
     store::ByteWriter w;
     w.U32(kLedgerMagic);
     w.U32(store::kFormatVersion);
-    if (!AtomicWriteFile(im.data_path, w.bytes())) return nullptr;
+    if (!io::AtomicWriteFile(im.data_path, w.bytes(), "ledger.create"))
+      return nullptr;
     data = w.Take();
   } else {
     const uint64_t covered = im.LoadCheckpoint(uint64_t(data.size()));
@@ -374,7 +366,7 @@ std::unique_ptr<BudgetLedger> BudgetLedger::Open(const std::string& dir,
   }
   if (fresh) im.append_off = kHeaderBytes;
 
-  im.f = std::fopen(im.data_path.c_str(), "r+b");
+  im.f = io::Open(im.data_path, "r+b", "ledger.data.open");
   if (im.f == nullptr) return nullptr;
   im.open_ok = true;
   return ledger;
@@ -386,6 +378,7 @@ bool BudgetLedger::CreateTenant(const std::string& tenant, double total) {
   if (impl_->balances.count(tenant) != 0) return false;
   if (!impl_->Append(kCreate, tenant, total)) return false;
   impl_->balances.emplace(tenant, TenantBudget{total, 0.0});
+  impl_->MaybeCheckpoint();
   return true;
 }
 
@@ -396,6 +389,7 @@ bool BudgetLedger::SetTotal(const std::string& tenant, double total) {
   if (it == impl_->balances.end()) return false;
   if (!impl_->Append(kSetTotal, tenant, total)) return false;
   it->second.total = total;
+  impl_->MaybeCheckpoint();
   return true;
 }
 
@@ -407,22 +401,25 @@ bool BudgetLedger::CanCharge(const std::string& tenant, double eps) const {
          WithinBudget(it->second.spent, eps, it->second.total);
 }
 
-bool BudgetLedger::Charge(const std::string& tenant, double eps) {
-  if (!std::isfinite(eps) || eps <= 0.0) return false;
+ChargeResult BudgetLedger::Charge(const std::string& tenant, double eps) {
+  if (!std::isfinite(eps) || eps <= 0.0) return ChargeResult::kRefused;
   std::lock_guard<std::mutex> lock(impl_->mu);
   auto it = impl_->balances.find(tenant);
   if (it == impl_->balances.end() ||
       !WithinBudget(it->second.spent, eps, it->second.total)) {
     ++impl_->st.refusals;
-    return false;
+    return ChargeResult::kRefused;
   }
   // Durable BEFORE the balance moves: the caller releases the answer
-  // only after we return true, so a crash between append and release
-  // over-counts (safe), never under-counts.
-  if (!impl_->Append(kCharge, tenant, eps)) return false;
+  // only after we return kCharged, so a crash between append and
+  // release over-counts (safe), never under-counts.  An append failure
+  // is NOT a budget refusal — the caller must surface it as a
+  // durability error, not "budget exhausted".
+  if (!impl_->Append(kCharge, tenant, eps)) return ChargeResult::kIoError;
   it->second.spent += eps;
   ++impl_->st.charges;
-  return true;
+  impl_->MaybeCheckpoint();
+  return ChargeResult::kCharged;
 }
 
 bool BudgetLedger::Refund(const std::string& tenant, double eps) {
@@ -433,6 +430,7 @@ bool BudgetLedger::Refund(const std::string& tenant, double eps) {
   if (!impl_->Append(kRefund, tenant, eps)) return false;
   it->second.spent = std::max(0.0, it->second.spent - eps);
   ++impl_->st.refunds;
+  impl_->MaybeCheckpoint();
   return true;
 }
 

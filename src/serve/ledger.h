@@ -71,6 +71,18 @@ struct TenantBudget {
   double spent = 0.0;
 };
 
+/// Outcome of a Charge.  Budget refusals and durability failures are
+/// different animals: a refusal is a correct public decision (retry
+/// after a top-up), an I/O error means the ledger could not make the
+/// charge durable — the caller MUST fail the request closed (release
+/// nothing), because budget durability, unlike the artifact cache,
+/// cannot degrade.
+enum class ChargeResult : uint8_t {
+  kCharged = 0,  // durable on disk; the answer may be released
+  kRefused = 1,  // unknown tenant / bad eps / insufficient budget
+  kIoError = 2,  // append failed; nothing consumed, nothing released
+};
+
 class BudgetLedger {
  public:
   struct Stats {
@@ -82,6 +94,7 @@ class BudgetLedger {
     std::size_t checkpoints = 0;
     std::size_t replayed_records = 0;  // records recovered on open
     std::size_t torn_drops = 0;        // torn/corrupt tail records dropped
+    std::size_t io_errors = 0;         // failed appends/checkpoints
     bool recovered_from_checkpoint = false;
   };
 
@@ -110,10 +123,12 @@ class BudgetLedger {
   bool CanCharge(const std::string& tenant, double eps) const;
 
   /// Durably charges eps against the tenant: the record is appended and
-  /// flushed BEFORE this returns true.  False (nothing consumed, nothing
-  /// written) when the tenant is unknown, eps is not positive and
-  /// finite, the remaining budget is insufficient, or the append fails.
-  bool Charge(const std::string& tenant, double eps);
+  /// flushed BEFORE this returns kCharged, and only then may the caller
+  /// release the answer.  kRefused (nothing consumed) when the tenant
+  /// is unknown, eps is not positive and finite, or the remaining
+  /// budget is insufficient; kIoError (nothing consumed, nothing
+  /// durable) when the append itself fails.
+  ChargeResult Charge(const std::string& tenant, double eps);
 
   /// Durably returns eps to the tenant (execution failed after its
   /// charge; no answer was released).  Spent clamps at zero.

@@ -102,7 +102,7 @@ bool DecodeInvokeReply(const std::vector<uint8_t>& bytes,
       !GetString(&r, &reply->message, kMaxNameLen * 4) || !r.U8(&coalesced) ||
       !r.F64(&reply->eps_charged) ||
       !store::DeserializeVec(&r, &reply->estimate) || r.remaining() != 0 ||
-      code > uint8_t(ReplyCode::kShuttingDown))
+      code > uint8_t(ReplyCode::kDeadlineExceeded))
     return false;
   reply->code = ReplyCode(code);
   reply->coalesced = coalesced != 0;
@@ -123,6 +123,11 @@ std::vector<uint8_t> EncodeStatsReply(const StatsReply& stats) {
   w.U64(stats.rewrite_searches);
   w.U64(stats.beam_expansions);
   w.U64(stats.tree_hits);
+  w.U64(stats.refused_durability);
+  w.U64(stats.refused_deadline);
+  w.U64(stats.disk_degraded);
+  w.U64(stats.disk_io_errors);
+  w.U64(stats.disk_write_drops);
   w.U64(stats.tenants.size());
   for (const auto& t : stats.tenants) {
     PutString(t.name, &w);
@@ -141,6 +146,9 @@ bool DecodeStatsReply(const std::vector<uint8_t>& bytes, StatsReply* stats) {
       !r.U64(&stats->coalesced) || !r.U64(&stats->cache_disk_hits) ||
       !r.U64(&stats->cache_hits) || !r.U64(&stats->rewrite_searches) ||
       !r.U64(&stats->beam_expansions) || !r.U64(&stats->tree_hits) ||
+      !r.U64(&stats->refused_durability) || !r.U64(&stats->refused_deadline) ||
+      !r.U64(&stats->disk_degraded) || !r.U64(&stats->disk_io_errors) ||
+      !r.U64(&stats->disk_write_drops) ||
       !r.U64(&n) || r.remaining() / 24 < n)
     return false;
   stats->tenants.resize(std::size_t(n));

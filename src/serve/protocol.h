@@ -72,6 +72,15 @@ enum class ReplyCode : uint8_t {
   kQueueFull = 3,        // admission refusal: request queue at capacity
   kExecutionFailed = 4,  // plan returned an error (charge refunded)
   kShuttingDown = 5,
+  // The ledger could not durably record the charge (disk I/O error).
+  // The request fails CLOSED: nothing was released, and — because the
+  // charge log is append-only and charge-before-release — at worst the
+  // budget is over-counted, never under-counted.  Not retryable until
+  // the operator restores the ledger volume.
+  kDurabilityError = 6,
+  // The request sat in the queue past the server's per-request deadline
+  // and was refused before any charge.  Retryable.
+  kDeadlineExceeded = 7,
 };
 
 struct InvokeReply {
@@ -101,6 +110,12 @@ struct StatsReply {
   uint64_t rewrite_searches = 0;   // beam-search canonicalizations run
   uint64_t beam_expansions = 0;    // candidates generated across beams
   uint64_t tree_hits = 0;          // canonical trees served from cache
+  uint64_t refused_durability = 0; // ledger append failed; failed closed
+  uint64_t refused_deadline = 0;   // queued past the request deadline
+  uint64_t disk_degraded = 0;      // 1 when the disk cache tier went
+                                   // memory-only after a device error
+  uint64_t disk_io_errors = 0;     // I/O errors observed by the disk tier
+  uint64_t disk_write_drops = 0;   // write-behind queue overflow drops
   struct Tenant {
     std::string name;
     double total = 0.0;

@@ -109,6 +109,7 @@ ServerOptions ApplyServeEnv(ServerOptions opts) {
     opts.response_cache_entries = std::size_t(u);
   EnvF64("EKTELO_SERVE_MAX_EPS", &opts.max_eps);
   if (EnvU64("EKTELO_SERVE_FSYNC", &u)) opts.fsync_ledger = u != 0;
+  if (EnvU64("EKTELO_SERVE_DEADLINE_MS", &u)) opts.request_deadline_ms = int(u);
   return opts;
 }
 
@@ -158,7 +159,8 @@ struct Server::Impl {
 
   // ---- counters (co_mu) ----
   uint64_t received = 0, admitted = 0, refused_budget = 0, refused_queue = 0,
-           refused_bad = 0, executions = 0, coalesced = 0;
+           refused_bad = 0, executions = 0, coalesced = 0,
+           refused_durability = 0, refused_deadline = 0;
 
   // ---- threads / lifecycle ----
   struct Task {
@@ -167,6 +169,8 @@ struct Server::Impl {
     std::string key;
     bool cacheable = false;
     std::shared_ptr<Inflight> fly;
+    // Queue-entry time, for the per-request deadline check.
+    std::chrono::steady_clock::time_point enqueued;
   };
   std::unique_ptr<BoundedQueue<Task>> queue;
   std::vector<std::thread> workers;
@@ -273,10 +277,34 @@ struct Server::Impl {
   void ProcessTask(Task& t) {
     InvokeReply r;
     r.request_id = t.req.request_id;
+    // Stale work is refused before the charge: epsilon spent on an
+    // answer the client stopped waiting for is epsilon wasted.
+    if (opts.request_deadline_ms > 0 &&
+        std::chrono::steady_clock::now() - t.enqueued >
+            std::chrono::milliseconds(opts.request_deadline_ms)) {
+      r.code = ReplyCode::kDeadlineExceeded;
+      r.message = "request exceeded the server deadline in queue";
+      {
+        std::lock_guard<std::mutex> lock(co_mu);
+        ++refused_deadline;
+        inflight.erase(t.key);
+      }
+      t.fly->Publish(std::move(r));
+      return;
+    }
     // Authoritative admission: the durable charge happens HERE, before
     // any kernel exists, and the answer is only released (published)
     // after the charge record is on disk.
-    if (!ledger->Charge(t.req.tenant, t.req.eps)) {
+    const ChargeResult charge = ledger->Charge(t.req.tenant, t.req.eps);
+    if (charge == ChargeResult::kIoError) {
+      // Fail CLOSED: the ledger could not durably record the charge, so
+      // no answer may be released.  (Charge-before-release means a torn
+      // append can only ever over-count the spend, never under-count.)
+      r.code = ReplyCode::kDurabilityError;
+      r.message = "ledger write failed; request refused";
+      std::lock_guard<std::mutex> lock(co_mu);
+      ++refused_durability;
+    } else if (charge == ChargeResult::kRefused) {
       r.code = ReplyCode::kBudgetExhausted;
       r.message = "tenant budget exhausted";
       std::lock_guard<std::mutex> lock(co_mu);
@@ -374,6 +402,7 @@ struct Server::Impl {
       task.key = key;
       task.cacheable = can_coalesce;
       task.fly = fly;
+      task.enqueued = std::chrono::steady_clock::now();
       if (!queue->TryPush(std::move(task))) {
         InvokeReply refusal;
         refusal.request_id = req.request_id;
@@ -417,6 +446,8 @@ struct Server::Impl {
       s.refused_bad = refused_bad;
       s.executions = executions;
       s.coalesced = coalesced;
+      s.refused_durability = refused_durability;
+      s.refused_deadline = refused_deadline;
     }
     const OperatorCache::Stats cs = OperatorCache::Global().stats();
     s.cache_hits = cs.hits;
@@ -425,6 +456,9 @@ struct Server::Impl {
     s.rewrite_searches = ss.searches;
     s.beam_expansions = ss.expansions;
     s.tree_hits = cs.tree_hits + cs.tree_disk_hits;
+    s.disk_degraded = cs.disk_degraded ? 1 : 0;
+    s.disk_io_errors = cs.disk_io_errors;
+    s.disk_write_drops = cs.disk_write_drops;
     for (const std::string& name : tenant_order) {
       if (auto b = ledger->Balance(name))
         s.tenants.push_back({name, b->total, b->spent});
@@ -504,6 +538,10 @@ StatusOr<std::unique_ptr<Server>> Server::Start(
     return Status::InvalidArgument("a server needs at least one tenant");
   if (opts.socket_path.empty() || opts.ledger_dir.empty())
     return Status::InvalidArgument("socket_path and ledger_dir are required");
+
+  // A client that disconnects while a reply is in flight must surface as
+  // EPIPE through Status, never as a process-killing SIGPIPE.
+  net::IgnoreSigpipe();
 
   std::unique_ptr<Server> server(new Server);
   Impl& im = *server->impl_;

@@ -99,6 +99,12 @@ struct ServerOptions {
   bool fsync_ledger = false;
   /// Ledger checkpoint cadence (appends per checkpoint).
   std::size_t ledger_checkpoint_every = 64;
+  /// Per-request deadline: an admitted request that sits in the worker
+  /// queue longer than this is refused (kDeadlineExceeded) BEFORE its
+  /// budget charge, so a backlogged server sheds stale work instead of
+  /// spending epsilon on answers nobody is waiting for.
+  /// EKTELO_SERVE_DEADLINE_MS; 0 = no deadline.
+  int request_deadline_ms = 0;
   /// Test hook: sleep this long inside each worker execution, so tests
   /// can deterministically fill the bounded queue.  0 in production.
   int test_execution_delay_ms = 0;

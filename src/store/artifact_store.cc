@@ -16,6 +16,7 @@
 #include <unistd.h>
 #endif
 
+#include "store/io.h"
 #include "store/serialize.h"
 
 namespace ektelo::store {
@@ -88,28 +89,6 @@ struct IndexEntry {
   std::list<MapKey>::iterator lru_it;
 };
 
-/// Atomic file replace: write bytes to `path.tmp`, then rename over
-/// `path`.  Readers holding the old file keep a consistent view.
-bool AtomicWriteFile(const std::string& path,
-                     const std::vector<uint8_t>& bytes) {
-  const std::string tmp = path + ".tmp";
-  std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (!f) return false;
-  const bool wrote =
-      bytes.empty() || std::fwrite(bytes.data(), 1, bytes.size(), f) ==
-                           bytes.size();
-  const bool flushed = std::fflush(f) == 0;
-  std::fclose(f);
-  if (!wrote || !flushed) {
-    std::remove(tmp.c_str());
-    return false;
-  }
-  std::error_code ec;
-  fs::rename(tmp, path, ec);
-  if (ec) std::remove(tmp.c_str());
-  return !ec;
-}
-
 }  // namespace
 
 struct DiskArtifactStore::Impl {
@@ -136,6 +115,18 @@ struct DiskArtifactStore::Impl {
   std::size_t puts_since_flush = 0;
   Stats st;
   bool open_ok = false;
+  // Sticky memory-only degradation: a post-open I/O error on the data
+  // log flips it, after which Get/Put refuse fast, checkpoints and
+  // compaction stop, and the OperatorCache above simply computes as if
+  // no disk tier existed.  A cache may always be abandoned; what it may
+  // never do is take the process down or serve a wrong byte.
+  bool degraded = false;
+
+  /// Counts an I/O error and, when `sticky`, trips the degraded state.
+  void IoError(bool sticky) {
+    ++st.io_errors;
+    if (sticky) degraded = true;
+  }
 
   // ---- index maintenance (mu held) ----
 
@@ -291,16 +282,15 @@ struct DiskArtifactStore::Impl {
     if (!f) return false;
     out->resize(n);
     if (!SeekTo(f, off)) return false;
-    return n == 0 || std::fread(out->data(), 1, n, f) == n;
+    return io::Read(f, out->data(), n, "store.data.read");
   }
 
   bool WriteAt(uint64_t off, const std::vector<uint8_t>& bytes) {
     if (!f) return false;
     if (!SeekTo(f, off)) return false;
-    if (!bytes.empty() &&
-        std::fwrite(bytes.data(), 1, bytes.size(), f) != bytes.size())
+    if (!io::Write(f, bytes.data(), bytes.size(), "store.data.append"))
       return false;
-    return std::fflush(f) == 0;
+    return io::Flush(f, "store.data.flush");
   }
 
   uint64_t FileSize() {
@@ -316,9 +306,10 @@ struct DiskArtifactStore::Impl {
     w.U32(kDataMagic);
     w.U32(kFormatVersion);
     w.U64(gen);
-    if (!AtomicWriteFile(data_path, w.bytes())) return false;
+    if (!io::AtomicWriteFile(data_path, w.bytes(), "store.reset"))
+      return false;
     if (f) std::fclose(f);
-    f = std::fopen(data_path.c_str(), "r+b");
+    f = io::Open(data_path, "r+b", "store.data.open");
     generation = gen;
     append_off = kDataHeaderBytes;
     ClearIndex();
@@ -331,18 +322,10 @@ struct DiskArtifactStore::Impl {
   /// mismatched, or was written for a different generation / format /
   /// hash version — callers then fall back to a full log scan.
   uint64_t LoadIndexCheckpoint() {
-    std::FILE* fi = std::fopen(index_path.c_str(), "rb");
-    if (!fi) return 0;
-    std::fseek(fi, 0, SEEK_END);
-    const long sz = std::ftell(fi);
-    std::fseek(fi, 0, SEEK_SET);
     std::vector<uint8_t> bytes;
-    bytes.resize(sz > 0 ? std::size_t(sz) : 0);
-    const bool read_ok =
-        bytes.empty() ||
-        std::fread(bytes.data(), 1, bytes.size(), fi) == bytes.size();
-    std::fclose(fi);
-    if (!read_ok || bytes.size() < 8) return 0;
+    if (!io::ReadWholeFile(index_path, &bytes, "store.index") ||
+        bytes.size() < 8)
+      return 0;
     // Whole-file checksum in the trailing 8 bytes.
     ByteReader tail(bytes.data() + bytes.size() - 8, 8);
     uint64_t want;
@@ -468,7 +451,7 @@ struct DiskArtifactStore::Impl {
   }
 
   void FlushLocked() {
-    if (!writer) {
+    if (!writer || degraded) {
       puts_since_flush = 0;
       return;  // readers never rewrite the shared checkpoint
     }
@@ -493,12 +476,15 @@ struct DiskArtifactStore::Impl {
     ByteWriter tail;
     tail.U64(sum);
     bytes.insert(bytes.end(), tail.bytes().begin(), tail.bytes().end());
-    AtomicWriteFile(index_path, bytes);
+    // The checkpoint is advisory (the log is the source of truth): a
+    // failed rewrite costs a longer scan on the next open, not health.
+    if (!io::AtomicWriteFile(index_path, bytes, "store.ckpt"))
+      IoError(/*sticky=*/false);
     puts_since_flush = 0;
   }
 
   void CompactLocked() {
-    if (!f || !writer) return;
+    if (!f || !writer || degraded) return;
     // Stream the surviving records (in log order, preserving locality)
     // straight into a fresh tmp log — never staging more than one record
     // in memory — then rename it over the old one and rebuild offsets.
@@ -508,18 +494,22 @@ struct DiskArtifactStore::Impl {
       return a.second.offset < b.second.offset;
     });
     const std::string tmp = data_path + ".tmp";
-    std::FILE* out = std::fopen(tmp.c_str(), "wb");
-    if (!out) return;
+    std::FILE* out = io::Open(tmp, "wb", "store.compact.open");
+    if (!out) {
+      IoError(/*sticky=*/true);
+      return;
+    }
     const uint64_t new_gen = generation + 1;
     {
       ByteWriter header;
       header.U32(kDataMagic);
       header.U32(kFormatVersion);
       header.U64(new_gen);
-      if (std::fwrite(header.bytes().data(), 1, header.bytes().size(), out) !=
-          header.bytes().size()) {
+      if (!io::Write(out, header.bytes().data(), header.bytes().size(),
+                     "store.compact.write")) {
         std::fclose(out);
         std::remove(tmp.c_str());
+        IoError(/*sticky=*/true);
         return;
       }
     }
@@ -529,9 +519,10 @@ struct DiskArtifactStore::Impl {
     std::vector<uint8_t> rec;
     for (const auto& [k, e] : live) {
       if (!ReadAt(e.offset, std::size_t(e.length), &rec)) continue;
-      if (std::fwrite(rec.data(), 1, rec.size(), out) != rec.size()) {
+      if (!io::Write(out, rec.data(), rec.size(), "store.compact.write")) {
         std::fclose(out);
         std::remove(tmp.c_str());
+        IoError(/*sticky=*/true);
         return;
       }
       IndexEntry ne = e;
@@ -539,20 +530,20 @@ struct DiskArtifactStore::Impl {
       out_off += e.length;
       rebuilt.emplace_back(k, ne);
     }
-    if (std::fflush(out) != 0) {
+    if (!io::Flush(out, "store.compact.flush")) {
       std::fclose(out);
       std::remove(tmp.c_str());
+      IoError(/*sticky=*/true);
       return;
     }
     std::fclose(out);
-    std::error_code ec;
-    fs::rename(tmp, data_path, ec);
-    if (ec) {
+    if (!io::Rename(tmp, data_path, "store.compact.rename")) {
       std::remove(tmp.c_str());
+      IoError(/*sticky=*/true);
       return;
     }
     std::fclose(f);
-    f = std::fopen(data_path.c_str(), "r+b");
+    f = io::Open(data_path, "r+b", "store.data.open");
     generation = new_gen;
     append_off = out_off;
     ClearIndex();
@@ -566,6 +557,8 @@ struct DiskArtifactStore::Impl {
                 });  // ascending: most recent ends up at the LRU front
       for (auto& [k, e] : rebuilt)
         IndexInsert(k, e.offset, e.length, e.last_use);
+    } else {
+      IoError(/*sticky=*/true);
     }
     ++st.compactions;
     FlushLocked();
@@ -603,7 +596,7 @@ DiskArtifactStore::DiskArtifactStore(std::string dir,
   // Adopt an existing log when its header checks out; otherwise start a
   // fresh one (losing a cache is always safe).
   bool fresh = true;
-  if (std::FILE* probe = std::fopen(im.data_path.c_str(), "rb")) {
+  if (std::FILE* probe = io::Open(im.data_path, "rb", "store.data.open")) {
     uint8_t raw[kDataHeaderBytes];
     const bool got =
         std::fread(raw, 1, kDataHeaderBytes, probe) == kDataHeaderBytes;
@@ -631,14 +624,13 @@ DiskArtifactStore::DiskArtifactStore(std::string dir,
     if (im.open_ok) im.FlushLocked();
     return;
   }
-  im.f = std::fopen(im.data_path.c_str(),
-                    im.writer ? "r+b" : "rb");
+  im.f = io::Open(im.data_path, im.writer ? "r+b" : "rb", "store.data.open");
   if (!im.f && im.writer) {
     // Directory may be read-only for this process despite the lock:
     // release it and degrade to pure reader.
     std::remove(im.lock_path.c_str());
     im.writer = false;
-    im.f = std::fopen(im.data_path.c_str(), "rb");
+    im.f = io::Open(im.data_path, "rb", "store.data.open");
   }
   if (!im.f) return;
   const uint64_t covered = im.LoadIndexCheckpoint();
@@ -650,7 +642,7 @@ DiskArtifactStore::DiskArtifactStore(std::string dir,
 
 DiskArtifactStore::~DiskArtifactStore() {
   std::lock_guard<std::mutex> lock(impl_->mu);
-  if (impl_->f && impl_->writer) {
+  if (impl_->f && impl_->writer && !impl_->degraded) {
     // Closing is the latency-insensitive moment to reclaim dead bytes
     // (inline compaction during Put would stall a solver thread for a
     // full log rewrite under the store mutex).
@@ -668,19 +660,24 @@ bool DiskArtifactStore::Get(const ArtifactKey& key,
   Impl& im = *impl_;
   std::lock_guard<std::mutex> lock(im.mu);
   ++im.st.gets;
+  if (im.degraded) return false;
   im.SketchTouch({key.hash, key.kind});
   auto it = im.index.find({key.hash, key.kind});
   if (it == im.index.end()) return false;
   const IndexEntry e = it->second;
   std::vector<uint8_t> rec;
-  bool ok = im.ReadAt(e.offset, std::size_t(e.length), &rec);
-  RecordHeader h;
-  if (ok) {
-    ByteReader r(rec);
-    ok = ReadRecordHeader(&r, &h) && h.kind == key.kind &&
-         h.hash == key.hash && h.hash_version == im.opts.hash_version &&
-         kRecordHeaderBytes + h.payload_len == e.length;
+  if (!im.ReadAt(e.offset, std::size_t(e.length), &rec)) {
+    // A read that fails at the device (not verification) means the tier
+    // itself is sick: go memory-only rather than retrying a bad disk on
+    // every request.  The entry is left indexed — nothing proved it bad.
+    im.IoError(/*sticky=*/true);
+    return false;
   }
+  RecordHeader h;
+  ByteReader r(rec);
+  bool ok = ReadRecordHeader(&r, &h) && h.kind == key.kind &&
+            h.hash == key.hash && h.hash_version == im.opts.hash_version &&
+            kRecordHeaderBytes + h.payload_len == e.length;
   if (ok)
     ok = Checksum64(rec.data() + kRecordHeaderBytes,
                     std::size_t(h.payload_len)) == h.checksum;
@@ -704,7 +701,7 @@ bool DiskArtifactStore::Put(const ArtifactKey& key,
   // Read-only attach (another process holds the writer lock): refuse
   // before the already-live early-out, so a reader's Put never reports
   // success or counts as a disk write.
-  if (!im.writer || !im.f) return false;
+  if (!im.writer || !im.f || im.degraded) return false;
   im.SketchTouch({key.hash, key.kind});
   auto it = im.index.find({key.hash, key.kind});
   if (it != im.index.end()) {
@@ -738,10 +735,11 @@ bool DiskArtifactStore::Put(const ArtifactKey& key,
   WriteRecordHeader(h, &w);
   w.Raw(payload.data(), payload.size());
   if (!im.WriteAt(im.append_off, w.bytes())) {
-    // Failed append (disk full / read-only): restore the log to its
-    // pre-call length so a partial record never becomes a parsed one.
-    std::error_code ec;
-    fs::resize_file(im.data_path, im.append_off, ec);
+    // Failed append (disk full / I/O error): restore the log to its
+    // pre-call length so a partial record never becomes a parsed one,
+    // and go memory-only — later Puts would hit the same device.
+    (void)io::Resize(im.data_path, im.append_off, "store.data.truncate");
+    im.IoError(/*sticky=*/true);
     return false;
   }
   im.IndexInsert({key.hash, key.kind}, im.append_off, len, ++im.clock);
@@ -789,6 +787,7 @@ DiskArtifactStore::Stats DiskArtifactStore::stats() const {
   s.live_bytes = im.live_bytes;
   s.data_bytes = std::size_t(im.append_off);
   s.read_only = !im.writer;
+  s.degraded = im.degraded;
   return s;
 }
 

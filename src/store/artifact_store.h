@@ -111,9 +111,16 @@ class DiskArtifactStore {
     std::size_t admission_rejects = 0;  // Puts refused by the doorkeeper
     std::size_t compactions = 0;
     std::size_t corrupt_drops = 0;  // records rejected by verification
+    std::size_t io_errors = 0;      // device-level failures (post-open)
     /// True when another process holds the directory's writer lock: this
     /// store serves Gets off the log but Put/Flush/Compact are no-ops.
     bool read_only = false;
+    /// Sticky memory-only degradation: a post-open I/O error on the data
+    /// log (failed read, failed append, failed compaction) flips this;
+    /// from then on Get/Put refuse immediately and no checkpoint or
+    /// compaction touches the device again.  The tier above falls back
+    /// to recomputation — correctness is never at stake, only warmth.
+    bool degraded = false;
   };
 
   /// Opens (creating if needed) the store in `dir`.  Returns nullptr when

@@ -1,5 +1,6 @@
 #include "store/write_behind.h"
 
+#include <cstdio>
 #include <utility>
 
 namespace ektelo::store {
@@ -21,6 +22,15 @@ bool WriteBehindQueue::Enqueue(std::function<void()> job) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_ || jobs_.size() >= capacity_) {
+      // Rate-limited to the FIRST drop: one line tells the operator the
+      // queue is undersized (or shutdown raced a spill) without letting
+      // a sustained overflow flood stderr.  The running total is in
+      // stats().dropped and the serve Stats protocol.
+      if (st_.dropped == 0)
+        std::fprintf(stderr,
+                     "ektelo: write-behind queue %s; dropping disk spill "
+                     "(further drops counted silently)\n",
+                     stopping_ ? "shutting down" : "full");
       ++st_.dropped;
       return false;
     }

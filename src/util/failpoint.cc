@@ -1,0 +1,237 @@
+#include "util/failpoint.h"
+
+#if EKTELO_FAILPOINTS_ENABLED
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace ektelo::failpoint {
+
+namespace {
+
+enum class Trigger : uint8_t {
+  kEvery,    // every hit
+  kNth,      // the Nth hit only
+  kEveryNth  // every Nth hit
+};
+
+struct Rule {
+  bool crash = false;
+  Action action;
+  Trigger trigger = Trigger::kEvery;
+  uint64_t n = 0;
+};
+
+bool ParseErrCode(const std::string& name, int* err) {
+  if (name == "eio") *err = EIO;
+  else if (name == "enospc") *err = ENOSPC;
+  else if (name == "eintr") *err = EINTR;
+  else if (name == "epipe") *err = EPIPE;
+  else if (name == "eagain") *err = EAGAIN;
+  else return false;
+  return true;
+}
+
+/// "crash@3", "error.enospc", "short%2", "off" -> Rule.  False + untouched
+/// output on malformed input.  `*disarm` reports the "off" action.
+bool ParseSpec(const std::string& spec, Rule* out, bool* disarm) {
+  *disarm = false;
+  std::string body = spec;
+  Rule rule;
+  if (const std::size_t at = body.find_first_of("@%"); at != std::string::npos) {
+    rule.trigger = body[at] == '@' ? Trigger::kNth : Trigger::kEveryNth;
+    char* end = nullptr;
+    const unsigned long long n = std::strtoull(body.c_str() + at + 1, &end, 10);
+    if (end == body.c_str() + at + 1 || *end != '\0' || n == 0) return false;
+    rule.n = n;
+    body.resize(at);
+  }
+  std::string code = "eio";
+  if (const std::size_t dot = body.find('.'); dot != std::string::npos) {
+    code = body.substr(dot + 1);
+    body.resize(dot);
+  }
+  if (body == "off") {
+    *disarm = true;
+    return true;
+  }
+  if (body == "crash") {
+    rule.crash = true;
+  } else if (body == "error") {
+    rule.action.kind = ActionKind::kError;
+    if (!ParseErrCode(code, &rule.action.err)) return false;
+  } else if (body == "short") {
+    rule.action.kind = ActionKind::kShortWrite;
+    if (!ParseErrCode(code, &rule.action.err)) return false;
+  } else {
+    return false;
+  }
+  *out = rule;
+  return true;
+}
+
+}  // namespace
+
+struct Registry::Impl {
+  // Fast path: a relaxed load decides whether Hit does any work at all,
+  // so the disarmed production daemon pays one atomic read per I/O call.
+  std::atomic<bool> active{false};
+
+  mutable std::mutex mu;
+  std::unordered_map<std::string, Rule> rules;
+  std::unordered_map<std::string, uint64_t> site_hits;
+  std::vector<std::string> site_order;  // first-hit order
+  uint64_t global_hits = 0;
+  bool tracing = false;
+  std::vector<std::string> trace;
+
+  void RecomputeActive() {
+    active.store(!rules.empty() || tracing, std::memory_order_release);
+  }
+};
+
+Registry::Registry() : impl_(new Impl) {
+  if (const char* env = std::getenv("EKTELO_FAILPOINTS"))
+    if (*env != '\0') ArmList(env);
+}
+
+Registry& Registry::Global() {
+  static Registry* g = new Registry;  // leaked: usable during exit paths
+  return *g;
+}
+
+bool Registry::Arm(const std::string& site, const std::string& spec) {
+  Rule rule;
+  bool disarm = false;
+  if (site.empty() || !ParseSpec(spec, &rule, &disarm)) {
+    std::fprintf(stderr, "ektelo: bad failpoint spec \"%s=%s\"\n",
+                 site.c_str(), spec.c_str());
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  if (disarm)
+    impl_->rules.erase(site);
+  else
+    impl_->rules[site] = rule;
+  impl_->RecomputeActive();
+  return true;
+}
+
+bool Registry::ArmList(const std::string& list) {
+  bool all_ok = true;
+  std::size_t start = 0;
+  while (start < list.size()) {
+    std::size_t comma = list.find(',', start);
+    if (comma == std::string::npos) comma = list.size();
+    const std::string item = list.substr(start, comma - start);
+    start = comma + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      std::fprintf(stderr, "ektelo: bad failpoint entry \"%s\"\n",
+                   item.c_str());
+      all_ok = false;
+      continue;
+    }
+    all_ok &= Arm(item.substr(0, eq), item.substr(eq + 1));
+  }
+  return all_ok;
+}
+
+void Registry::Disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->rules.erase(site);
+  impl_->RecomputeActive();
+}
+
+void Registry::DisarmAll() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->rules.clear();
+  impl_->RecomputeActive();
+}
+
+void Registry::Reset() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->rules.clear();
+  impl_->site_hits.clear();
+  impl_->site_order.clear();
+  impl_->global_hits = 0;
+  impl_->tracing = false;
+  impl_->trace.clear();
+  impl_->RecomputeActive();
+}
+
+void Registry::StartTrace() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->tracing = true;
+  impl_->trace.clear();
+  impl_->RecomputeActive();
+}
+
+std::vector<std::string> Registry::StopTrace() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->tracing = false;
+  impl_->RecomputeActive();
+  return std::move(impl_->trace);
+}
+
+std::vector<std::string> Registry::Sites() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->site_order;
+}
+
+uint64_t Registry::GlobalHits() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->global_hits;
+}
+
+Action Registry::Hit(const char* site) {
+  if (!impl_->active.load(std::memory_order_acquire)) return {};
+  bool crash = false;
+  Action out;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    ++impl_->global_hits;
+    uint64_t& count = impl_->site_hits[site];
+    if (++count == 1) impl_->site_order.emplace_back(site);
+    if (impl_->tracing) impl_->trace.emplace_back(site);
+
+    const Rule* rule = nullptr;
+    uint64_t hit = 0;
+    if (auto it = impl_->rules.find(site); it != impl_->rules.end()) {
+      rule = &it->second;
+      hit = count;
+    } else if (auto w = impl_->rules.find("*"); w != impl_->rules.end()) {
+      // The wildcard schedules against the GLOBAL hit counter: "@k"
+      // means "the k-th I/O operation of the process", which is what a
+      // crash matrix iterates over.
+      rule = &w->second;
+      hit = impl_->global_hits;
+    }
+    if (rule != nullptr) {
+      const bool fire = rule->trigger == Trigger::kEvery ||
+                        (rule->trigger == Trigger::kNth && hit == rule->n) ||
+                        (rule->trigger == Trigger::kEveryNth &&
+                         hit % rule->n == 0);
+      if (fire) {
+        crash = rule->crash;
+        out = rule->action;
+      }
+    }
+  }
+  // _Exit outside the lock: no destructors, no flushing — the process
+  // dies with whatever the kernel already has, which is exactly the
+  // durability model a real kill tests.
+  if (crash) std::_Exit(kCrashExitCode);
+  return out;
+}
+
+}  // namespace ektelo::failpoint
+
+#endif  // EKTELO_FAILPOINTS_ENABLED

@@ -7,8 +7,11 @@
 #include <cstring>
 #include <utility>
 
+#include <fcntl.h>
 #include <poll.h>
+#include <signal.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -101,22 +104,81 @@ StatusOr<int> UnixListener::Accept(int timeout_ms) {
   return cfd;
 }
 
-StatusOr<int> ConnectUnix(const std::string& path) {
+StatusOr<int> ConnectUnix(const std::string& path, int timeout_ms) {
   sockaddr_un addr;
   if (!FillAddr(path, &addr))
     return Status::InvalidArgument("socket path empty or too long: " + path);
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd < 0) return Errno("socket");
+
+  int saved_flags = 0;
+  if (timeout_ms > 0) {
+    saved_flags = ::fcntl(fd, F_GETFL, 0);
+    if (saved_flags < 0 || ::fcntl(fd, F_SETFL, saved_flags | O_NONBLOCK) < 0) {
+      Status s = Errno("fcntl");
+      ::close(fd);
+      return s;
+    }
+  }
   int rc;
   do {
     rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
   } while (rc != 0 && errno == EINTR);
+  if (rc != 0 && timeout_ms > 0 && errno == EINPROGRESS) {
+    // Bounded wait for the three-way completion, then read the verdict.
+    pollfd p{fd, POLLOUT, 0};
+    do {
+      rc = ::poll(&p, 1, timeout_ms);
+    } while (rc < 0 && errno == EINTR);
+    if (rc == 0) {
+      ::close(fd);
+      return Status::DeadlineExceeded("connect timeout: " + path);
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (rc < 0 ||
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      if (err != 0) errno = err;
+      Status s = Errno("connect");
+      ::close(fd);
+      return s;
+    }
+    rc = 0;
+  }
   if (rc != 0) {
     Status s = Errno("connect");
     ::close(fd);
     return s;
   }
+  if (timeout_ms > 0 && ::fcntl(fd, F_SETFL, saved_flags) < 0) {
+    Status s = Errno("fcntl");
+    ::close(fd);
+    return s;
+  }
   return fd;
+}
+
+namespace {
+
+Status SetSockTimeout(int fd, int optname, int timeout_ms) {
+  timeval tv{};
+  if (timeout_ms > 0) {
+    tv.tv_sec = timeout_ms / 1000;
+    tv.tv_usec = (timeout_ms % 1000) * 1000;
+  }
+  if (::setsockopt(fd, SOL_SOCKET, optname, &tv, sizeof(tv)) != 0)
+    return Errno("setsockopt");
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status SetRecvTimeout(int fd, int timeout_ms) {
+  return SetSockTimeout(fd, SO_RCVTIMEO, timeout_ms);
+}
+
+Status SetSendTimeout(int fd, int timeout_ms) {
+  return SetSockTimeout(fd, SO_SNDTIMEO, timeout_ms);
 }
 
 Status SendAll(int fd, const uint8_t* data, std::size_t n) {
@@ -127,6 +189,8 @@ Status SendAll(int fd, const uint8_t* data, std::size_t n) {
     const ssize_t rc = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
     if (rc < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        return Status::DeadlineExceeded("send timeout");
       return Errno("send");
     }
     sent += std::size_t(rc);
@@ -140,6 +204,8 @@ Status RecvAll(int fd, uint8_t* data, std::size_t n) {
     const ssize_t rc = ::recv(fd, data + got, n - got, 0);
     if (rc < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        return Status::DeadlineExceeded("read timeout");
       return Errno("recv");
     }
     if (rc == 0) {
@@ -156,6 +222,8 @@ Status RecvAll(int fd, uint8_t* data, std::size_t n) {
 void CloseFd(int fd) {
   if (fd >= 0) ::close(fd);
 }
+
+void IgnoreSigpipe() { ::signal(SIGPIPE, SIG_IGN); }
 
 }  // namespace ektelo::net
 
@@ -185,10 +253,13 @@ UnixListener& UnixListener::operator=(UnixListener&& o) noexcept {
 UnixListener::~UnixListener() = default;
 void UnixListener::Close() {}
 StatusOr<int> UnixListener::Accept(int) { return Unsupported(); }
-StatusOr<int> ConnectUnix(const std::string&) { return Unsupported(); }
+StatusOr<int> ConnectUnix(const std::string&, int) { return Unsupported(); }
+Status SetRecvTimeout(int, int) { return Unsupported(); }
+Status SetSendTimeout(int, int) { return Unsupported(); }
 Status SendAll(int, const uint8_t*, std::size_t) { return Unsupported(); }
 Status RecvAll(int, uint8_t*, std::size_t) { return Unsupported(); }
 void CloseFd(int) {}
+void IgnoreSigpipe() {}
 
 }  // namespace ektelo::net
 

@@ -57,17 +57,33 @@ class UnixListener {
 };
 
 /// Connects to a listening unix socket; the caller owns the returned fd.
-StatusOr<int> ConnectUnix(const std::string& path);
+/// With timeout_ms > 0 the connect itself is bounded (non-blocking
+/// connect + poll) and kDeadlineExceeded reports expiry; 0 blocks.
+StatusOr<int> ConnectUnix(const std::string& path, int timeout_ms = 0);
+
+/// Bounds every subsequent Recv/Send on `fd` (SO_RCVTIMEO/SO_SNDTIMEO);
+/// an expired I/O surfaces as kDeadlineExceeded from RecvAll/SendAll.
+/// 0 restores fully blocking I/O.
+Status SetRecvTimeout(int fd, int timeout_ms);
+Status SetSendTimeout(int fd, int timeout_ms);
 
 /// Writes all n bytes (EINTR-safe, SIGPIPE suppressed).
+/// kDeadlineExceeded when a send timeout armed on the fd expires.
 Status SendAll(int fd, const uint8_t* data, std::size_t n);
 
 /// Reads exactly n bytes.  kUnavailable on clean EOF at a frame boundary
-/// (n bytes requested, zero read), kInternal on mid-buffer EOF or error.
+/// (n bytes requested, zero read), kInternal on mid-buffer EOF or error,
+/// kDeadlineExceeded when a receive timeout armed on the fd expires.
 Status RecvAll(int fd, uint8_t* data, std::size_t n);
 
 /// Close an fd obtained from Accept/ConnectUnix (EINTR-safe).
 void CloseFd(int fd);
+
+/// Process-wide SIGPIPE opt-out (idempotent).  Both the daemon and the
+/// client call it at startup: a peer that hangs up mid-write must yield
+/// EPIPE through a Status, never kill the process.  MSG_NOSIGNAL
+/// already covers send(); this also covers any stray write() path.
+void IgnoreSigpipe();
 
 }  // namespace ektelo::net
 

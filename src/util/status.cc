@@ -23,6 +23,8 @@ const char* CodeName(StatusCode code) {
       return "INTERNAL";
     case StatusCode::kUnavailable:
       return "UNAVAILABLE";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }

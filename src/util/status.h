@@ -32,6 +32,11 @@ enum class StatusCode {
   // server shutting down).  Retryable: unlike kBudgetExhausted nothing
   // was consumed, the caller may simply try again later.
   kUnavailable,
+  // A per-attempt or per-request deadline elapsed before the operation
+  // completed (client read/connect timeout, server-side request
+  // deadline).  The operation MAY still have happened on the other
+  // side; only idempotent work should be retried.
+  kDeadlineExceeded,
 };
 
 /// Result of a fallible kernel operation: a code plus a human-readable
@@ -66,6 +71,9 @@ class Status {
   }
   static Status Unavailable(std::string m) {
     return Status(StatusCode::kUnavailable, std::move(m));
+  }
+  static Status DeadlineExceeded(std::string m) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

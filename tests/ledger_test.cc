@@ -54,17 +54,17 @@ TEST(BudgetLedger, ChargeRefundAndSlackSemantics) {
   EXPECT_FALSE(ledger->CreateTenant("", 1.0));
 
   // Unknown tenant, non-positive, and non-finite epsilons all refuse.
-  EXPECT_FALSE(ledger->Charge("ghost", 0.1));
-  EXPECT_FALSE(ledger->Charge("a", 0.0));
-  EXPECT_FALSE(ledger->Charge("a", -0.5));
+  EXPECT_EQ(ledger->Charge("ghost", 0.1), ChargeResult::kRefused);
+  EXPECT_EQ(ledger->Charge("a", 0.0), ChargeResult::kRefused);
+  EXPECT_EQ(ledger->Charge("a", -0.5), ChargeResult::kRefused);
 
-  EXPECT_TRUE(ledger->Charge("a", 0.25));
-  EXPECT_TRUE(ledger->Charge("a", 0.25));
+  EXPECT_EQ(ledger->Charge("a", 0.25), ChargeResult::kCharged);
+  EXPECT_EQ(ledger->Charge("a", 0.25), ChargeResult::kCharged);
   // Exact exhaustion is admitted (BudgetScope slack), one ulp more is not.
   EXPECT_TRUE(ledger->CanCharge("a", 0.5));
-  EXPECT_TRUE(ledger->Charge("a", 0.5));
+  EXPECT_EQ(ledger->Charge("a", 0.5), ChargeResult::kCharged);
   EXPECT_FALSE(ledger->CanCharge("a", 1e-6));
-  EXPECT_FALSE(ledger->Charge("a", 1e-6));
+  EXPECT_EQ(ledger->Charge("a", 1e-6), ChargeResult::kRefused);
   // The unknown-tenant charge above and the exhausted one both count.
   EXPECT_EQ(ledger->stats().refusals, 2u);
 
@@ -89,7 +89,7 @@ TEST(BudgetLedger, ReopenPreservesBalancesExactly) {
     ASSERT_NE(ledger, nullptr);
     ASSERT_TRUE(ledger->CreateTenant("a", 1.0));
     for (double eps : charges) {
-      ASSERT_TRUE(ledger->Charge("a", eps));
+      ASSERT_EQ(ledger->Charge("a", eps), ChargeResult::kCharged);
       expect_spent += eps;
     }
   }
@@ -112,7 +112,7 @@ TEST(BudgetLedger, TornTailIsDroppedNotTrusted) {
     auto ledger = BudgetLedger::Open(dir, {});
     ASSERT_NE(ledger, nullptr);
     ASSERT_TRUE(ledger->CreateTenant("a", 1.0));
-    ASSERT_TRUE(ledger->Charge("a", 0.25));
+    ASSERT_EQ(ledger->Charge("a", 0.25), ChargeResult::kCharged);
   }
   // Simulate a crash mid-append: garbage after the last intact record,
   // and no checkpoint (the crash happened before one was written).
@@ -130,7 +130,7 @@ TEST(BudgetLedger, TornTailIsDroppedNotTrusted) {
 
   // The next append lands where the torn tail began; a further clean
   // reopen sees a fully intact log again.
-  ASSERT_TRUE(ledger->Charge("a", 0.5));
+  ASSERT_EQ(ledger->Charge("a", 0.5), ChargeResult::kCharged);
   ledger.reset();
   fs::remove(dir + "/ledger.ckpt");
   ledger = BudgetLedger::Open(dir, {});
@@ -146,7 +146,7 @@ TEST(BudgetLedger, CorruptCheckpointFallsBackToFullReplay) {
     auto ledger = BudgetLedger::Open(dir, {});
     ASSERT_NE(ledger, nullptr);
     ASSERT_TRUE(ledger->CreateTenant("a", 1.0));
-    ASSERT_TRUE(ledger->Charge("a", 0.125));
+    ASSERT_EQ(ledger->Charge("a", 0.125), ChargeResult::kCharged);
     ledger->Checkpoint();
   }
   FlipByte(dir + "/ledger.ckpt", 20);
@@ -164,7 +164,7 @@ TEST(BudgetLedger, StaleCheckpointReplaysOnlyTheTail) {
     auto ledger = BudgetLedger::Open(dir, {});
     ASSERT_NE(ledger, nullptr);
     ASSERT_TRUE(ledger->CreateTenant("a", 1.0));
-    ASSERT_TRUE(ledger->Charge("a", 0.125));
+    ASSERT_EQ(ledger->Charge("a", 0.125), ChargeResult::kCharged);
     ledger->Checkpoint();
   }
   // Preserve that checkpoint, append more charges, then put the stale
@@ -173,8 +173,8 @@ TEST(BudgetLedger, StaleCheckpointReplaysOnlyTheTail) {
   {
     auto ledger = BudgetLedger::Open(dir, {});
     ASSERT_NE(ledger, nullptr);
-    ASSERT_TRUE(ledger->Charge("a", 0.25));
-    ASSERT_TRUE(ledger->Charge("a", 0.0625));
+    ASSERT_EQ(ledger->Charge("a", 0.25), ChargeResult::kCharged);
+    ASSERT_EQ(ledger->Charge("a", 0.0625), ChargeResult::kCharged);
   }
   fs::rename(dir + "/ledger.ckpt.old", dir + "/ledger.ckpt");
 
@@ -184,6 +184,41 @@ TEST(BudgetLedger, StaleCheckpointReplaysOnlyTheTail) {
   EXPECT_TRUE(st.recovered_from_checkpoint);
   EXPECT_EQ(st.replayed_records, 2u);  // just the two post-checkpoint charges
   EXPECT_DOUBLE_EQ(ledger->Balance("a")->spent, 0.125 + 0.25 + 0.0625);
+  fs::remove_all(dir);
+}
+
+TEST(BudgetLedger, DoubleFaultTornLogAndTornCheckpointStillRecovers) {
+  const std::string dir = FreshDir("double_fault");
+  {
+    auto ledger = BudgetLedger::Open(dir, {});
+    ASSERT_NE(ledger, nullptr);
+    ASSERT_TRUE(ledger->CreateTenant("a", 1.0));
+    ASSERT_EQ(ledger->Charge("a", 0.25), ChargeResult::kCharged);
+    ledger->Checkpoint();
+    ASSERT_EQ(ledger->Charge("a", 0.125), ChargeResult::kCharged);
+  }
+  // Worst-case crash: the checkpoint is corrupt AND the charge log has a
+  // torn trailing append.  Recovery must not lean on either — full
+  // replay of the intact prefix, torn tail dropped.
+  FlipByte(dir + "/ledger.ckpt", 16);
+  AppendBytes(dir + "/ledger.data", {0x45, 0x4B, 0x4C, 0x52, 0x01, 0x02});
+
+  auto ledger = BudgetLedger::Open(dir, {});
+  ASSERT_NE(ledger, nullptr);
+  const auto st = ledger->stats();
+  EXPECT_FALSE(st.recovered_from_checkpoint);
+  EXPECT_EQ(st.replayed_records, 3u);  // create + both intact charges
+  EXPECT_EQ(st.torn_drops, 1u);
+  ASSERT_TRUE(ledger->Balance("a").has_value());
+  // Both durable charges survive: a released answer is never forgotten.
+  EXPECT_DOUBLE_EQ(ledger->Balance("a")->spent, 0.375);
+
+  // The ledger stays fully writable after double-fault recovery.
+  ASSERT_EQ(ledger->Charge("a", 0.5), ChargeResult::kCharged);
+  ledger.reset();
+  auto reopened = BudgetLedger::Open(dir, {});
+  ASSERT_NE(reopened, nullptr);
+  EXPECT_DOUBLE_EQ(reopened->Balance("a")->spent, 0.875);
   fs::remove_all(dir);
 }
 

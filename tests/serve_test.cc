@@ -4,6 +4,8 @@
 // coalescing hitting one execution, bitwise response determinism across
 // EKTELO_THREADS settings, malformed-frame rejection, and queue-full
 // backpressure.
+#include <atomic>
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <string>
@@ -14,6 +16,7 @@
 #include "data/generators.h"
 #include "serve/client.h"
 #include "serve/server.h"
+#include "util/failpoint.h"
 #include "util/net.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -360,6 +363,121 @@ TEST(Server, BoundedQueueRefusesOverloadWithQueueFull) {
   EXPECT_EQ(stats.refused_queue, std::uint64_t(queue_full.load()));
   (*server)->Stop();
   Cleanup(opts);
+}
+
+#if EKTELO_FAILPOINTS_ENABLED
+TEST(Server, LedgerIoErrorFailsRequestClosedWithDurabilityError) {
+  failpoint::Registry::Global().Reset();
+  ServerOptions opts = BaseOptions("durability");
+  auto server = Server::Start(opts, {MakeTenant("alpha", 41, 1.0)});
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  auto client = Client::Connect(opts.socket_path);
+  ASSERT_TRUE(client.ok());
+
+  // The ledger volume goes bad: the charge append fails, so the server
+  // must refuse (nothing released) rather than hand out an uncharged
+  // answer.  The advisory CanCharge pre-check does no I/O, so the
+  // request reaches the authoritative worker-side Charge.
+  ASSERT_TRUE(
+      failpoint::Registry::Global().Arm("ledger.append", "error.eio"));
+  auto reply = client->Invoke(IdentityRequest("alpha", 0.1));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->code, ReplyCode::kDurabilityError);
+  EXPECT_TRUE(reply->estimate.empty());
+  EXPECT_DOUBLE_EQ(reply->eps_charged, 0.0);
+
+  // The failure is per-request, not a poisoned server: heal the disk
+  // and the same request succeeds, with the refusal counted.
+  failpoint::Registry::Global().Reset();
+  reply = client->Invoke(IdentityRequest("alpha", 0.1));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->code, ReplyCode::kOk);
+  const StatsReply stats = (*server)->Stats();
+  EXPECT_EQ(stats.refused_durability, 1u);
+  EXPECT_DOUBLE_EQ((*server)->ledger().Balance("alpha")->spent, 0.1);
+  (*server)->Stop();
+  Cleanup(opts);
+}
+#endif  // EKTELO_FAILPOINTS_ENABLED
+
+TEST(Server, StaleQueuedRequestsRefusedAtTheDeadlineBeforeCharging) {
+  ServerOptions opts = BaseOptions("deadline");
+  opts.workers = 1;
+  opts.queue_capacity = 4;
+  opts.coalesce = false;
+  opts.test_execution_delay_ms = 200;  // first request holds the worker
+  opts.request_deadline_ms = 50;       // queued ones go stale behind it
+  auto server = Server::Start(opts, {MakeTenant("alpha", 41, 8.0)});
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  constexpr int kClients = 3;
+  std::vector<std::thread> threads;
+  std::atomic<int> ok{0}, deadline{0};
+  for (int i = 0; i < kClients; ++i)
+    threads.emplace_back([&, i] {
+      auto client = Client::Connect(opts.socket_path);
+      ASSERT_TRUE(client.ok());
+      auto reply = client->Invoke(IdentityRequest("alpha", 0.1 + 0.01 * i));
+      ASSERT_TRUE(reply.ok());
+      if (reply->code == ReplyCode::kOk) ++ok;
+      if (reply->code == ReplyCode::kDeadlineExceeded) ++deadline;
+    });
+  for (auto& th : threads) th.join();
+
+  // Whoever grabbed the worker first finishes; everyone stuck in queue
+  // for 200ms blew the 50ms deadline and was refused pre-charge.
+  EXPECT_GT(ok.load(), 0);
+  EXPECT_GT(deadline.load(), 0);
+  EXPECT_EQ(ok.load() + deadline.load(), kClients);
+  const StatsReply stats = (*server)->Stats();
+  EXPECT_EQ(stats.refused_deadline, std::uint64_t(deadline.load()));
+  // A deadline refusal charges nothing.
+  const double spent = (*server)->ledger().Balance("alpha")->spent;
+  EXPECT_LT(spent, 0.1 + 0.01 * kClients);
+  (*server)->Stop();
+  Cleanup(opts);
+}
+
+TEST(Client, ReadTimeoutSurfacesDeadlineExceededAfterRetries) {
+  // A listener that accepts but never replies: every attempt must end
+  // in kDeadlineExceeded, and the retry loop must give up cleanly.
+  const std::string path = FreshSock("timeout");
+  auto listener = net::UnixListener::Bind(path);
+  ASSERT_TRUE(listener.ok());
+
+  ClientOptions copts;
+  copts.connect_timeout_ms = 1000;
+  copts.read_timeout_ms = 50;
+  copts.max_retries = 2;
+  copts.backoff_base_ms = 1;
+  copts.backoff_cap_ms = 4;
+  auto client = Client::Connect(path, copts);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  InvokeRequest req = IdentityRequest("alpha", 0.1);
+  ASSERT_TRUE(req.coalesce);  // retryable-by-coalescing
+  auto reply = client->Invoke(req);
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kDeadlineExceeded);
+
+  // Stats is read-only and retries too, with the same terminal status.
+  auto stats = client->Stats();
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kDeadlineExceeded);
+  fs::remove(path);
+}
+
+TEST(Client, ConnectTimeoutToBacklogOnlySocketIsBounded) {
+  // Nobody is listening at all: connect must fail fast with a status,
+  // not hang (ECONNREFUSED on a fresh path; the timeout bounds the rest).
+  ClientOptions copts;
+  copts.connect_timeout_ms = 100;
+  copts.max_retries = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  auto client = Client::Connect("/tmp/ek_serve_nobody_home.sock", copts);
+  EXPECT_FALSE(client.ok());
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
 }
 
 }  // namespace

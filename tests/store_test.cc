@@ -20,6 +20,7 @@
 #include "matrix/rewrite.h"
 #include "store/artifact_store.h"
 #include "store/serialize.h"
+#include "util/failpoint.h"
 #include "util/rng.h"
 
 namespace ektelo {
@@ -530,6 +531,47 @@ TEST(DiskArtifactStoreTest, CompactionDropsDeadBytesAndKeepsLiveRecords) {
   EXPECT_EQ(got, blob);
   fs::remove_all(dir);
 }
+
+#if EKTELO_FAILPOINTS_ENABLED
+TEST(DiskArtifactStoreTest, ReopensCleanlyAfterEnospcMidCompaction) {
+  const std::string dir = FreshDir("enospc_compact");
+  DiskStoreOptions opts;
+  opts.hash_version = 1;
+  opts.max_bytes = 2048;
+  const std::vector<uint8_t> blob(300, 0x42);
+  {
+    auto s = DiskArtifactStore::Open(dir, opts);
+    ASSERT_TRUE(s);
+    // Same shape as the compaction test: enough churn that dead bytes
+    // dominate and Compact has real work to do.
+    for (uint64_t h = 0; h < 20; ++h) ASSERT_TRUE(s->Put({h, 0}, blob));
+
+    // The device fills up while compaction rewrites live records into
+    // the new-generation tmp file: the store must degrade (memory-only),
+    // not corrupt the old log it was compacting away.
+    failpoint::Registry::Global().Reset();
+    ASSERT_TRUE(failpoint::Registry::Global().Arm("store.compact.write",
+                                                  "error.enospc@2"));
+    s->Compact();
+    failpoint::Registry::Global().Reset();
+    const auto st = s->stats();
+    EXPECT_TRUE(st.degraded);
+    EXPECT_GE(st.io_errors, 1u);
+  }
+  // Reopen: the original (pre-compaction) log is intact — the tmp file
+  // was abandoned, the rename never happened — so every live record
+  // survives bit-exact.
+  auto s = DiskArtifactStore::Open(dir, opts);
+  ASSERT_TRUE(s);
+  EXPECT_FALSE(s->stats().degraded);
+  std::vector<uint8_t> got;
+  EXPECT_TRUE(s->Get({19, 0}, &got));
+  EXPECT_EQ(got, blob);
+  // And the reopened store is fully writable again.
+  EXPECT_TRUE(s->Put({99, 0}, blob));
+  fs::remove_all(dir);
+}
+#endif  // EKTELO_FAILPOINTS_ENABLED
 
 TEST(DiskArtifactStoreTest, SecondOpenerIsReadOnlyAndLockOutlivesCleanly) {
   const std::string dir = FreshDir("lockfile");

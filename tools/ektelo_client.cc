@@ -7,9 +7,15 @@
 //   ektelo_client --socket PATH stats
 //   ektelo_client --socket PATH shutdown
 //
+// Global flags: --timeout-ms N (per-attempt connect AND read deadline),
+// --retries N (transport retries; invoke retries only coalescable
+// requests — see serve/client.h).
+//
 // Exit codes make refusals scriptable: 0 ok, 1 connection/protocol
 // error, 2 budget exhausted, 3 queue full, 4 execution failed, 5 bad
-// request, 6 server shutting down.  Invoke prints a single summary line
+// request, 6 server shutting down, 7 ledger durability failure (request
+// failed closed), 8 deadline exceeded (server-side refusal OR client
+// timeout after all retries).  Invoke prints a single summary line
 // including a checksum of the estimate's exact bytes, so scripts can
 // assert bitwise determinism across runs without parsing floats.
 #include <cstdio>
@@ -28,7 +34,8 @@ using ektelo::serve::ReplyCode;
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s --socket PATH invoke --tenant T --plan P --eps E\n"
+               "usage: %s --socket PATH [--timeout-ms N] [--retries N]\n"
+               "           invoke --tenant T --plan P --eps E\n"
                "           [--ranges a-b,c-d] [--dims AxBxC] [--mode m]\n"
                "           [--known-total X] [--stripe-dim K]\n"
                "           [--no-coalesce] [--request-id N]\n"
@@ -82,6 +89,8 @@ int CodeToExit(ReplyCode code) {
     case ReplyCode::kQueueFull: return 3;
     case ReplyCode::kExecutionFailed: return 4;
     case ReplyCode::kShuttingDown: return 6;
+    case ReplyCode::kDurabilityError: return 7;
+    case ReplyCode::kDeadlineExceeded: return 8;
   }
   return 1;
 }
@@ -94,8 +103,16 @@ const char* CodeName(ReplyCode code) {
     case ReplyCode::kQueueFull: return "QUEUE_FULL";
     case ReplyCode::kExecutionFailed: return "EXECUTION_FAILED";
     case ReplyCode::kShuttingDown: return "SHUTTING_DOWN";
+    case ReplyCode::kDurabilityError: return "DURABILITY_ERROR";
+    case ReplyCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
+}
+
+/// Connection-level failures: a client-side timeout is its own exit
+/// code (8) so scripts can tell "slow/hung daemon" from "no daemon".
+int StatusToExit(const ektelo::Status& s) {
+  return s.code() == ektelo::StatusCode::kDeadlineExceeded ? 8 : 1;
 }
 
 /// Checksum over the estimate's IEEE-754 bit patterns: equal checksums
@@ -110,12 +127,23 @@ uint64_t EstimateChecksum(const ektelo::Vec& v) {
 
 int main(int argc, char** argv) {
   std::string socket_path, command;
+  ektelo::serve::ClientOptions copts;
   InvokeRequest req;
   int i = 1;
   for (; i < argc; ++i) {
     const std::string arg = argv[i];
+    char* end = nullptr;
     if (arg == "--socket" && i + 1 < argc) {
       socket_path = argv[++i];
+    } else if (arg == "--timeout-ms" && i + 1 < argc) {
+      const long v = std::strtol(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || v < 0) return Usage(argv[0]);
+      copts.connect_timeout_ms = int(v);
+      copts.read_timeout_ms = int(v);
+    } else if (arg == "--retries" && i + 1 < argc) {
+      const long v = std::strtol(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || v < 0) return Usage(argv[0]);
+      copts.max_retries = int(v);
     } else if (arg == "invoke" || arg == "stats" || arg == "shutdown") {
       command = arg;
       ++i;
@@ -162,18 +190,18 @@ int main(int argc, char** argv) {
     }
   }
 
-  auto client = ektelo::serve::Client::Connect(socket_path);
+  auto client = ektelo::serve::Client::Connect(socket_path, copts);
   if (!client.ok()) {
     std::fprintf(stderr, "ektelo_client: %s\n",
                  client.status().ToString().c_str());
-    return 1;
+    return StatusToExit(client.status());
   }
 
   if (command == "shutdown") {
     const ektelo::Status s = client->Shutdown();
     if (!s.ok()) {
       std::fprintf(stderr, "ektelo_client: %s\n", s.ToString().c_str());
-      return 1;
+      return StatusToExit(s);
     }
     std::printf("shutdown acknowledged\n");
     return 0;
@@ -184,13 +212,15 @@ int main(int argc, char** argv) {
     if (!stats.ok()) {
       std::fprintf(stderr, "ektelo_client: %s\n",
                    stats.status().ToString().c_str());
-      return 1;
+      return StatusToExit(stats.status());
     }
     std::printf(
         "received=%llu admitted=%llu executions=%llu coalesced=%llu "
         "refused_budget=%llu refused_queue=%llu refused_bad=%llu "
+        "refused_durability=%llu refused_deadline=%llu "
         "cache_hits=%llu cache_disk_hits=%llu rewrite_searches=%llu "
-        "beam_expansions=%llu tree_hits=%llu\n",
+        "beam_expansions=%llu tree_hits=%llu disk_degraded=%llu "
+        "disk_io_errors=%llu disk_write_drops=%llu\n",
         (unsigned long long)stats->received,
         (unsigned long long)stats->admitted,
         (unsigned long long)stats->executions,
@@ -198,11 +228,16 @@ int main(int argc, char** argv) {
         (unsigned long long)stats->refused_budget,
         (unsigned long long)stats->refused_queue,
         (unsigned long long)stats->refused_bad,
+        (unsigned long long)stats->refused_durability,
+        (unsigned long long)stats->refused_deadline,
         (unsigned long long)stats->cache_hits,
         (unsigned long long)stats->cache_disk_hits,
         (unsigned long long)stats->rewrite_searches,
         (unsigned long long)stats->beam_expansions,
-        (unsigned long long)stats->tree_hits);
+        (unsigned long long)stats->tree_hits,
+        (unsigned long long)stats->disk_degraded,
+        (unsigned long long)stats->disk_io_errors,
+        (unsigned long long)stats->disk_write_drops);
     for (const auto& t : stats->tenants)
       std::printf("tenant=%s total=%.9g spent=%.9g\n", t.name.c_str(),
                   t.total, t.spent);
@@ -214,7 +249,7 @@ int main(int argc, char** argv) {
   if (!reply.ok()) {
     std::fprintf(stderr, "ektelo_client: %s\n",
                  reply.status().ToString().c_str());
-    return 1;
+    return StatusToExit(reply.status());
   }
   std::printf(
       "code=%s coalesced=%d eps_charged=%.9g n=%zu "
