@@ -1,0 +1,115 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the observability layer through the real binaries:
+# start ektelo_served with EKTELO_TRACE=1, fire a few invocations, then
+# scrape `stats --prom` (validating Prometheus text exposition shape),
+# `stats --json` (validating with python's json parser), and
+# `trace --out` (validating the Chrome trace JSON parses and carries the
+# full request lifecycle's span types).
+#
+#   scripts/obs_smoke.sh [BUILD_DIR]       # default: build
+set -u
+
+BUILD_DIR="${1:-build}"
+SERVED="$BUILD_DIR/ektelo_served"
+CLIENT="$BUILD_DIR/ektelo_client"
+SOCK="/tmp/ek_obs_smoke_$$.sock"
+WORK="$(mktemp -d /tmp/ek_obs_smoke.XXXXXX)"
+LOG="$WORK/served.log"
+FAILURES=0
+SERVER_PID=""
+
+fail() { echo "FAIL: $*" >&2; FAILURES=$((FAILURES + 1)); }
+
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null
+  wait 2>/dev/null
+  rm -rf "$WORK" "$SOCK"
+}
+trap cleanup EXIT
+
+[ -x "$SERVED" ] || { echo "missing $SERVED (build it first)" >&2; exit 1; }
+[ -x "$CLIENT" ] || { echo "missing $CLIENT (build it first)" >&2; exit 1; }
+
+echo "== start daemon with EKTELO_TRACE=1 =="
+EKTELO_TRACE=1 EKTELO_SERVE_SLOW_MS=0 "$SERVED" --socket "$SOCK" \
+  --ledger "$WORK/ledger" --tenant alpha:0.5:41:256:10000 \
+  >> "$LOG" 2>&1 &
+SERVER_PID=$!
+for _ in $(seq 1 50); do
+  [ -S "$SOCK" ] && break
+  sleep 0.1
+done
+[ -S "$SOCK" ] || { fail "daemon did not come up"; exit 1; }
+
+echo "== invoke (H2: full lifecycle under trace) =="
+"$CLIENT" --socket "$SOCK" invoke --tenant alpha --plan H2 --eps 0.1 \
+  --request-id 7 > "$WORK/invoke.out" || fail "H2 invoke failed"
+grep -q "code=OK" "$WORK/invoke.out" || fail "H2 invoke not OK"
+
+echo "== stats --prom is well-formed Prometheus text =="
+"$CLIENT" --socket "$SOCK" stats --prom > "$WORK/metrics.prom" \
+  || fail "stats --prom failed"
+python3 - "$WORK/metrics.prom" <<'EOF' || fail "prometheus text malformed"
+import re, sys
+path = sys.argv[1]
+sample = re.compile(
+    r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? -?[0-9.+eE-]+$|'
+    r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? \+Inf$')
+names = set()
+ok = True
+for line in open(path):
+    line = line.rstrip("\n")
+    if not line:
+        continue
+    if line.startswith("# HELP ") or line.startswith("# TYPE "):
+        continue
+    if not sample.match(line):
+        print("bad sample line:", line)
+        ok = False
+    names.add(line.split("{")[0].split(" ")[0])
+for want in ("ektelo_serve_requests_total",
+             "ektelo_serve_stage_seconds_bucket",
+             "ektelo_tenant_budget_eps",
+             "ektelo_cache_requests_total"):
+    if want not in names:
+        print("missing metric:", want)
+        ok = False
+sys.exit(0 if ok else 1)
+EOF
+
+echo "== stats --json parses =="
+"$CLIENT" --socket "$SOCK" stats --json > "$WORK/stats.json" \
+  || fail "stats --json failed"
+python3 -c 'import json,sys; d=json.load(open(sys.argv[1])); \
+  assert d["executions"] >= 1, d' "$WORK/stats.json" \
+  || fail "stats json malformed"
+
+echo "== trace --out is Perfetto-loadable Chrome trace JSON =="
+"$CLIENT" --socket "$SOCK" trace --out "$WORK/trace.json" \
+  || fail "trace fetch failed"
+python3 - "$WORK/trace.json" <<'EOF' || fail "trace json malformed"
+import json, sys
+doc = json.load(open(sys.argv[1]))
+events = doc["traceEvents"]
+spans = {e["name"] for e in events if e.get("ph") == "X"}
+need = {"serve.queue_wait", "serve.charge", "serve.execute"}
+missing = need - spans
+if missing:
+    print("missing span types:", sorted(missing))
+    sys.exit(1)
+if len(spans) < 6:
+    print("too few distinct span types:", sorted(spans))
+    sys.exit(1)
+print("span types:", len(spans))
+EOF
+
+"$CLIENT" --socket "$SOCK" shutdown > /dev/null || fail "shutdown"
+wait "$SERVER_PID" 2>/dev/null
+SERVER_PID=""
+
+if [ "$FAILURES" -eq 0 ]; then
+  echo "obs smoke: PASS"
+  exit 0
+fi
+echo "obs smoke: $FAILURES failure(s)" >&2
+exit 1

@@ -4,10 +4,27 @@
 #include <cmath>
 
 #include "matrix/rewrite.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
 namespace ektelo {
+
+namespace {
+obs::Counter& CgIterations() {
+  static obs::Counter& c = obs::Registry::Global().GetCounter(
+      "ektelo_solver_iterations", "Solver inner iterations run",
+      "solver=\"cg\"");
+  return c;
+}
+obs::Histogram& CgSeconds() {
+  static obs::Histogram& h = obs::Registry::Global().GetHistogram(
+      "ektelo_solver_seconds", "Wall time of one solver call",
+      "solver=\"cg\"");
+  return h;
+}
+}  // namespace
 
 CgResult CgSpd(const LinOp& g, const Vec& b, const CgOptions& opts) {
   const std::size_t n = g.cols();
@@ -15,6 +32,8 @@ CgResult CgSpd(const LinOp& g, const Vec& b, const CgOptions& opts) {
   EK_CHECK_EQ(b.size(), n);
   const std::size_t max_iters =
       opts.max_iters > 0 ? opts.max_iters : std::max<std::size_t>(4 * n, 100);
+  obs::Span span("solver.cg", "solver", &CgSeconds());
+  span.Attr("n", static_cast<double>(n));
 
   CgResult result;
   result.x.assign(n, 0.0);
@@ -45,6 +64,8 @@ CgResult CgSpd(const LinOp& g, const Vec& b, const CgOptions& opts) {
     rs = rs_new;
   }
   result.normal_residual_norm = std::sqrt(rs);
+  CgIterations().Inc(result.iterations);
+  span.Attr("iterations", static_cast<double>(result.iterations));
   return result;
 }
 

@@ -3,12 +3,27 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
 namespace ektelo {
 
 namespace {
+
+obs::Counter& LsmrIterations() {
+  static obs::Counter& c = obs::Registry::Global().GetCounter(
+      "ektelo_solver_iterations", "Solver inner iterations run",
+      "solver=\"lsmr\"");
+  return c;
+}
+obs::Histogram& LsmrSeconds() {
+  static obs::Histogram& h = obs::Registry::Global().GetHistogram(
+      "ektelo_solver_seconds", "Wall time of one solver call",
+      "solver=\"lsmr\"");
+  return h;
+}
 
 /// Stable Givens rotation (SymOrtho from the LSMR paper).
 void SymOrtho(double a, double b, double* c, double* s, double* r) {
@@ -45,6 +60,9 @@ LsmrResult Lsmr(const LinOp& a, const Vec& b, const LsmrOptions& opts) {
   const std::size_t max_iters =
       opts.max_iters > 0 ? opts.max_iters
                          : std::max<std::size_t>(4 * std::min(m, n), 100);
+  obs::Span span("solver.lsmr", "solver", &LsmrSeconds());
+  span.Attr("rows", static_cast<double>(m));
+  span.Attr("cols", static_cast<double>(n));
 
   LsmrResult result;
   result.x.assign(n, 0.0);
@@ -196,6 +214,8 @@ LsmrResult Lsmr(const LinOp& a, const Vec& b, const LsmrOptions& opts) {
 
   result.iterations = itn;
   result.residual_norm = normr;
+  LsmrIterations().Inc(result.iterations);
+  span.Attr("iterations", static_cast<double>(result.iterations));
   return result;
 }
 

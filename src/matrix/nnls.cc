@@ -4,9 +4,26 @@
 #include <cmath>
 
 #include "matrix/rewrite.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace ektelo {
+
+namespace {
+obs::Counter& NnlsIterations() {
+  static obs::Counter& c = obs::Registry::Global().GetCounter(
+      "ektelo_solver_iterations", "Solver inner iterations run",
+      "solver=\"nnls\"");
+  return c;
+}
+obs::Histogram& NnlsSeconds() {
+  static obs::Histogram& h = obs::Registry::Global().GetHistogram(
+      "ektelo_solver_seconds", "Wall time of one solver call",
+      "solver=\"nnls\"");
+  return h;
+}
+}  // namespace
 
 double EstimateSpectralNormSqGram(const LinOp& gram, std::size_t iters) {
   const std::size_t n = gram.cols();
@@ -48,6 +65,9 @@ double EstimateSpectralNormSq(const LinOp& a, std::size_t iters) {
 NnlsResult Nnls(const LinOp& a, const Vec& b, const NnlsOptions& opts) {
   const std::size_t n = a.cols();
   EK_CHECK_EQ(b.size(), a.rows());
+  obs::Span span("solver.nnls", "solver", &NnlsSeconds());
+  span.Attr("rows", static_cast<double>(a.rows()));
+  span.Attr("cols", static_cast<double>(n));
 
   // The whole FISTA loop runs on the normal-equations side: gradient and
   // objective are both functions of (Gram, A^T b, ||b||^2), so each
@@ -146,6 +166,8 @@ NnlsResult Nnls(const LinOp& a, const Vec& b, const NnlsOptions& opts) {
   result.x = std::move(x);
   result.iterations = it;
   result.restarts = restarts;
+  NnlsIterations().Inc(result.iterations);
+  span.Attr("iterations", static_cast<double>(result.iterations));
   return result;
 }
 

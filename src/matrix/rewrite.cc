@@ -18,6 +18,8 @@
 #include "matrix/range_ops.h"
 #include "matrix/rules.h"
 #include "matrix/search.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "store/artifact_store.h"
 #include "store/serialize.h"
 #include "store/tree_codec.h"
@@ -173,6 +175,13 @@ bool DecodeEnvelopeExpect(const LinOp& key, uint8_t want,
   return DecodeEnvelope(key, r, &sub) && sub == want;
 }
 
+obs::Histogram& ProbeSeconds() {
+  static obs::Histogram& h = obs::Registry::Global().GetHistogram(
+      "ektelo_cache_probe_seconds",
+      "Wall time of one operator-cache lookup across both tiers");
+  return h;
+}
+
 std::size_t CsrBytes(const CsrMatrix& m) {
   return (m.indptr().size() + m.indices().size()) * sizeof(std::size_t) +
          m.values().size() * sizeof(double);
@@ -206,9 +215,23 @@ struct OperatorCache::Impl {
   std::size_t bytes = 0;
   std::size_t sens_entries = 0;
   std::size_t tree_bytes = 0;  // bytes pinned by kKindCanonTree entries
-  std::size_t hits = 0, misses = 0, evictions = 0;
+
+  // Traffic counters live in obs::Counter objects so the process-wide
+  // instance binds them straight into the metrics registry (the single
+  // source of truth behind serve Stats and the Prometheus endpoint —
+  // see BindGlobalMetrics), while locally constructed caches keep
+  // private per-instance counters with the same since-construction
+  // semantics.  Sharded counters are thread-safe on their own; the
+  // increments below just happen to also sit under mu.
+  std::unique_ptr<obs::Counter[]> owned_counters{new obs::Counter[8]};
+  obs::Counter* hits = &owned_counters[0];
+  obs::Counter* misses = &owned_counters[1];
+  obs::Counter* evictions = &owned_counters[2];
   // Canonical-tree subset counters (tree_hits <= hits, likewise disk).
-  std::size_t tree_hits = 0, tree_disk_hits = 0;
+  obs::Counter* tree_hits = &owned_counters[3];
+  obs::Counter* tree_disk_hits = &owned_counters[4];
+
+  void BindGlobalMetrics();
   // Persistent second tier (EKTELO_CACHE_DIR / SetDiskTier).  Held by
   // shared_ptr so accessors can snapshot it under mu and keep using it
   // safely across a concurrent SetDiskTier swap; the store flushes its
@@ -218,7 +241,9 @@ struct OperatorCache::Impl {
   // Swapped together with `disk`; jobs capture their own shared_ptr to
   // the store, so a queue outliving a tier swap stays safe.
   std::shared_ptr<store::WriteBehindQueue> wb;
-  std::size_t disk_hits = 0, disk_misses = 0, disk_writes = 0;
+  obs::Counter* disk_hits = &owned_counters[5];
+  obs::Counter* disk_misses = &owned_counters[6];
+  obs::Counter* disk_writes = &owned_counters[7];
   // Drops accumulated from queues already retired by SetDiskTier; the
   // live queue's drop count is added on top in stats().
   std::size_t disk_write_drops_base = 0;
@@ -262,7 +287,7 @@ struct OperatorCache::Impl {
     if (IsSensitivityKind(victim->kind)) --sens_entries;
     if (victim->kind == kKindCanonTree) tree_bytes -= victim->bytes;
     lru.erase(victim);
-    ++evictions;
+    evictions->Inc();
   }
 
   /// Byte budget for canonical-tree entries, proportional to the cache
@@ -356,15 +381,20 @@ struct OperatorCache::Impl {
             typename EncodeF, typename DecodeF>
   V Cached(const LinOpPtr& key, uint64_t hash, int kind, GetF get,
            MakeF make, FillF fill, EncodeF encode, DecodeF decode) {
+    // The probe span covers lookup across both tiers but never the
+    // compute: a miss closes it before make() runs.
+    obs::Span probe("cache.probe", "cache", &ProbeSeconds());
+    probe.Attr("kind", static_cast<double>(kind));
     {
       std::lock_guard<std::mutex> lock(mu);
       auto it = Find(hash, kind, *key);
       if (it != lru.end()) {
-        ++hits;
-        if (kind == kKindCanonTree) ++tree_hits;
+        hits->Inc();
+        if (kind == kKindCanonTree) tree_hits->Inc();
+        probe.Attr("tier", "mem");
         return get(*it);
       }
-      ++misses;
+      misses->Inc();
     }
     std::shared_ptr<store::DiskArtifactStore> d = DiskSnapshot();
     const bool persistable = d != nullptr && StructuralHashPersistable(*key);
@@ -380,15 +410,18 @@ struct OperatorCache::Impl {
       if (got && !decoded) d->Drop({hash, uint32_t(kind)});
       std::lock_guard<std::mutex> lock(mu);
       if (decoded) {
-        ++disk_hits;
-        if (kind == kKindCanonTree) ++tree_disk_hits;
+        disk_hits->Inc();
+        if (kind == kKindCanonTree) tree_disk_hits->Inc();
+        probe.Attr("tier", "disk");
         auto it = Find(hash, kind, *key);
         if (it != lru.end()) return get(*it);
         InsertValue(key, hash, kind, fill, *decoded);
         return *decoded;
       }
-      ++disk_misses;
+      disk_misses->Inc();
     }
+    probe.Attr("tier", "none");
+    probe.Close();
     V value = make();
     {
       std::lock_guard<std::mutex> lock(mu);
@@ -405,7 +438,7 @@ struct OperatorCache::Impl {
         if (encode(*key, value, &w) &&
             d->Put({hash, uint32_t(kind)}, w.bytes())) {
           std::lock_guard<std::mutex> lock(mu);
-          ++disk_writes;
+          disk_writes->Inc();
         }
       };
       auto q = WbSnapshot();
@@ -536,12 +569,37 @@ std::shared_ptr<store::WriteBehindQueue> MakeWriteBehindFromEnv() {
 
 }  // namespace
 
+// Repoints the traffic counters at registry-registered series, making
+// the registry the single source of truth for the process-wide cache
+// (serve Stats and the Prometheus endpoint read the same counters this
+// code increments).  Called once, before the global instance sees any
+// traffic; locally constructed caches keep their private counters.
+void OperatorCache::Impl::BindGlobalMetrics() {
+  obs::Registry& r = obs::Registry::Global();
+  const char* name = "ektelo_cache_requests";
+  const char* help = "Operator-cache lookups by tier and event";
+  hits = &r.GetCounter(name, help, "tier=\"mem\",event=\"hit\"");
+  misses = &r.GetCounter(name, help, "tier=\"mem\",event=\"miss\"");
+  disk_hits = &r.GetCounter(name, help, "tier=\"disk\",event=\"hit\"");
+  disk_misses = &r.GetCounter(name, help, "tier=\"disk\",event=\"miss\"");
+  disk_writes = &r.GetCounter(name, help, "tier=\"disk\",event=\"write\"");
+  evictions = &r.GetCounter("ektelo_cache_evictions",
+                            "In-memory operator-cache LRU evictions");
+  const char* tree_help =
+      "Canonical-tree cache hits (each one is a beam search skipped)";
+  tree_hits = &r.GetCounter("ektelo_cache_tree_hits", tree_help,
+                            "tier=\"mem\"");
+  tree_disk_hits =
+      &r.GetCounter("ektelo_cache_tree_hits", tree_help, "tier=\"disk\"");
+}
+
 OperatorCache::OperatorCache() : impl_(new Impl) {}
 OperatorCache::~OperatorCache() = default;
 
 OperatorCache& OperatorCache::Global() {
   static OperatorCache* cache = [] {
     auto* c = new OperatorCache;
+    c->impl_->BindGlobalMetrics();
     // The disk tier is opt-in via the environment, and attaches only to
     // the process-wide instance (a second writer on the same directory
     // is unsupported, so locally constructed caches stay memory-only).
@@ -706,15 +764,17 @@ LinOpPtr OperatorCache::DenseWrapped(const LinOpPtr& op) {
 std::optional<LinOpPtr> OperatorCache::CanonicalTreeLookup(
     const LinOpPtr& op) {
   const uint64_t hash = op->StructuralHash();
+  obs::Span probe("cache.probe", "cache", &ProbeSeconds());
+  probe.Attr("kind", static_cast<double>(kKindCanonTree));
   {
     std::lock_guard<std::mutex> lock(impl_->mu);
     auto it = impl_->Find(hash, kKindCanonTree, *op);
     if (it != impl_->lru.end()) {
-      ++impl_->hits;
-      ++impl_->tree_hits;
+      impl_->hits->Inc();
+      impl_->tree_hits->Inc();
       return it->wrapped;
     }
-    ++impl_->misses;
+    impl_->misses->Inc();
   }
   auto d = impl_->DiskSnapshot();
   if (d == nullptr || !StructuralHashPersistable(*op)) return std::nullopt;
@@ -735,11 +795,11 @@ std::optional<LinOpPtr> OperatorCache::CanonicalTreeLookup(
   if (got && !decoded) d->Drop({hash, uint32_t(kKindCanonTree)});
   std::lock_guard<std::mutex> lock(impl_->mu);
   if (!decoded) {
-    ++impl_->disk_misses;
+    impl_->disk_misses->Inc();
     return std::nullopt;
   }
-  ++impl_->disk_hits;
-  ++impl_->tree_disk_hits;
+  impl_->disk_hits->Inc();
+  impl_->tree_disk_hits->Inc();
   auto it = impl_->Find(hash, kKindCanonTree, *op);
   if (it != impl_->lru.end()) return it->wrapped;
   impl_->InsertValue(
@@ -779,7 +839,7 @@ void OperatorCache::CanonicalTreeStore(const LinOpPtr& op,
     if (store::EncodeLinOpTree(*tree, &w) &&
         d->Put({hash, uint32_t(kKindCanonTree)}, w.bytes())) {
       std::lock_guard<std::mutex> lock(impl->mu);
-      ++impl->disk_writes;
+      impl->disk_writes->Inc();
     }
   };
   auto q = impl_->WbSnapshot();
@@ -945,16 +1005,16 @@ void OperatorCache::SetCapacity(std::size_t max_entries,
 OperatorCache::Stats OperatorCache::stats() const {
   std::lock_guard<std::mutex> lock(impl_->mu);
   Stats s;
-  s.hits = impl_->hits;
-  s.misses = impl_->misses;
-  s.evictions = impl_->evictions;
-  s.tree_hits = impl_->tree_hits;
-  s.tree_disk_hits = impl_->tree_disk_hits;
+  s.hits = impl_->hits->Value();
+  s.misses = impl_->misses->Value();
+  s.evictions = impl_->evictions->Value();
+  s.tree_hits = impl_->tree_hits->Value();
+  s.tree_disk_hits = impl_->tree_disk_hits->Value();
   s.entries = impl_->lru.size();
   s.bytes = impl_->bytes;
-  s.disk_hits = impl_->disk_hits;
-  s.disk_misses = impl_->disk_misses;
-  s.disk_writes = impl_->disk_writes;
+  s.disk_hits = impl_->disk_hits->Value();
+  s.disk_misses = impl_->disk_misses->Value();
+  s.disk_writes = impl_->disk_writes->Value();
   s.disk_write_drops = impl_->disk_write_drops_base;
   if (impl_->wb != nullptr) s.disk_write_drops += impl_->wb->stats().dropped;
   if (impl_->disk != nullptr) {

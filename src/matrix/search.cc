@@ -11,15 +11,45 @@
 #include "matrix/combinators.h"
 #include "matrix/cost.h"
 #include "matrix/rules.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace ektelo {
 
 namespace {
 
-std::atomic<uint64_t> g_searches{0};
-std::atomic<uint64_t> g_expansions{0};
-std::atomic<uint64_t> g_pruned{0};
+// Registry-backed counters are the source of truth (exported as
+// ektelo_rewrite_* by the serve Prometheus endpoint).  They stay
+// monotone; ResetSearchStats rebases the snapshot the legacy
+// SearchStats struct reports instead of zeroing them.
+obs::Counter& SearchesCounter() {
+  static obs::Counter& c = obs::Registry::Global().GetCounter(
+      "ektelo_rewrite_searches", "Beam-search canonicalizations run");
+  return c;
+}
+obs::Counter& ExpansionsCounter() {
+  static obs::Counter& c = obs::Registry::Global().GetCounter(
+      "ektelo_rewrite_beam_expansions",
+      "Beam candidates generated across all searches");
+  return c;
+}
+obs::Counter& PrunedCounter() {
+  static obs::Counter& c = obs::Registry::Global().GetCounter(
+      "ektelo_rewrite_beam_pruned",
+      "Beam candidates dropped by cost/footprint pruning");
+  return c;
+}
+obs::Histogram& SearchSeconds() {
+  static obs::Histogram& h = obs::Registry::Global().GetHistogram(
+      "ektelo_rewrite_search_seconds",
+      "Wall time of one beam-search canonicalization");
+  return h;
+}
+
+std::atomic<uint64_t> g_searches_base{0};
+std::atomic<uint64_t> g_expansions_base{0};
+std::atomic<uint64_t> g_pruned_base{0};
 
 using rules::OpAs;
 
@@ -138,7 +168,7 @@ class BeamSearcher {
       if (have_plain)
         for (LinOpPtr& c : rule->Apply(plain)) add(std::move(c), false);
     }
-    g_expansions.fetch_add(expanded, std::memory_order_relaxed);
+    ExpansionsCounter().Inc(expanded);
 
     // A beam of one is the rules tree alone: nothing to dedup, rank or
     // prune against, so skip hashing and scoring it entirely.  This is
@@ -205,7 +235,7 @@ class BeamSearcher {
       pruned += kept.size() - kSearchBeamWidth;
       kept.resize(kSearchBeamWidth);
     }
-    g_pruned.fetch_add(pruned, std::memory_order_relaxed);
+    PrunedCounter().Inc(pruned);
     return kept;
   }
 
@@ -316,22 +346,31 @@ bool SearchCanImprove(const LinOp& op) {
 }
 
 SearchStats GetSearchStats() {
+  // Registry counters minus the last Reset's snapshot: legacy callers
+  // keep since-reset semantics while the registry stays monotone.
   SearchStats s;
-  s.searches = g_searches.load(std::memory_order_relaxed);
-  s.expansions = g_expansions.load(std::memory_order_relaxed);
-  s.pruned = g_pruned.load(std::memory_order_relaxed);
+  s.searches = SearchesCounter().Value() -
+               g_searches_base.load(std::memory_order_relaxed);
+  s.expansions = ExpansionsCounter().Value() -
+                 g_expansions_base.load(std::memory_order_relaxed);
+  s.pruned =
+      PrunedCounter().Value() - g_pruned_base.load(std::memory_order_relaxed);
   return s;
 }
 
 void ResetSearchStats() {
-  g_searches.store(0, std::memory_order_relaxed);
-  g_expansions.store(0, std::memory_order_relaxed);
-  g_pruned.store(0, std::memory_order_relaxed);
+  g_searches_base.store(SearchesCounter().Value(), std::memory_order_relaxed);
+  g_expansions_base.store(ExpansionsCounter().Value(),
+                          std::memory_order_relaxed);
+  g_pruned_base.store(PrunedCounter().Value(), std::memory_order_relaxed);
 }
 
 LinOpPtr SearchCanonicalize(const LinOpPtr& op, bool* improved) {
   if (!op) return op;
-  g_searches.fetch_add(1, std::memory_order_relaxed);
+  SearchesCounter().Inc();
+  obs::Span span("rewrite.search", "rewrite", &SearchSeconds());
+  span.Attr("rows", static_cast<double>(op->rows()));
+  span.Attr("cols", static_cast<double>(op->cols()));
   BeamSearcher& s = BeamSearcher::Global();
   std::lock_guard<std::mutex> lock(s.mu());
   LinOpPtr out = s.Root(op, improved);

@@ -1,0 +1,37 @@
+// Exporters for the observability layer: Prometheus text exposition
+// (format 0.0.4) for the metrics registry, and Chrome trace_event JSON
+// (loadable in Perfetto / chrome://tracing) for request traces.
+//
+// Both outputs are deterministic functions of their inputs —
+// registration order for metrics, event order for traces — so tests
+// can golden them byte for byte.
+#ifndef EKTELO_OBS_EXPORT_H_
+#define EKTELO_OBS_EXPORT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ektelo::obs {
+
+/// Renders every metric in `registry` in Prometheus text format:
+/// one # HELP / # TYPE header per metric name (first registration's
+/// help wins), counters with the `_total` suffix, histograms expanded
+/// to cumulative `_bucket{le="..."}` series plus `_sum` and `_count`.
+std::string PrometheusText(const Registry& registry);
+
+/// Renders traces as a Chrome trace_event JSON document:
+/// {"traceEvents":[...]} with complete ("ph":"X") events, microsecond
+/// ts/dur, pid 1, and per-trace metadata carried in each event's args
+/// (request id, tenant, plan on the span args would be redundant; they
+/// ride on thread_name-style metadata events instead).  Traces are
+/// emitted most-recent-first as given.
+std::string ChromeTraceJson(
+    const std::vector<std::shared_ptr<RequestTrace>>& traces);
+
+}  // namespace ektelo::obs
+
+#endif  // EKTELO_OBS_EXPORT_H_

@@ -1,0 +1,123 @@
+#include "obs/log.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "obs/metrics.h"
+
+namespace ektelo::obs {
+namespace {
+
+struct EventState {
+  uint64_t last_ns = 0;    // NowNs() of the last emitted line
+  uint64_t suppressed = 0; // lines dropped since then
+  bool seen = false;
+};
+
+std::mutex g_log_mu;
+std::unordered_map<std::string, EventState>& States() {
+  static auto* m = new std::unordered_map<std::string, EventState>();
+  return *m;
+}
+
+char SevChar(Severity sev) {
+  switch (sev) {
+    case Severity::kInfo:
+      return 'I';
+    case Severity::kWarn:
+      return 'W';
+    case Severity::kError:
+      return 'E';
+  }
+  return '?';
+}
+
+bool NeedsQuoting(const std::string& v) {
+  if (v.empty()) return true;
+  for (char c : v) {
+    if (c == ' ' || c == '=' || c == '"' || c == '\n' || c == '\t') return true;
+  }
+  return false;
+}
+
+void AppendValue(std::string& out, const std::string& v) {
+  if (!NeedsQuoting(v)) {
+    out += v;
+    return;
+  }
+  out.push_back('"');
+  for (char c : v) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (c == '\n') {
+      out += "\\n";
+    } else if (c == '\t') {
+      out += "\\t";
+    } else {
+      out.push_back(c);
+    }
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+bool LogEvery(Severity sev, const std::string& event, double min_interval_s,
+              std::initializer_list<LogField> fields) {
+  const uint64_t now_ns = NowNs();
+  uint64_t suppressed = 0;
+  {
+    std::lock_guard<std::mutex> lock(g_log_mu);
+    EventState& st = States()[event];
+    if (st.seen && min_interval_s > 0) {
+      const uint64_t interval_ns =
+          static_cast<uint64_t>(min_interval_s * 1e9);
+      if (now_ns - st.last_ns < interval_ns) {
+        ++st.suppressed;
+        return false;
+      }
+    }
+    st.seen = true;
+    st.last_ns = now_ns;
+    suppressed = st.suppressed;
+    st.suppressed = 0;
+  }
+
+  // Build the whole line first so one fprintf keeps it atomic enough
+  // across threads (stderr is unbuffered; single write, single line).
+  char head[64];
+  std::snprintf(head, sizeof head, "%c %" PRIu64 ".%06u event=",
+                SevChar(sev), now_ns / 1000000000u,
+                static_cast<unsigned>((now_ns % 1000000000u) / 1000u));
+  std::string line = head;
+  line += event;
+  for (const LogField& f : fields) {
+    line.push_back(' ');
+    line += f.first;
+    line.push_back('=');
+    AppendValue(line, f.second);
+  }
+  if (suppressed > 0) {
+    line += " suppressed=";
+    line += std::to_string(suppressed);
+  }
+  line.push_back('\n');
+  std::fputs(line.c_str(), stderr);
+  return true;
+}
+
+bool Log(Severity sev, const std::string& event,
+         std::initializer_list<LogField> fields) {
+  return LogEvery(sev, event, kDefaultLogIntervalS, fields);
+}
+
+void ResetLogRateLimiterForTest() {
+  std::lock_guard<std::mutex> lock(g_log_mu);
+  States().clear();
+}
+
+}  // namespace ektelo::obs

@@ -1,0 +1,248 @@
+#include "obs/metrics.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+namespace ektelo::obs {
+namespace internal {
+std::atomic<uint32_t> g_armed{0};
+}  // namespace internal
+
+namespace {
+
+// Reads the two arming knobs once at static-init time.  EKTELO_OBS
+// governs timing (armed unless explicitly "0"); EKTELO_TRACE governs
+// per-request span recording (off unless explicitly truthy).  Matches
+// the strict-parse spirit of ApplyServeEnv: only "0"/"" disable OBS,
+// only a leading '1'..'9'/'t'/'y' enables TRACE.
+uint32_t InitialArmedFlags() {
+  uint32_t flags = kTimingArmed;
+  if (const char* v = std::getenv("EKTELO_OBS")) {
+    if (v[0] == '0' && v[1] == '\0') flags &= ~kTimingArmed;
+  }
+  if (const char* v = std::getenv("EKTELO_TRACE")) {
+    if ((v[0] >= '1' && v[0] <= '9') || v[0] == 't' || v[0] == 'T' ||
+        v[0] == 'y' || v[0] == 'Y') {
+      flags |= kTraceArmed;
+    }
+  }
+  return flags;
+}
+
+const uint32_t g_armed_init = [] {
+  internal::g_armed.store(InitialArmedFlags(), std::memory_order_relaxed);
+  return uint32_t{0};
+}();
+
+std::atomic<uint32_t> g_next_thread_id{1};
+
+}  // namespace
+
+void SetTimingEnabled(bool on) {
+  if (on) {
+    internal::g_armed.fetch_or(kTimingArmed, std::memory_order_relaxed);
+  } else {
+    internal::g_armed.fetch_and(~uint32_t{kTimingArmed},
+                                std::memory_order_relaxed);
+  }
+}
+
+void SetTraceEnabled(bool on) {
+  if (on) {
+    internal::g_armed.fetch_or(kTraceArmed, std::memory_order_relaxed);
+  } else {
+    internal::g_armed.fetch_and(~uint32_t{kTraceArmed},
+                                std::memory_order_relaxed);
+  }
+}
+
+uint64_t NowNs() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point base = Clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - base)
+          .count());
+}
+
+uint32_t ThreadId() {
+  thread_local const uint32_t id =
+      g_next_thread_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+// ------------------------------------------------------------- histogram
+
+double Histogram::BucketEdge(int i) {
+  return kMinEdge * std::ldexp(1.0, i);  // exact: power-of-two scaling
+}
+
+int Histogram::BucketIndex(double v) {
+  if (!(v > BucketEdge(0))) {
+    // v <= first edge, v <= 0, or NaN: NaN fails every <= comparison
+    // below too, so route it to overflow explicitly.
+    return std::isnan(v) ? kBuckets : 0;
+  }
+  for (int i = 1; i < kBuckets; ++i) {
+    if (v <= BucketEdge(i)) return i;
+  }
+  return kBuckets;
+}
+
+void Histogram::Observe(double v) {
+  Shard& s = shards_[ThreadId() & (kMetricShards - 1)];
+  s.counts[static_cast<std::size_t>(BucketIndex(v))].fetch_add(
+      1, std::memory_order_relaxed);
+  uint64_t old_bits = s.sum_bits.load(std::memory_order_relaxed);
+  for (;;) {
+    double old_sum;
+    std::memcpy(&old_sum, &old_bits, sizeof old_sum);
+    const double new_sum = old_sum + v;
+    uint64_t new_bits;
+    std::memcpy(&new_bits, &new_sum, sizeof new_bits);
+    if (s.sum_bits.compare_exchange_weak(old_bits, new_bits,
+                                         std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+void Histogram::Counts(uint64_t out[kBuckets + 1]) const {
+  for (int i = 0; i <= kBuckets; ++i) out[i] = 0;
+  for (const Shard& s : shards_) {
+    for (int i = 0; i <= kBuckets; ++i) {
+      out[i] += s.counts[static_cast<std::size_t>(i)].load(
+          std::memory_order_relaxed);
+    }
+  }
+}
+
+uint64_t Histogram::Count() const {
+  uint64_t counts[kBuckets + 1];
+  Counts(counts);
+  uint64_t total = 0;
+  for (int i = 0; i <= kBuckets; ++i) total += counts[i];
+  return total;
+}
+
+double Histogram::Sum() const {
+  double total = 0;
+  for (const Shard& s : shards_) {
+    const uint64_t bits = s.sum_bits.load(std::memory_order_relaxed);
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    total += v;
+  }
+  return total;
+}
+
+// -------------------------------------------------------------- registry
+
+struct Registry::Impl {
+  struct Entry {
+    MetricInfo info;  // typed pointer aims into one of the deques below
+  };
+
+  mutable std::mutex mu;
+  // Deques: references handed out must never move on growth.
+  std::deque<Counter> counters;
+  std::deque<Gauge> gauges;
+  std::deque<Histogram> histograms;
+  std::vector<Entry> entries;  // registration order, for export
+  std::unordered_map<std::string, std::size_t> index;  // name \x1f labels
+
+  static std::string Key(const std::string& name, const std::string& labels) {
+    std::string k = name;
+    k.push_back('\x1f');
+    k += labels;
+    return k;
+  }
+};
+
+Registry& Registry::Global() {
+  static Registry* g = new Registry();  // leaked: outlives static dtors
+  return *g;
+}
+
+Registry::Registry() : impl_(new Impl()) {}
+
+// Local registries (tests) clean up; Global() intentionally never runs
+// this.
+Registry::~Registry() { delete impl_; }
+
+Counter& Registry::GetCounter(const std::string& name, const std::string& help,
+                              const std::string& labels) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  const std::string key = Impl::Key(name, labels);
+  auto it = impl_->index.find(key);
+  if (it != impl_->index.end()) {
+    return *const_cast<Counter*>(impl_->entries[it->second].info.counter);
+  }
+  impl_->counters.emplace_back();
+  Counter& c = impl_->counters.back();
+  MetricInfo info;
+  info.name = name;
+  info.labels = labels;
+  info.help = help;
+  info.type = MetricType::kCounter;
+  info.counter = &c;
+  impl_->index.emplace(key, impl_->entries.size());
+  impl_->entries.push_back({std::move(info)});
+  return c;
+}
+
+Gauge& Registry::GetGauge(const std::string& name, const std::string& help,
+                          const std::string& labels) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  const std::string key = Impl::Key(name, labels);
+  auto it = impl_->index.find(key);
+  if (it != impl_->index.end()) {
+    return *const_cast<Gauge*>(impl_->entries[it->second].info.gauge);
+  }
+  impl_->gauges.emplace_back();
+  Gauge& g = impl_->gauges.back();
+  MetricInfo info;
+  info.name = name;
+  info.labels = labels;
+  info.help = help;
+  info.type = MetricType::kGauge;
+  info.gauge = &g;
+  impl_->index.emplace(key, impl_->entries.size());
+  impl_->entries.push_back({std::move(info)});
+  return g;
+}
+
+Histogram& Registry::GetHistogram(const std::string& name,
+                                  const std::string& help,
+                                  const std::string& labels) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  const std::string key = Impl::Key(name, labels);
+  auto it = impl_->index.find(key);
+  if (it != impl_->index.end()) {
+    return *const_cast<Histogram*>(impl_->entries[it->second].info.histogram);
+  }
+  impl_->histograms.emplace_back();
+  Histogram& h = impl_->histograms.back();
+  MetricInfo info;
+  info.name = name;
+  info.labels = labels;
+  info.help = help;
+  info.type = MetricType::kHistogram;
+  info.histogram = &h;
+  impl_->index.emplace(key, impl_->entries.size());
+  impl_->entries.push_back({std::move(info)});
+  return h;
+}
+
+std::vector<MetricInfo> Registry::Metrics() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::vector<MetricInfo> out;
+  out.reserve(impl_->entries.size());
+  for (const Impl::Entry& e : impl_->entries) out.push_back(e.info);
+  return out;
+}
+
+}  // namespace ektelo::obs

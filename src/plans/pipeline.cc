@@ -4,15 +4,50 @@
 #include <utility>
 
 #include "matrix/combinators.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "ops/inference.h"
 #include "plans/plans.h"
 #include "util/check.h"
 
 namespace ektelo {
 
+namespace {
+// One latency series per stage kind; the stage name doubles as the
+// span type ("plan.select", "plan.measure", ...).
+obs::Histogram& StageSeconds(const char* stage_label) {
+  obs::Registry& r = obs::Registry::Global();
+  static obs::Histogram& select = r.GetHistogram(
+      "ektelo_plan_stage_seconds", "Wall time of one plan pipeline stage",
+      "stage=\"select\"");
+  static obs::Histogram& measure = r.GetHistogram(
+      "ektelo_plan_stage_seconds", "Wall time of one plan pipeline stage",
+      "stage=\"measure\"");
+  static obs::Histogram& partition = r.GetHistogram(
+      "ektelo_plan_stage_seconds", "Wall time of one plan pipeline stage",
+      "stage=\"partition\"");
+  static obs::Histogram& infer = r.GetHistogram(
+      "ektelo_plan_stage_seconds", "Wall time of one plan pipeline stage",
+      "stage=\"infer\"");
+  switch (stage_label[0]) {
+    case 's':
+      return select;
+    case 'm':
+      return measure;
+    case 'p':
+      return partition;
+    default:
+      return infer;
+  }
+}
+}  // namespace
+
 Stage Select(SelectFn fn) {
   return [fn = std::move(fn)](StageContext& sc) -> Status {
+    obs::Span span("plan.select", "plan", &StageSeconds("select"));
     EK_ASSIGN_OR_RETURN(LinOpPtr op, fn(sc));
+    span.Attr("rows", static_cast<double>(op->rows()));
+    span.Attr("cols", static_cast<double>(op->cols()));
     sc.strategy = ApplyMode(std::move(op), sc.mode);
     return Status::Ok();
   };
@@ -22,7 +57,10 @@ Stage Measure() {
   return [](StageContext& sc) -> Status {
     if (!sc.strategy)
       return Status::FailedPrecondition("Measure before Select");
+    obs::Span span("plan.measure", "plan", &StageSeconds("measure"));
+    span.Attr("rows", static_cast<double>(sc.strategy->rows()));
     const double eps = sc.scope->remaining();
+    span.Attr("epsilon", eps);
     // SensitivityL1 consults the process-wide OperatorCache (keyed by
     // structural hash) when rewriting is enabled, so the grid/striped
     // plans that select structurally identical strategies per branch —
@@ -39,6 +77,7 @@ Stage Measure() {
 Stage PartitionBy(PartitionFn fn, double frac, bool remap_ranges) {
   return [fn = std::move(fn), frac, remap_ranges](StageContext& sc)
              -> Status {
+    obs::Span span("plan.partition", "plan", &StageSeconds("partition"));
     EK_ASSIGN_OR_RETURN(std::vector<BudgetScope> parts,
                         sc.scope->Split({frac, 1.0 - frac}));
     sc.scopes.push_back(std::move(parts[0]));
@@ -91,6 +130,8 @@ Stage Infer(InferKind kind) {
   return [kind](StageContext& sc) -> Status {
     if (sc.mset.empty())
       return Status::FailedPrecondition("Infer with no measurements");
+    obs::Span span("plan.infer", "plan", &StageSeconds("infer"));
+    span.Attr("measurements", static_cast<double>(sc.mset.size()));
     if (kind == InferKind::kNone) {
       sc.estimate = sc.mset.items().back().y;
       return Status::Ok();
@@ -138,6 +179,8 @@ PipelinePlan::PipelinePlan(std::string name, PlanTraits traits,
 StatusOr<Vec> PipelinePlan::Execute(const ProtectedVector& x,
                                     BudgetScope& scope,
                                     const PlanInput& in) const {
+  obs::Span span("plan.execute", "plan");
+  span.Attr("stages", static_cast<double>(stages_.size()));
   StageContext sc;
   EK_ASSIGN_OR_RETURN(sc.dims, ResolveDims(x, in));
   sc.in = &in;

@@ -163,6 +163,39 @@ StatusOr<StatsReply> Client::Stats() {
   return last;
 }
 
+StatusOr<std::string> Client::TextRoundTrip(MsgType send_type,
+                                            MsgType want_reply) {
+  Status last = Status::Ok();
+  for (int attempt = 0; attempt <= std::max(0, opts_.max_retries);
+       ++attempt) {
+    if (attempt > 0) {
+      Backoff(attempt - 1);
+      if (Status s = Reconnect(); !s.ok()) {
+        last = s;
+        continue;
+      }
+    }
+    std::vector<uint8_t> payload;
+    last = RoundTrip(fd_, send_type, {}, want_reply, &payload);
+    if (last.ok()) {
+      std::string text;
+      if (!DecodeTextReply(payload, &text))
+        return Status::Internal("malformed text reply");
+      return text;
+    }
+    if (!RetryableTransport(last)) break;
+  }
+  return last;
+}
+
+StatusOr<std::string> Client::StatsProm() {
+  return TextRoundTrip(MsgType::kStatsProm, MsgType::kStatsPromReply);
+}
+
+StatusOr<std::string> Client::Trace() {
+  return TextRoundTrip(MsgType::kTrace, MsgType::kTraceReply);
+}
+
 Status Client::Shutdown() {
   std::vector<uint8_t> payload;
   return RoundTrip(fd_, MsgType::kShutdown, {}, MsgType::kShutdownReply,

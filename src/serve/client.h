@@ -67,6 +67,15 @@ class Client {
   /// Server counters and per-tenant balances.  Read-only; retried.
   StatusOr<StatsReply> Stats();
 
+  /// The daemon's metrics registry in Prometheus text exposition
+  /// format.  Read-only; retried.
+  StatusOr<std::string> StatsProm();
+
+  /// The daemon's most recent request traces as Chrome trace_event
+  /// JSON (load in Perfetto / chrome://tracing).  Empty traceEvents
+  /// when the daemon runs without EKTELO_TRACE.  Read-only; retried.
+  StatusOr<std::string> Trace();
+
   /// Asks the daemon to shut down; resolves once it acknowledges.
   /// Never retried (a resend could kill a freshly restarted daemon).
   Status Shutdown();
@@ -77,6 +86,9 @@ class Client {
 
   /// Arms the per-attempt read/write deadlines on a fresh fd.
   Status ArmDeadlines(int fd) const;
+  /// Shared retry loop for the read-only text endpoints (Prometheus
+  /// stats, traces): empty request, one text-blob reply.
+  StatusOr<std::string> TextRoundTrip(MsgType send_type, MsgType want_reply);
   /// Drops the (poisoned) connection and dials again.
   Status Reconnect();
   /// Sleeps the jittered backoff before 0-based retry `attempt`.

@@ -14,6 +14,8 @@
 #include <unistd.h>
 #endif
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "store/io.h"
 #include "store/serialize.h"
 
@@ -22,6 +24,34 @@ namespace ektelo::serve {
 namespace io = ::ektelo::store::io;
 
 namespace {
+
+obs::Counter& LedgerAppends() {
+  static obs::Counter& c = obs::Registry::Global().GetCounter(
+      "ektelo_ledger_appends", "Budget-ledger records appended durably");
+  return c;
+}
+obs::Counter& LedgerCheckpoints() {
+  static obs::Counter& c = obs::Registry::Global().GetCounter(
+      "ektelo_ledger_checkpoints", "Budget-ledger balance checkpoints written");
+  return c;
+}
+obs::Counter& LedgerIoErrors() {
+  static obs::Counter& c = obs::Registry::Global().GetCounter(
+      "ektelo_ledger_io_errors", "Budget-ledger append/checkpoint I/O errors");
+  return c;
+}
+obs::Histogram& LedgerAppendSeconds() {
+  static obs::Histogram& h = obs::Registry::Global().GetHistogram(
+      "ektelo_ledger_io_seconds", "Wall time of one durable ledger I/O",
+      "op=\"append\"");
+  return h;
+}
+obs::Histogram& LedgerCheckpointSeconds() {
+  static obs::Histogram& h = obs::Registry::Global().GetHistogram(
+      "ektelo_ledger_io_seconds", "Wall time of one durable ledger I/O",
+      "op=\"checkpoint\"");
+  return h;
+}
 
 namespace fs = std::filesystem;
 
@@ -249,6 +279,8 @@ struct BudgetLedger::Impl {
 
   bool Append(uint8_t kind, const std::string& name, double amount) {
     if (f == nullptr || name.size() > kMaxNameLen) return false;
+    obs::Span span("ledger.append", "ledger", &LedgerAppendSeconds());
+    span.Attr("epsilon", amount);
 #ifdef _WIN32
     if (_fseeki64(f, int64_t(append_off), SEEK_SET) != 0) return false;
 #else
@@ -263,14 +295,17 @@ struct BudgetLedger::Impl {
     if (!io::Write(f, frame.data(), frame.size(), "ledger.append") ||
         !io::Flush(f, "ledger.flush")) {
       ++st.io_errors;
+      LedgerIoErrors().Inc();
       return false;
     }
     if (opts.fsync_each_charge && !io::Fsync(f, "ledger.fsync")) {
       ++st.io_errors;
+      LedgerIoErrors().Inc();
       return false;
     }
     append_off += frame.size();
     ++st.appends;
+    LedgerAppends().Inc();
     ++appends_since_ckpt;
     return true;
   }
@@ -288,6 +323,7 @@ struct BudgetLedger::Impl {
 
   /// Atomically rewrites the balance checkpoint (mu held).
   void WriteCheckpoint() {
+    obs::Span span("ledger.checkpoint", "ledger", &LedgerCheckpointSeconds());
     store::ByteWriter w;
     w.U32(kCkptMagic);
     w.U32(store::kFormatVersion);
@@ -302,11 +338,13 @@ struct BudgetLedger::Impl {
     w.U64(store::Checksum64(w.bytes()));
     if (io::AtomicWriteFile(ckpt_path, w.bytes(), "ledger.ckpt")) {
       ++st.checkpoints;
+      LedgerCheckpoints().Inc();
       appends_since_ckpt = 0;
     } else {
       // The log already holds every record a checkpoint would cover;
       // losing the rewrite only lengthens the next replay.
       ++st.io_errors;
+      LedgerIoErrors().Inc();
     }
   }
 };

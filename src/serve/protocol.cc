@@ -158,6 +158,18 @@ bool DecodeStatsReply(const std::vector<uint8_t>& bytes, StatsReply* stats) {
   return r.remaining() == 0;
 }
 
+std::vector<uint8_t> EncodeTextReply(const std::string& text) {
+  store::ByteWriter w;
+  PutString(text, &w);
+  return w.Take();
+}
+
+bool DecodeTextReply(const std::vector<uint8_t>& bytes, std::string* text) {
+  store::ByteReader r(bytes);
+  // The blob is bounded by the frame payload cap, not the name cap.
+  return GetString(&r, text, kMaxPayloadBytes) && r.remaining() == 0;
+}
+
 Status WriteFrame(int fd, MsgType type, const std::vector<uint8_t>& payload) {
   if (payload.size() > kMaxPayloadBytes)
     return Status::InvalidArgument("frame payload too large");

@@ -43,6 +43,14 @@ enum class MsgType : uint8_t {
   kStatsReply = 4,
   kShutdown = 5,
   kShutdownReply = 6,
+  // Observability endpoints (appended — old clients and servers never
+  // see the new tags, so the 1-6 wire surface is untouched).  Both
+  // replies carry one opaque text blob: Prometheus exposition text for
+  // kStatsProm, Chrome trace_event JSON for kTrace.
+  kStatsProm = 7,
+  kStatsPromReply = 8,
+  kTrace = 9,
+  kTraceReply = 10,
 };
 
 /// One plan invocation.  Every field is public, client-chosen metadata
@@ -135,6 +143,12 @@ bool DecodeInvokeReply(const std::vector<uint8_t>& bytes, InvokeReply* reply);
 
 std::vector<uint8_t> EncodeStatsReply(const StatsReply& stats);
 bool DecodeStatsReply(const std::vector<uint8_t>& bytes, StatsReply* stats);
+
+/// kStatsPromReply / kTraceReply payload: one length-prefixed text blob
+/// (Prometheus exposition text or Chrome trace_event JSON).  The blob
+/// is opaque to the protocol layer; the payload cap still applies.
+std::vector<uint8_t> EncodeTextReply(const std::string& text);
+bool DecodeTextReply(const std::vector<uint8_t>& bytes, std::string* text);
 
 // ---- framed I/O over a connected socket fd ----
 

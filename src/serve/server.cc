@@ -25,6 +25,10 @@
 #include "kernel/kernel.h"
 #include "matrix/rewrite.h"
 #include "matrix/search.h"
+#include "obs/export.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "plans/registry.h"
 #include "store/serialize.h"
 #include "util/bounded_queue.h"
@@ -96,6 +100,33 @@ bool EnvF64(const char* name, double* out) {
   return false;
 }
 
+/// Per-stage serve latency histograms, one label per lifecycle stage.
+obs::Histogram& StageSeconds(const char* labels) {
+  return obs::Registry::Global().GetHistogram(
+      "ektelo_serve_stage_seconds",
+      "Wall time of one serve request lifecycle stage", labels);
+}
+obs::Histogram& ValidateSeconds() {
+  static obs::Histogram& h = StageSeconds("stage=\"validate\"");
+  return h;
+}
+obs::Histogram& QueueWaitSeconds() {
+  static obs::Histogram& h = StageSeconds("stage=\"queue_wait\"");
+  return h;
+}
+obs::Histogram& ChargeSeconds() {
+  static obs::Histogram& h = StageSeconds("stage=\"charge\"");
+  return h;
+}
+obs::Histogram& ExecuteSeconds() {
+  static obs::Histogram& h = StageSeconds("stage=\"execute\"");
+  return h;
+}
+obs::Histogram& TotalSeconds() {
+  static obs::Histogram& h = StageSeconds("stage=\"total\"");
+  return h;
+}
+
 }  // namespace
 
 ServerOptions ApplyServeEnv(ServerOptions opts) {
@@ -110,6 +141,7 @@ ServerOptions ApplyServeEnv(ServerOptions opts) {
   EnvF64("EKTELO_SERVE_MAX_EPS", &opts.max_eps);
   if (EnvU64("EKTELO_SERVE_FSYNC", &u)) opts.fsync_ledger = u != 0;
   if (EnvU64("EKTELO_SERVE_DEADLINE_MS", &u)) opts.request_deadline_ms = int(u);
+  if (EnvU64("EKTELO_SERVE_SLOW_MS", &u)) opts.slow_ms = int(u);
   return opts;
 }
 
@@ -152,15 +184,48 @@ struct Server::Impl {
     Vec estimate;
     std::list<std::string>::iterator lru_it;
   };
-  std::mutex co_mu;  // guards inflight, response cache, counters
+  std::mutex co_mu;  // guards inflight and the response cache
   std::unordered_map<std::string, std::shared_ptr<Inflight>> inflight;
   std::unordered_map<std::string, CachedAnswer> answers;
   std::list<std::string> answer_lru;  // front = most recent
 
-  // ---- counters (co_mu) ----
-  uint64_t received = 0, admitted = 0, refused_budget = 0, refused_queue = 0,
-           refused_bad = 0, executions = 0, coalesced = 0,
-           refused_durability = 0, refused_deadline = 0;
+  // ---- counters ----
+  // The process-global metrics registry is the single source of truth;
+  // each server keeps only a base snapshot (taken at Start) so its
+  // Stats() view begins at zero while the registry series stay
+  // monotone across server restarts within one process.
+  struct CounterView {
+    obs::Counter* c = nullptr;
+    uint64_t base = 0;
+    void Inc() { c->Inc(); }
+    uint64_t Delta() const {
+      const uint64_t v = c->Value();
+      return v > base ? v - base : 0;
+    }
+  };
+  CounterView received, admitted, refused_budget, refused_queue, refused_bad,
+      executions, coalesced, refused_durability, refused_deadline;
+
+  void BindServeMetrics() {
+    obs::Registry& reg = obs::Registry::Global();
+    const std::string name = "ektelo_serve_requests";
+    const std::string help =
+        "Serve request lifecycle outcomes, by admission event";
+    auto bind = [&](CounterView* v, const char* event) {
+      v->c = &reg.GetCounter(name, help,
+                             "event=\"" + std::string(event) + "\"");
+      v->base = v->c->Value();
+    };
+    bind(&received, "received");
+    bind(&admitted, "admitted");
+    bind(&refused_budget, "refused_budget");
+    bind(&refused_queue, "refused_queue");
+    bind(&refused_bad, "refused_bad");
+    bind(&executions, "executed");
+    bind(&coalesced, "coalesced");
+    bind(&refused_durability, "refused_durability");
+    bind(&refused_deadline, "refused_deadline");
+  }
 
   // ---- threads / lifecycle ----
   struct Task {
@@ -171,6 +236,12 @@ struct Server::Impl {
     std::shared_ptr<Inflight> fly;
     // Queue-entry time, for the per-request deadline check.
     std::chrono::steady_clock::time_point enqueued;
+    // The leader's request trace (null when tracing is off): the worker
+    // installs it so every span under execution lands in it.  The
+    // shared_ptr keeps the trace alive however late the worker runs.
+    std::shared_ptr<obs::RequestTrace> trace;
+    // obs::NowNs() at enqueue, for the queue-wait span; 0 = disarmed.
+    uint64_t enqueue_ns = 0;
   };
   std::unique_ptr<BoundedQueue<Task>> queue;
   std::vector<std::thread> workers;
@@ -275,6 +346,14 @@ struct Server::Impl {
   // ------------------------------------------------------------ workers
 
   void ProcessTask(Task& t) {
+    // Record into the leader's trace for the rest of this task; every
+    // span below (charge, execute, and everything the plan opens) lands
+    // in it.  All spans close before Publish wakes the leader, and the
+    // Task's shared_ptr keeps the trace alive until then.
+    obs::ScopedTraceContext tctx(t.trace.get());
+    if (t.enqueue_ns != 0)
+      obs::RecordManualSpan("serve.queue_wait", "serve", t.enqueue_ns,
+                            obs::NowNs(), &QueueWaitSeconds());
     InvokeReply r;
     r.request_id = t.req.request_id;
     // Stale work is refused before the charge: epsilon spent on an
@@ -284,9 +363,9 @@ struct Server::Impl {
             std::chrono::milliseconds(opts.request_deadline_ms)) {
       r.code = ReplyCode::kDeadlineExceeded;
       r.message = "request exceeded the server deadline in queue";
+      refused_deadline.Inc();
       {
         std::lock_guard<std::mutex> lock(co_mu);
-        ++refused_deadline;
         inflight.erase(t.key);
       }
       t.fly->Publish(std::move(r));
@@ -295,25 +374,32 @@ struct Server::Impl {
     // Authoritative admission: the durable charge happens HERE, before
     // any kernel exists, and the answer is only released (published)
     // after the charge record is on disk.
-    const ChargeResult charge = ledger->Charge(t.req.tenant, t.req.eps);
+    ChargeResult charge;
+    {
+      obs::Span charge_span("serve.charge", "serve", &ChargeSeconds());
+      charge_span.Attr("eps", t.req.eps);
+      charge = ledger->Charge(t.req.tenant, t.req.eps);
+    }
     if (charge == ChargeResult::kIoError) {
       // Fail CLOSED: the ledger could not durably record the charge, so
       // no answer may be released.  (Charge-before-release means a torn
       // append can only ever over-count the spend, never under-count.)
       r.code = ReplyCode::kDurabilityError;
       r.message = "ledger write failed; request refused";
-      std::lock_guard<std::mutex> lock(co_mu);
-      ++refused_durability;
+      refused_durability.Inc();
     } else if (charge == ChargeResult::kRefused) {
       r.code = ReplyCode::kBudgetExhausted;
       r.message = "tenant budget exhausted";
-      std::lock_guard<std::mutex> lock(co_mu);
-      ++refused_budget;
+      refused_budget.Inc();
     } else {
       if (opts.test_execution_delay_ms > 0)
         std::this_thread::sleep_for(
             std::chrono::milliseconds(opts.test_execution_delay_ms));
-      StatusOr<Vec> est = Execute(t.req, t.hash);
+      StatusOr<Vec> est = [&] {
+        obs::Span exec_span("serve.execute", "serve", &ExecuteSeconds());
+        exec_span.Attr("eps", t.req.eps);
+        return Execute(t.req, t.hash);
+      }();
       if (!est.ok()) {
         // Nothing was released; return the epsilon to the tenant.
         ledger->Refund(t.req.tenant, t.req.eps);
@@ -328,7 +414,7 @@ struct Server::Impl {
     {
       std::lock_guard<std::mutex> lock(co_mu);
       if (r.code == ReplyCode::kOk) {
-        ++executions;
+        executions.Inc();
         if (t.cacheable) CacheInsert(t.key, r.estimate);
       }
       inflight.erase(t.key);
@@ -344,16 +430,61 @@ struct Server::Impl {
 
   // -------------------------------------------------------- connections
 
+  /// Observability shell around DoInvoke: opens the per-request trace
+  /// (when armed) and the total-latency span, and emits the slow-request
+  /// log line.  None of it can perturb the reply — spans and traces are
+  /// write-only sinks, and the trace is published only after the reply
+  /// bytes are final.
   InvokeReply HandleInvoke(InvokeRequest req) {
+    std::shared_ptr<obs::RequestTrace> trace;
+    if (obs::TraceEnabled()) {
+      trace = std::make_shared<obs::RequestTrace>();
+      trace->request_id = std::to_string(req.request_id);
+      trace->tenant = req.tenant;
+      trace->plan = req.plan;
+    }
+    obs::ScopedTraceContext tctx(trace.get());
+    const uint64_t slow_t0 = opts.slow_ms > 0 ? obs::NowNs() : 0;
+    const std::string tenant = req.tenant;  // req is consumed below
+    const std::string plan = req.plan;
+    const uint64_t rid = req.request_id;
+    InvokeReply out;
+    {
+      obs::Span total("serve.request", "serve", &TotalSeconds());
+      total.Attr("eps", req.eps);
+      out = DoInvoke(std::move(req), trace);
+    }
+    if (slow_t0 != 0) {
+      const double ms =
+          static_cast<double>(obs::NowNs() - slow_t0) * 1e-6;
+      if (ms > double(opts.slow_ms)) {
+        char msbuf[32];
+        std::snprintf(msbuf, sizeof(msbuf), "%.1f", ms);
+        obs::Log(obs::Severity::kWarn, "serve_slow",
+                 {{"tenant", tenant},
+                  {"plan", plan},
+                  {"request_id", std::to_string(rid)},
+                  {"ms", msbuf},
+                  {"code", std::to_string(int(out.code))}});
+      }
+    }
+    if (trace != nullptr)
+      obs::TraceStore::Global().Publish(std::move(trace));
+    return out;
+  }
+
+  InvokeReply DoInvoke(InvokeRequest req,
+                       const std::shared_ptr<obs::RequestTrace>& trace) {
     InvokeReply out;
     out.request_id = req.request_id;
+    received.Inc();
+    std::string err;
     {
-      std::lock_guard<std::mutex> lock(co_mu);
-      ++received;
+      obs::Span vspan("serve.validate", "serve", &ValidateSeconds());
+      err = Validate(req);
     }
-    if (std::string err = Validate(req); !err.empty()) {
-      std::lock_guard<std::mutex> lock(co_mu);
-      ++refused_bad;
+    if (!err.empty()) {
+      refused_bad.Inc();
       out.code = ReplyCode::kBadRequest;
       out.message = std::move(err);
       return out;
@@ -361,8 +492,7 @@ struct Server::Impl {
     // Advisory fast path: refuse before any queue slot or kernel is
     // involved.  (Public-state decision — Alg. 2 refusals leak nothing.)
     if (!ledger->CanCharge(req.tenant, req.eps)) {
-      std::lock_guard<std::mutex> lock(co_mu);
-      ++refused_budget;
+      refused_budget.Inc();
       out.code = ReplyCode::kBudgetExhausted;
       out.message = "tenant budget exhausted";
       return out;
@@ -376,7 +506,7 @@ struct Server::Impl {
     if (can_coalesce) {
       std::lock_guard<std::mutex> lock(co_mu);
       if (const CachedAnswer* hit = CacheFind(key)) {
-        ++coalesced;
+        coalesced.Inc();
         out.code = ReplyCode::kOk;
         out.coalesced = true;
         out.eps_charged = 0.0;  // replay of an already-charged answer
@@ -403,6 +533,8 @@ struct Server::Impl {
       task.cacheable = can_coalesce;
       task.fly = fly;
       task.enqueued = std::chrono::steady_clock::now();
+      task.trace = trace;
+      task.enqueue_ns = obs::ArmedFlags() != 0 ? obs::NowNs() : 0;
       if (!queue->TryPush(std::move(task))) {
         InvokeReply refusal;
         refusal.request_id = req.request_id;
@@ -410,18 +542,17 @@ struct Server::Impl {
                                        : ReplyCode::kQueueFull;
         refusal.message = stopping.load() ? "server shutting down"
                                           : "request queue full";
-        {
+        refused_queue.Inc();
+        if (can_coalesce) {
           std::lock_guard<std::mutex> lock(co_mu);
-          ++refused_queue;
-          if (can_coalesce) inflight.erase(key);
+          inflight.erase(key);
         }
         // Followers that already joined this entry get the same refusal.
         fly->Publish(refusal);
         refusal.request_id = req.request_id;
         return refusal;
       }
-      std::lock_guard<std::mutex> lock(co_mu);
-      ++admitted;
+      admitted.Inc();
     }
 
     out = fly->Wait();
@@ -429,26 +560,22 @@ struct Server::Impl {
     if (!leader) {
       out.coalesced = true;
       if (out.code == ReplyCode::kOk) out.eps_charged = 0.0;
-      std::lock_guard<std::mutex> lock(co_mu);
-      ++coalesced;
+      coalesced.Inc();
     }
     return out;
   }
 
   StatsReply BuildStats() {
     StatsReply s;
-    {
-      std::lock_guard<std::mutex> lock(co_mu);
-      s.received = received;
-      s.admitted = admitted;
-      s.refused_budget = refused_budget;
-      s.refused_queue = refused_queue;
-      s.refused_bad = refused_bad;
-      s.executions = executions;
-      s.coalesced = coalesced;
-      s.refused_durability = refused_durability;
-      s.refused_deadline = refused_deadline;
-    }
+    s.received = received.Delta();
+    s.admitted = admitted.Delta();
+    s.refused_budget = refused_budget.Delta();
+    s.refused_queue = refused_queue.Delta();
+    s.refused_bad = refused_bad.Delta();
+    s.executions = executions.Delta();
+    s.coalesced = coalesced.Delta();
+    s.refused_durability = refused_durability.Delta();
+    s.refused_deadline = refused_deadline.Delta();
     const OperatorCache::Stats cs = OperatorCache::Global().stats();
     s.cache_hits = cs.hits;
     s.cache_disk_hits = cs.disk_hits;
@@ -466,6 +593,25 @@ struct Server::Impl {
     return s;
   }
 
+  /// Prometheus scrape: counters and histograms are live already; only
+  /// the scrape-time gauges (per-tenant budgets) need a refresh here.
+  std::string BuildPromText() {
+    obs::Registry& reg = obs::Registry::Global();
+    for (const std::string& name : tenant_order) {
+      if (auto b = ledger->Balance(name)) {
+        reg.GetGauge("ektelo_tenant_budget_eps",
+                     "Per-tenant durable epsilon budget",
+                     "tenant=\"" + name + "\",kind=\"total\"")
+            .Set(b->total);
+        reg.GetGauge("ektelo_tenant_budget_eps",
+                     "Per-tenant durable epsilon budget",
+                     "tenant=\"" + name + "\",kind=\"spent\"")
+            .Set(b->spent);
+      }
+    }
+    return obs::PrometheusText(reg);
+  }
+
   void ServeConnection(int fd) {
     for (;;) {
       MsgType type;
@@ -478,9 +624,8 @@ struct Server::Impl {
         if (!DecodeInvokeRequest(payload, &req)) {
           // The frame itself was intact (checksum passed), so the
           // stream is still synchronized; refuse just this request.
-          std::lock_guard<std::mutex> lock(co_mu);
-          ++received;
-          ++refused_bad;
+          received.Inc();
+          refused_bad.Inc();
           reply.code = ReplyCode::kBadRequest;
           reply.message = "malformed invoke payload";
         } else {
@@ -493,6 +638,16 @@ struct Server::Impl {
         if (!WriteFrame(fd, MsgType::kStatsReply,
                         EncodeStatsReply(BuildStats()))
                  .ok())
+          break;
+      } else if (type == MsgType::kStatsProm) {
+        if (!WriteFrame(fd, MsgType::kStatsPromReply,
+                        EncodeTextReply(BuildPromText()))
+                 .ok())
+          break;
+      } else if (type == MsgType::kTrace) {
+        const std::string json =
+            obs::ChromeTraceJson(obs::TraceStore::Global().Latest());
+        if (!WriteFrame(fd, MsgType::kTraceReply, EncodeTextReply(json)).ok())
           break;
       } else if (type == MsgType::kShutdown) {
         (void)WriteFrame(fd, MsgType::kShutdownReply, {});
@@ -545,6 +700,7 @@ StatusOr<std::unique_ptr<Server>> Server::Start(
 
   std::unique_ptr<Server> server(new Server);
   Impl& im = *server->impl_;
+  im.BindServeMetrics();  // base snapshot BEFORE any request arrives
   im.opts = opts;
   im.opts.workers = std::max<std::size_t>(1, im.opts.workers);
   im.opts.queue_capacity = std::max<std::size_t>(1, im.opts.queue_capacity);

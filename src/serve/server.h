@@ -105,6 +105,11 @@ struct ServerOptions {
   /// spending epsilon on answers nobody is waiting for.
   /// EKTELO_SERVE_DEADLINE_MS; 0 = no deadline.
   int request_deadline_ms = 0;
+  /// Slow-request log threshold: an Invoke whose total in-server wall
+  /// time (decode to reply publish) exceeds this logs one structured
+  /// stderr line (rate-limited per event).  EKTELO_SERVE_SLOW_MS;
+  /// 0 = disabled.
+  int slow_ms = 0;
   /// Test hook: sleep this long inside each worker execution, so tests
   /// can deterministically fill the bounded queue.  0 in production.
   int test_execution_delay_ms = 0;

@@ -16,6 +16,8 @@
 #include <unistd.h>
 #endif
 
+#include "obs/log.h"
+#include "obs/metrics.h"
 #include "store/io.h"
 #include "store/serialize.h"
 
@@ -123,9 +125,29 @@ struct DiskArtifactStore::Impl {
   bool degraded = false;
 
   /// Counts an I/O error and, when `sticky`, trips the degraded state.
+  /// The degradation transition (once per store lifetime) goes through
+  /// the structured log — it is the one store event an operator must
+  /// see — and flips the registry gauge the Prometheus endpoint exports.
   void IoError(bool sticky) {
+    static obs::Counter& io_errors = obs::Registry::Global().GetCounter(
+        "ektelo_store_io_errors", "Disk-tier I/O errors observed");
+    io_errors.Inc();
     ++st.io_errors;
-    if (sticky) degraded = true;
+    if (sticky && !degraded) {
+      degraded = true;
+      DegradedGauge().Set(1.0);
+      obs::Log(obs::Severity::kError, "store_degraded",
+               {{"data_path", data_path},
+                {"io_errors", std::to_string(st.io_errors)},
+                {"action", "memory_only"}});
+    }
+  }
+
+  static obs::Gauge& DegradedGauge() {
+    static obs::Gauge& g = obs::Registry::Global().GetGauge(
+        "ektelo_store_degraded",
+        "1 when the disk tier has tripped into sticky memory-only mode");
+    return g;
   }
 
   // ---- index maintenance (mu held) ----

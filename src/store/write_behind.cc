@@ -1,9 +1,28 @@
 #include "store/write_behind.h"
 
-#include <cstdio>
+#include <string>
 #include <utility>
 
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace ektelo::store {
+
+namespace {
+obs::Counter& DroppedSpills() {
+  static obs::Counter& c = obs::Registry::Global().GetCounter(
+      "ektelo_store_write_behind_dropped",
+      "Disk spills refused by the bounded write-behind queue");
+  return c;
+}
+obs::Counter& EnqueuedSpills() {
+  static obs::Counter& c = obs::Registry::Global().GetCounter(
+      "ektelo_store_write_behind_enqueued",
+      "Disk spills accepted by the write-behind queue");
+  return c;
+}
+}  // namespace
 
 WriteBehindQueue::WriteBehindQueue(std::size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity),
@@ -22,26 +41,33 @@ bool WriteBehindQueue::Enqueue(std::function<void()> job) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_ || jobs_.size() >= capacity_) {
-      // Rate-limited to the FIRST drop: one line tells the operator the
-      // queue is undersized (or shutdown raced a spill) without letting
-      // a sustained overflow flood stderr.  The running total is in
-      // stats().dropped and the serve Stats protocol.
-      if (st_.dropped == 0)
-        std::fprintf(stderr,
-                     "ektelo: write-behind queue %s; dropping disk spill "
-                     "(further drops counted silently)\n",
-                     stopping_ ? "shutting down" : "full");
+      // The structured logger rate-limits per event name: the first
+      // drop always logs (one line tells the operator the queue is
+      // undersized, or shutdown raced a spill), sustained overflow logs
+      // at most once per interval with a suppressed= count.  The
+      // running total is in stats().dropped, the registry, and the
+      // serve Stats protocol.
+      obs::Log(obs::Severity::kWarn, "write_behind_drop",
+               {{"reason", stopping_ ? "shutting_down" : "full"},
+                {"queued", std::to_string(jobs_.size())},
+                {"cap", std::to_string(capacity_)}});
       ++st_.dropped;
+      DroppedSpills().Inc();
       return false;
     }
     jobs_.push_back(std::move(job));
     ++st_.enqueued;
+    EnqueuedSpills().Inc();
   }
   work_cv_.notify_one();
   return true;
 }
 
 void WriteBehindQueue::Drain() {
+  static obs::Histogram& drain_seconds = obs::Registry::Global().GetHistogram(
+      "ektelo_store_write_behind_drain_seconds",
+      "Wall time spent waiting for the write-behind queue to drain");
+  obs::Span span("store.write_behind.drain", "store", &drain_seconds);
   std::unique_lock<std::mutex> lock(mu_);
   const std::size_t target = st_.enqueued;
   drain_cv_.wait(lock, [&] { return st_.completed >= target; });

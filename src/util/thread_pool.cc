@@ -4,6 +4,8 @@
 #include <atomic>
 #include <cstdlib>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace ektelo {
@@ -13,6 +15,24 @@ namespace {
 // issued from inside a worker execute inline, so nested parallel sections
 // can never deadlock on a saturated queue or oversubscribe the machine.
 thread_local bool t_in_pool_worker = false;
+
+obs::Counter& ForChunks() {
+  static obs::Counter& c = obs::Registry::Global().GetCounter(
+      "ektelo_parallel_for_chunks", "ParallelFor chunks executed");
+  return c;
+}
+obs::Histogram& ForShardSeconds() {
+  static obs::Histogram& h = obs::Registry::Global().GetHistogram(
+      "ektelo_parallel_for_shard_seconds",
+      "Wall time of one thread's share of a ParallelFor");
+  return h;
+}
+obs::Histogram& ForSeconds() {
+  static obs::Histogram& h = obs::Registry::Global().GetHistogram(
+      "ektelo_parallel_for_seconds",
+      "Wall time of one parallel ParallelFor call, caller-side");
+  return h;
+}
 }  // namespace
 
 // Shared state of one ParallelFor call.  Helpers (and the caller) pull
@@ -131,10 +151,52 @@ void ThreadPool::ParallelFor(
   state->chunks = (n + state->chunk_size - 1) / state->chunk_size;
   state->fn = &fn;
   const std::size_t helpers = std::min(workers, state->chunks - 1);
-  for (std::size_t i = 0; i < helpers; ++i) {
-    Enqueue([state] { state->Finish(state->Drain()); });
-  }
-  state->Finish(state->Drain());
+  // Helpers inherit the caller's request-trace context so shard spans
+  // land in the same per-request ring the caller records into; the
+  // pointer stays valid because the caller blocks below until every
+  // chunk is drained.  With tracing disarmed `trace` is null and the
+  // helpers install nothing.
+  obs::RequestTrace* trace =
+      obs::TraceEnabled() ? obs::CurrentTrace() : nullptr;
+  obs::Span span("parallel_for", "pool", &ForSeconds());
+  span.Attr("n", static_cast<double>(n));
+  span.Attr("chunks", static_cast<double>(state->chunks));
+  // One thread's share: drain, then record its shard span.  Recording
+  // happens strictly before Finish publishes the chunks — the caller
+  // cannot wake (and release the trace) while any executed chunk is
+  // still unpublished, so a helper that drained zero chunks (woke after
+  // the loop emptied, possibly after the caller returned) records
+  // nothing and only touches its own shared state copy.
+  auto run_share = [state, trace] {
+    const uint32_t flags = obs::ArmedFlags();
+    const uint64_t t0 = flags != 0 ? obs::NowNs() : 0;
+    obs::ScopedTraceContext ctx(trace);
+    const std::size_t ran = state->Drain();
+    if (ran > 0) {
+      ForChunks().Inc(ran);
+      if (flags != 0) {
+        const uint64_t t1 = obs::NowNs();
+        if ((flags & obs::kTimingArmed) != 0) {
+          ForShardSeconds().Observe(static_cast<double>(t1 - t0) * 1e-9);
+        }
+        if ((flags & obs::kTraceArmed) != 0 && trace != nullptr) {
+          obs::TraceEvent ev;
+          ev.name = "parallel_for.shard";
+          ev.cat = "pool";
+          ev.start_ns = t0;
+          ev.dur_ns = t1 - t0;
+          ev.tid = obs::ThreadId();
+          ev.n_attrs = 1;
+          ev.attrs[0] = obs::TraceAttr{"chunks", nullptr,
+                                       static_cast<double>(ran)};
+          trace->Record(ev);
+        }
+      }
+    }
+    state->Finish(ran);
+  };
+  for (std::size_t i = 0; i < helpers; ++i) Enqueue(run_share);
+  run_share();
   std::unique_lock<std::mutex> lock(state->mu);
   state->cv.wait(lock, [&] { return state->done == state->chunks; });
   // Helpers captured `state` by shared_ptr, so a helper that wakes after

@@ -8,12 +8,15 @@
 #include <chrono>
 #include <cstring>
 #include <filesystem>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "gtest/gtest.h"
 #include "data/generators.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/client.h"
 #include "serve/server.h"
 #include "util/failpoint.h"
@@ -465,6 +468,107 @@ TEST(Client, ReadTimeoutSurfacesDeadlineExceededAfterRetries) {
   ASSERT_FALSE(stats.ok());
   EXPECT_EQ(stats.status().code(), StatusCode::kDeadlineExceeded);
   fs::remove(path);
+}
+
+TEST(Server, TraceCapturesFullRequestLifecycle) {
+  obs::SetTraceEnabled(true);
+  ServerOptions opts = BaseOptions("trace");
+  auto server = Server::Start(opts, {MakeTenant("alpha", 41, 2.0)});
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  auto client = Client::Connect(opts.socket_path);
+  ASSERT_TRUE(client.ok());
+
+  InvokeRequest req = IdentityRequest("alpha", 0.25, /*request_id=*/99);
+  req.plan = "H2";  // hierarchy + inference: exercises every subsystem
+  auto reply = client->Invoke(req);
+  ASSERT_TRUE(reply.ok());
+  ASSERT_EQ(reply->code, ReplyCode::kOk);
+
+  // The daemon's trace endpoint returns Chrome trace_event JSON.
+  auto json = client->Trace();
+  ASSERT_TRUE(json.ok()) << json.status().ToString();
+  EXPECT_EQ(json->rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(json->find("\"serve.execute\""), std::string::npos);
+
+  // The published trace spans the whole lifecycle: queue wait, charge,
+  // execution, plus plan / rewrite / cache / solver work underneath.
+  const auto traces = obs::TraceStore::Global().Latest(1);
+  ASSERT_EQ(traces.size(), 1u);
+  EXPECT_EQ(traces[0]->request_id, "99");
+  std::set<std::string> span_types;
+  for (const obs::TraceEvent& ev : traces[0]->Events())
+    span_types.insert(ev.name);
+  EXPECT_TRUE(span_types.count("serve.queue_wait")) << json->substr(0, 400);
+  EXPECT_TRUE(span_types.count("serve.charge"));
+  EXPECT_TRUE(span_types.count("serve.execute"));
+  EXPECT_GE(span_types.size(), 6u);
+
+  (*server)->Stop();
+  obs::SetTraceEnabled(false);
+  Cleanup(opts);
+}
+
+TEST(Server, RepliesBitwiseIdenticalWithTracingOnOrOff) {
+  InvokeRequest req = IdentityRequest("alpha", 0.25, /*request_id=*/1);
+  req.plan = "H2";
+  Vec off_estimate;
+  {
+    obs::SetTraceEnabled(false);
+    ServerOptions opts = BaseOptions("bitoff");
+    auto server = Server::Start(opts, {MakeTenant("alpha", 41, 2.0)});
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+    auto client = Client::Connect(opts.socket_path);
+    ASSERT_TRUE(client.ok());
+    auto reply = client->Invoke(req);
+    ASSERT_TRUE(reply.ok());
+    ASSERT_EQ(reply->code, ReplyCode::kOk);
+    off_estimate = reply->estimate;
+    (*server)->Stop();
+    Cleanup(opts);
+  }
+  {
+    obs::SetTraceEnabled(true);
+    ServerOptions opts = BaseOptions("biton");
+    auto server = Server::Start(opts, {MakeTenant("alpha", 41, 2.0)});
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+    auto client = Client::Connect(opts.socket_path);
+    ASSERT_TRUE(client.ok());
+    auto reply = client->Invoke(req);
+    obs::SetTraceEnabled(false);
+    ASSERT_TRUE(reply.ok());
+    ASSERT_EQ(reply->code, ReplyCode::kOk);
+    ASSERT_EQ(reply->estimate.size(), off_estimate.size());
+    EXPECT_EQ(std::memcmp(reply->estimate.data(), off_estimate.data(),
+                          off_estimate.size() * sizeof(double)),
+              0);
+    (*server)->Stop();
+    Cleanup(opts);
+  }
+}
+
+TEST(Server, PrometheusStatsEndpointExposesServeCounters) {
+  ServerOptions opts = BaseOptions("prom");
+  auto server = Server::Start(opts, {MakeTenant("alpha", 41, 1.0)});
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  auto client = Client::Connect(opts.socket_path);
+  ASSERT_TRUE(client.ok());
+  auto reply = client->Invoke(IdentityRequest("alpha", 0.1));
+  ASSERT_TRUE(reply.ok());
+  ASSERT_EQ(reply->code, ReplyCode::kOk);
+
+  auto text = client->StatsProm();
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_NE(text->find("# TYPE ektelo_serve_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(text->find("ektelo_serve_requests_total{event=\"executed\"}"),
+            std::string::npos);
+  // Scrape-time gauges carry the tenant's durable balances.
+  EXPECT_NE(
+      text->find(
+          "ektelo_tenant_budget_eps{tenant=\"alpha\",kind=\"total\"} 1"),
+      std::string::npos);
+  (*server)->Stop();
+  Cleanup(opts);
 }
 
 TEST(Client, ConnectTimeoutToBacklogOnlySocketIsBounded) {
